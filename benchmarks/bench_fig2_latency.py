@@ -1,0 +1,51 @@
+"""Fig. 2: speedup of smallFloat types for increasing memory latencies.
+
+Paper: float16 speedups grow by +7.4% (L2) and +10.65% (L3) over L1;
+float8 by +4.75% and +8.01%.  Our reproduction preserves the *sign* of
+the effect (vectorized builds benefit more as memory slows, because
+packed accesses halve/quarter the traffic); magnitudes are smaller
+because our baseline compiler leaves more non-memory overhead in all
+builds (EXPERIMENTS.md discusses this).
+"""
+
+from conftest import save_result
+
+from repro.harness.experiments import (
+    cached_run,
+    fig2_latency_gains,
+    fig2_latency_speedup,
+)
+
+
+def test_fig2_latency_speedup(benchmark, fig2_rows):
+    benchmark.pedantic(
+        lambda: cached_run("atax", "float16", "manual", 10).cycles,
+        rounds=1, iterations=1,
+    )
+    rows = fig2_rows
+    save_result("fig2_latency_speedup", rows)
+
+    print("\nFig. 2 -- speedup vs float at each latency (manual builds)")
+    benches = sorted({r["benchmark"] for r in rows})
+    for bench in benches:
+        cells = []
+        for ftype in ("float16", "float8"):
+            for level in ("L1", "L2", "L3"):
+                value = next(r["speedup"] for r in rows
+                             if r["benchmark"] == bench
+                             and r["ftype"] == ftype
+                             and r["level"] == level)
+                cells.append(f"{value:.2f}")
+        print(f"  {bench:<8s} " + "  ".join(f"{c:>5s}" for c in cells))
+
+    gains = fig2_latency_gains(rows)
+    print("  average gain over L1:",
+          {ft: {k: f"{v:+.2%}" for k, v in g.items()}
+           for ft, g in gains.items()})
+
+    # --- shape assertions -------------------------------------------------
+    for ftype in ("float16", "float8"):
+        assert gains[ftype]["L2_vs_L1"] > 0.0
+        assert gains[ftype]["L3_vs_L1"] > gains[ftype]["L2_vs_L1"]
+    # Speedups stay above 1 at every latency.
+    assert all(r["speedup"] > 1.0 for r in rows)

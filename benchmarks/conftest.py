@@ -1,0 +1,59 @@
+"""Shared fixtures for the per-figure/table benchmark harness.
+
+Experiment data is computed once per session (the drivers memoize runs
+internally) so individual benchmarks stay fast; ``--benchmark-only``
+times the underlying simulation work via representative payloads.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.harness import experiments
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    yield
+
+
+def save_result(name, payload):
+    """Persist an experiment's rows next to the benchmarks."""
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+    return path
+
+
+@pytest.fixture(scope="session")
+def fig1_rows():
+    return experiments.fig1_speedup()
+
+
+@pytest.fixture(scope="session")
+def fig2_rows():
+    return experiments.fig2_latency_speedup()
+
+
+@pytest.fixture(scope="session")
+def fig3_rows():
+    return experiments.fig3_energy()
+
+
+@pytest.fixture(scope="session")
+def table3_rows():
+    return experiments.table3_sqnr()
+
+
+@pytest.fixture(scope="session")
+def fig4_data():
+    return experiments.fig4_breakdown()
+
+
+@pytest.fixture(scope="session")
+def fig6_rows():
+    return experiments.fig6_mixed_precision()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Explore the smallFloat ISA extensions: encodings, aliasing tricks.
+
+Run:  python examples/inspect_isa.py
+"""
+
+from collections import Counter
+
+from repro.isa import all_specs, decode, disassemble, encode, spec_by_mnemonic
+
+
+def main() -> None:
+    specs = all_specs()
+    by_ext = Counter(spec.ext for spec in specs)
+    print(f"{len(specs)} instructions registered:")
+    for ext, count in sorted(by_ext.items()):
+        print(f"  {ext:<8s} {count}")
+
+    print("\nencodings of one instruction per extension:")
+    for mnemonic in ("add", "mul", "fadd.s", "fadd.h", "fadd.ah", "fadd.b",
+                     "vfadd.h", "vfcpka.h.s", "fmacex.s.h", "vfdotpex.s.b"):
+        spec = spec_by_mnemonic(mnemonic)
+        word = encode(spec, rd=10, rs1=11, rs2=12, rm=0)
+        print(f"  {word:#010x}  {disassemble(word):<28s} [{spec.ext}]")
+
+    print("\nthe rounding-mode aliasing trick (Section III-A):")
+    spec = spec_by_mnemonic("fadd.h")
+    for rm, label in [(0b000, "rne"), (0b001, "rtz"), (0b101, "<- alt!")]:
+        word = encode(spec, rd=10, rs1=11, rs2=12, rm=rm)
+        print(f"  fadd.h with rm={rm:03b}: decodes as "
+              f"{decode(word).mnemonic:<10s} {label}")
+
+    print("\nbinary8 repurposes the quad-precision format field:")
+    for mnemonic in ("fadd.s", "fadd.h", "fadd.b"):
+        spec = spec_by_mnemonic(mnemonic)
+        print(f"  {mnemonic:<8s} fmt field = {spec.funct7 & 0b11:02b}")
+
+
+if __name__ == "__main__":
+    main()

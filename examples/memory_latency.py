@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Memory-latency sweep: speedup and energy at L1/L2/L3 (Figs. 2-3).
+
+Run:  python examples/memory_latency.py
+"""
+
+from repro.harness.experiments import (
+    fig2_latency_gains,
+    fig2_latency_speedup,
+    fig3_average_savings,
+    fig3_energy,
+)
+
+
+def main() -> None:
+    rows = fig2_latency_speedup(benchmarks=["gemm", "atax", "fdtd2d"])
+    print("speedup vs float at the same latency (manual builds):")
+    print(f"  {'bench':<8s}{'type':<10s}{'L1':>6s}{'L2':>6s}{'L3':>6s}")
+    for bench in ("gemm", "atax", "fdtd2d"):
+        for ftype in ("float16", "float8"):
+            values = [r["speedup"] for r in rows
+                      if r["benchmark"] == bench and r["ftype"] == ftype]
+            print(f"  {bench:<8s}{ftype:<10s}"
+                  + "".join(f"{v:6.2f}" for v in values))
+
+    gains = fig2_latency_gains(rows)
+    print("\nspeedup gain of slower memories over L1 (paper Fig. 2):")
+    for ftype, gain in gains.items():
+        print(f"  {ftype}: L2 {gain['L2_vs_L1']:+.1%}, "
+              f"L3 {gain['L3_vs_L1']:+.1%}")
+
+    energy = fig3_energy(benchmarks=["gemm", "atax", "fdtd2d"])
+    savings = fig3_average_savings(energy)
+    print("\naverage energy saving vs float (paper Fig. 3):")
+    for ftype, by_level in savings.items():
+        levels = ", ".join(f"{k} {v:.0%}" for k, v in by_level.items())
+        print(f"  {ftype}: {levels}")
+
+
+if __name__ == "__main__":
+    main()

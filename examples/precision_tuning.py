@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Automatic precision tuning of the gesture SVM (paper Section V-C).
+
+A dynamic tuner searches variable-to-type assignments under a
+quality-of-result constraint.  With zero classification errors allowed,
+it keeps a binary32 accumulator and float16 everywhere else; tolerating
+~5% errors moves the accumulator to float16alt -- whose binary32-like
+*range* (not precision) is what the accumulation needs.
+
+Run:  python examples/precision_tuning.py
+"""
+
+from repro.tuning import (
+    evaluate_assignment,
+    make_gesture_case,
+    run_case_study,
+)
+
+
+def main() -> None:
+    case = make_gesture_case()
+    print(f"gesture case: {case.samples.shape[0]} samples, "
+          f"{case.weights.shape[0]} classes, "
+          f"{case.weights.shape[1]} features")
+
+    print("\nerror rate per accumulator type (data fixed at float16):")
+    for acc in ("float", "float16alt", "float16", "float8"):
+        assignment = {"inputs": "float16", "weights": "float16",
+                      "intermediate": "float16", "accumulator": acc}
+        err = evaluate_assignment(case, assignment)
+        note = "<- overflows: partial sums exceed 65504" \
+            if acc == "float16" else ""
+        print(f"  {acc:<12s} {err:7.1%}  {note}")
+
+    results = run_case_study(case)
+    for label, result in results.items():
+        print(f"\n{label} constraint:")
+        print(f"  tuned assignment: {result.assignment}")
+        print(f"  classification error: {result.qor:.1%}")
+        print(f"  cost (total bits): {result.cost:.0f}")
+        print(f"  evaluations used: {result.evaluations}")
+        print("  search trace:")
+        for assignment, qor, ok in result.history:
+            verdict = "ok " if ok else "REJ"
+            print(f"    [{verdict}] {assignment} -> {qor:.1%}")
+
+
+if __name__ == "__main__":
+    main()

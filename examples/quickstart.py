@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: smallFloat values, ISA encodings and a first simulation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.fp import (
+    BINARY8,
+    BINARY16,
+    BINARY16ALT,
+    BINARY32,
+    SmallFloat,
+    supported_vector_formats,
+)
+from repro.fp.convert import from_double, to_double
+from repro.isa import assemble, disassemble
+from repro.sim import Simulator
+
+
+def arithmetic_demo() -> None:
+    print("== smallFloat arithmetic (bit-exact softfloat) ==")
+    a = SmallFloat.from_float(1.5, BINARY16)
+    b = SmallFloat.from_float(0.1, BINARY16)
+    print(f"  binary16: 1.5 + 0.1       = {float(a + b)!r}  "
+          f"(0.1 quantizes to {float(b)!r})")
+    c8 = SmallFloat.from_float(1.5, BINARY8)
+    print(f"  binary8:  1.5 * 1.5       = {float(c8 * c8)!r}  "
+          f"(2-bit mantissa!)")
+    big = SmallFloat.from_float(100000.0, BINARY16)
+    alt = SmallFloat.from_float(100000.0, BINARY16ALT)
+    print(f"  binary16:    100000.0     = {float(big)!r} (overflows)")
+    print(f"  binary16alt: 100000.0     = {float(alt)!r} (binary32 range)")
+
+    print("\n== Table II: SIMD lanes per FP register width ==")
+    for flen in (64, 32, 16):
+        print(f"  FLEN={flen}: {supported_vector_formats(flen)}")
+
+
+def simulation_demo() -> None:
+    print("\n== Assemble and simulate a smallFloat SIMD kernel ==")
+    source = """
+    # Sum two packed binary16 vectors from memory (one SIMD add).
+    main:
+        lw   a2, 0(a0)        # two f16 lanes
+        lw   a3, 0(a1)
+        vfadd.h a2, a2, a3    # lane-wise add (Xfvec)
+        vfdotpex.s.h a4, a2, a5   # expanding dot product (Xfaux)
+        mv   a0, a4
+        ret
+    """
+    program = assemble(source)
+    for addr, word in enumerate(program.words):
+        print(f"  {4 * addr:#06x}: {word:#010x}  {disassemble(word)}")
+
+    sim = Simulator(program)
+    mem = sim.machine.memory
+    mem.write_u16(0x2000, from_double(1.5, BINARY16))
+    mem.write_u16(0x2002, from_double(2.0, BINARY16))
+    mem.write_u16(0x3000, from_double(0.5, BINARY16))
+    mem.write_u16(0x3002, from_double(1.0, BINARY16))
+    ones = (from_double(1.0, BINARY16) << 16) | from_double(1.0, BINARY16)
+    result = sim.run("main", args={10: 0x2000, 11: 0x3000, 15: ones, 14: 0})
+
+    total = to_double(sim.machine.read_f(10, 32), BINARY32)
+    print(f"  (1.5+0.5) + (2.0+1.0) = {total}")
+    print(f"  retired {result.instret} instructions "
+          f"in {result.cycles} cycles")
+    print(f"  instruction mix: {dict(result.trace.by_mnemonic)}")
+
+
+if __name__ == "__main__":
+    arithmetic_demo()
+    simulation_demo()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""EMG gesture recognition with an SVM at multiple precisions.
+
+Reproduces the paper's application scenario (Sections V-A/V-C): a
+multi-class linear SVM classifying gesture feature vectors, compiled
+for the smallFloat ISA and simulated cycle by cycle.  Compares uniform
+type substitution against the precision-tuned mixed scheme (Fig. 6).
+
+Run:  python examples/svm_gesture.py
+"""
+
+from repro.harness import run_kernel
+from repro.kernels import KERNELS
+
+
+def main() -> None:
+    base = run_kernel(KERNELS["svm"], "float", "scalar")
+    print("gesture SVM, binary32 baseline:")
+    print(f"  cycles {base.cycles}, energy {base.energy.total / 1e3:.1f} nJ,"
+          f" classification error {base.classification_error():.1%}")
+
+    print(f"\n{'scheme':<22s}{'speedup':>8s}{'energy':>8s}{'error':>8s}"
+          f"{'score SQNR':>12s}")
+
+    def report(label, run):
+        print(f"{label:<22s}{base.cycles / run.cycles:8.2f}"
+              f"{run.energy.total / base.energy.total:8.2f}"
+              f"{run.classification_error():8.1%}"
+              f"{run.sqnr_db('scores'):12.1f}")
+
+    report("uniform float16", run_kernel(KERNELS["svm"], "float16", "auto"))
+    report("uniform float8", run_kernel(KERNELS["svm"], "float8", "auto"))
+    report("mixed f16 (auto)",
+           run_kernel(KERNELS["svm_mixed"], "float16", "auto"))
+    report("mixed f16 (manual)",
+           run_kernel(KERNELS["svm_mixed"], "float16", "manual"))
+
+    manual = run_kernel(KERNELS["svm_mixed"], "float16", "manual")
+    print("\nmanual inner loop uses the Xfaux expanding dot product:")
+    for line in manual.asm.splitlines():
+        if "vfdotpex" in line:
+            print(" ", line.strip())
+    print("\ninstruction breakdown (mixed, manual):")
+    print(" ", manual.trace.merged_breakdown())
+
+
+if __name__ == "__main__":
+    main()

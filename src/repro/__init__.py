@@ -1,0 +1,17 @@
+"""Reproduction of "Design and Evaluation of SmallFloat SIMD extensions
+to the RISC-V ISA" (Tagliavini, Mach, Rossi, Marongiu, Benini -- DATE 2019).
+
+Subpackages:
+
+* :mod:`repro.fp`       -- bit-exact smallFloat arithmetic + SIMD (FPnew model)
+* :mod:`repro.isa`      -- RV32IMFC encodings + smallFloat extensions
+* :mod:`repro.sim`      -- instruction-set simulator with RISCY-like timing
+* :mod:`repro.energy`   -- UMC65-calibrated per-instruction energy model
+* :mod:`repro.compiler` -- C-subset kernel compiler with auto-vectorization
+* :mod:`repro.kernels`  -- Polybench + SVM benchmark programs
+* :mod:`repro.metrics`  -- SQNR and classification-accuracy metrics
+* :mod:`repro.tuning`   -- automatic precision tuning
+* :mod:`repro.harness`  -- per-figure/table experiment drivers
+"""
+
+__version__ = "1.0.0"

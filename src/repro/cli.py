@@ -1,0 +1,212 @@
+"""Command-line interface: assemble, disassemble, simulate, reproduce.
+
+Installed as ``python -m repro``.  Subcommands:
+
+* ``asm FILE``            -- assemble to a hex listing
+* ``dis WORD [WORD...]``  -- disassemble instruction words
+* ``run FILE``            -- assemble and simulate a program
+* ``kernel NAME``         -- run one benchmark configuration
+* ``experiments [NAME]``  -- regenerate paper tables/figures
+* ``tune``                -- run the precision-tuning case study
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_asm(args: argparse.Namespace) -> int:
+    from .isa import assemble, disassemble
+
+    with open(args.file) as handle:
+        program = assemble(handle.read())
+    for index, word in enumerate(program.words):
+        addr = program.text_base + 4 * index
+        print(f"{addr:08x}: {word:08x}  {disassemble(word, addr)}")
+    if program.data:
+        print(f"# data section: {len(program.data)} bytes at "
+              f"{program.data_base:#x}")
+    for symbol, addr in sorted(program.symbols.items(), key=lambda s: s[1]):
+        print(f"# {symbol} = {addr:#x}")
+    return 0
+
+
+def _cmd_dis(args: argparse.Namespace) -> int:
+    from .isa import disassemble
+
+    for text in args.words:
+        word = int(text, 16) if text.lower().startswith("0x") else int(text)
+        print(f"{word:08x}  {disassemble(word)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .isa import assemble
+    from .isa.registers import parse_xreg, xreg_name
+    from .sim import Simulator
+
+    with open(args.file) as handle:
+        program = assemble(handle.read())
+    sim = Simulator(program, mem_latency=args.latency)
+    regs = {}
+    for spec in args.reg or []:
+        name, _, value = spec.partition("=")
+        regs[parse_xreg(name)] = int(value, 0) & 0xFFFFFFFF
+    entry = args.entry if args.entry in program.symbols else 0
+    result = sim.run(entry, args=regs, max_instructions=args.max_instructions)
+    print(f"exit: {result.exit_reason}, {result.instret} instructions, "
+          f"{result.cycles} cycles")
+    for reg in range(10, 18):  # a0-a7
+        value = sim.machine.read_x(reg)
+        if value:
+            print(f"  {xreg_name(reg)} = {value:#010x} ({value})")
+    if args.breakdown:
+        for category, count in result.trace.breakdown().items():
+            if count:
+                print(f"  {category:<10s} {count}")
+    return 0
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    from .harness import run_kernel
+    from .kernels import KERNELS
+
+    if args.name not in KERNELS:
+        print(f"unknown kernel {args.name!r}; choose from "
+              f"{sorted(KERNELS)}", file=sys.stderr)
+        return 1
+    run = run_kernel(KERNELS[args.name], args.ftype, args.mode,
+                     mem_latency=args.latency, seed=args.seed)
+    print(f"{args.name} [{args.ftype}, {args.mode}, latency={args.latency}]")
+    print(f"  cycles:  {run.cycles}")
+    print(f"  instret: {run.instret}")
+    print(f"  energy:  {run.energy.total / 1e3:.2f} nJ "
+          f"(ops {run.energy.op_energy / 1e3:.2f}, "
+          f"mem {run.energy.mem_energy / 1e3:.2f}, "
+          f"background {run.energy.background_energy / 1e3:.2f})")
+    print(f"  SQNR:    {run.sqnr_db():.1f} dB")
+    if args.asm:
+        print(run.asm)
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .harness import experiments as E
+
+    name = args.name
+    if name in ("table2", "all"):
+        print("Table II (lanes per format):")
+        for flen, row in E.table2_vector_formats().items():
+            print(f"  FLEN={flen}: {row}")
+    if name in ("fig1", "all"):
+        print("Fig. 1 (speedup averages):")
+        for row in E.fig1_speedup():
+            if row["benchmark"] == "average":
+                print(f"  {row['ftype']:<12s} {row['mode']:<7s} "
+                      f"{row['speedup']:.2f}x")
+    if name in ("fig2", "all"):
+        print("Fig. 2 (latency gains over L1):")
+        for ftype, gains in E.fig2_latency_gains().items():
+            print(f"  {ftype}: L2 {gains['L2_vs_L1']:+.1%}, "
+                  f"L3 {gains['L3_vs_L1']:+.1%}")
+    if name in ("fig3", "all"):
+        print("Fig. 3 (energy savings vs float):")
+        for ftype, savings in E.fig3_average_savings().items():
+            row = ", ".join(f"{k} {v:.0%}" for k, v in savings.items())
+            print(f"  {ftype}: {row}")
+    if name in ("table3", "all"):
+        print("Table III (SQNR dB):")
+        for row in E.table3_sqnr():
+            print(f"  {row['benchmark']:<8s} {row['ftype']:<12s} "
+                  f"{row['sqnr_db']:6.1f}")
+    if name in ("fig4", "all"):
+        print("Fig. 4 (SVM instruction breakdown):")
+        for variant, counts in E.fig4_breakdown().items():
+            print(f"  {variant}: {counts}")
+    if name in ("fig5", "all"):
+        result = E.fig5_codegen()
+        print(f"Fig. 5: auto {result['auto_loop_instructions']} vs manual "
+              f"{result['manual_loop_instructions']} loop instructions "
+              f"({result['reduction']:.0%} reduction)")
+    if name in ("fig6", "all"):
+        print("Fig. 6 (mixed precision):")
+        for row in E.fig6_mixed_precision():
+            print(f"  {row['scheme']:<15s} speedup {row['speedup']:.2f}, "
+                  f"energy {row['energy_normalized']:.2f}, "
+                  f"error {row['classification_error']:.1%}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .tuning import make_gesture_case, run_case_study
+
+    case = make_gesture_case(seed=args.seed)
+    for label, result in run_case_study(case).items():
+        print(f"{label}: {result.assignment} "
+              f"(error {result.qor:.1%}, {result.evaluations} evaluations)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="smallFloat RISC-V reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_asm = sub.add_parser("asm", help="assemble a file to a hex listing")
+    p_asm.add_argument("file")
+    p_asm.set_defaults(func=_cmd_asm)
+
+    p_dis = sub.add_parser("dis", help="disassemble instruction words")
+    p_dis.add_argument("words", nargs="+", metavar="WORD")
+    p_dis.set_defaults(func=_cmd_dis)
+
+    p_run = sub.add_parser("run", help="assemble and simulate a program")
+    p_run.add_argument("file")
+    p_run.add_argument("--entry", default="main")
+    p_run.add_argument("--latency", type=int, default=1,
+                       help="data-memory latency in cycles (1/10/100)")
+    p_run.add_argument("--reg", action="append", metavar="NAME=VALUE",
+                       help="initial register value, e.g. --reg a0=5")
+    p_run.add_argument("--breakdown", action="store_true",
+                       help="print the instruction-category histogram")
+    p_run.add_argument("--max-instructions", type=int, default=50_000_000)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_kernel = sub.add_parser("kernel", help="run one benchmark kernel")
+    p_kernel.add_argument("name")
+    p_kernel.add_argument("--ftype", default="float16",
+                          choices=["float", "float16", "float16alt",
+                                   "float8"])
+    p_kernel.add_argument("--mode", default="auto",
+                          choices=["scalar", "auto", "manual"])
+    p_kernel.add_argument("--latency", type=int, default=1)
+    p_kernel.add_argument("--seed", type=int, default=0)
+    p_kernel.add_argument("--asm", action="store_true",
+                          help="print the generated assembly")
+    p_kernel.set_defaults(func=_cmd_kernel)
+
+    p_exp = sub.add_parser("experiments",
+                           help="regenerate paper tables/figures")
+    p_exp.add_argument("name", nargs="?", default="all",
+                       choices=["all", "table2", "table3", "fig1", "fig2",
+                                "fig3", "fig4", "fig5", "fig6"])
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_tune = sub.add_parser("tune", help="precision-tuning case study")
+    p_tune.add_argument("--seed", type=int, default=42)
+    p_tune.set_defaults(func=_cmd_tune)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,176 @@
+"""Abstract syntax tree of the kernel language.
+
+Expression nodes carry a ``ty`` attribute filled by the semantic pass;
+the vectorizer and code generator rely on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .typesys import Type
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Expr:
+    ty: Optional[Type] = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """Array element access ``base[index]`` (base is a pointer)."""
+
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class LaneRef(Expr):
+    """Vector lane access ``v[lane]`` on a vector-typed variable."""
+
+    base: Expr = None
+    lane: int = 0
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+    #: Set by the vectorizer: the right operand is a scalar broadcast
+    #: into every lane (codegen emits the ``.r`` replicating variant).
+    repl: bool = False
+
+
+@dataclass
+class UnOp(Expr):
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class Cast(Expr):
+    target: Type = None
+    operand: Expr = None
+    #: Inserted by the semantic pass (vs. written by the programmer).
+    implicit: bool = False
+
+
+@dataclass
+class Call(Expr):
+    """An intrinsic call (the language has no user-defined calls)."""
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class Stmt:
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Decl(Stmt):
+    name: str = ""
+    ty: Type = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` (compound ops are desugared by the parser)."""
+
+    target: Expr = None  # Var, Index or LaneRef
+    value: Expr = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: Block = None
+    otherwise: Optional[Block] = None
+
+
+@dataclass
+class For(Stmt):
+    """C-style ``for (init; cond; step) body``.
+
+    ``init`` and ``step`` are single statements (or None); the
+    vectorizer pattern-matches canonical counted loops here.
+    """
+
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: Block = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: Block = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+@dataclass
+class Param:
+    name: str
+    ty: Type
+
+
+@dataclass
+class Function:
+    name: str
+    params: List[Param]
+    return_type: Type
+    body: Block
+
+
+@dataclass
+class Module:
+    functions: List[Function]
+
+    def function(self, name: str) -> Function:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function {name!r}")

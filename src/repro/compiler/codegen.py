@@ -1,0 +1,645 @@
+"""AST -> RISC-V assembly for the smallFloat-extended ISA.
+
+The target is the paper's PULP RISCY configuration with the merged
+integer/FP register file, so every value -- integer, scalar smallFloat
+or packed vector -- lives in an x register.  Narrow FP scalars occupy
+the low bits of their register (zero-extended), exactly as the SIMD lane
+layout expects.
+
+Register conventions:
+
+* parameters stay in their incoming ``a0..a7`` registers (pinned);
+* locals are allocated from ``s0..s11`` then free ``a``/``t`` registers,
+  spilling to the stack beyond that;
+* expression evaluation draws scratch registers from ``t0..t6``.
+
+Kernels are compiled as leaf entry points called by the simulation
+harness, so no callee-saved registers are preserved (documented in
+DESIGN.md); the harness treats every register as clobbered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..fp.convert import from_double
+from .astnodes import (
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Cast,
+    Decl,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    Function,
+    If,
+    Index,
+    IntLit,
+    LaneRef,
+    Return,
+    Stmt,
+    UnOp,
+    Var,
+    While,
+)
+from .intrinsics import INTRINSICS
+from .typesys import (
+    FLOAT,
+    INT,
+    VOID,
+    FloatType,
+    IntType,
+    PtrType,
+    Type,
+    VecType,
+    is_float,
+    is_vector,
+)
+
+# Register numbers (ABI names in comments).
+_ARG_REGS = list(range(10, 18))  # a0-a7
+_LOCAL_POOL = [8, 9] + list(range(18, 28))  # s0-s11
+_EXTRA_LOCAL_POOL = [28, 29]  # t3, t4 when s-regs run out
+_SCRATCH_POOL = [5, 6, 7, 30, 31]  # t0-t2, t5, t6
+
+_REG_NAMES = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+]
+
+
+class CodegenError(Exception):
+    """Resource exhaustion or an unsupported construct."""
+
+
+def _reg(num: int) -> str:
+    return _REG_NAMES[num]
+
+
+def _load_mnemonic(ty: Type) -> str:
+    if isinstance(ty, (IntType, PtrType, VecType)):
+        return "lw"
+    if isinstance(ty, FloatType):
+        return {4: "lw", 2: "lhu", 1: "lbu"}[ty.size]
+    raise CodegenError(f"cannot load a {ty}")
+
+
+def _store_mnemonic(ty: Type) -> str:
+    if isinstance(ty, (IntType, PtrType, VecType)):
+        return "sw"
+    if isinstance(ty, FloatType):
+        return {4: "sw", 2: "sh", 1: "sb"}[ty.size]
+    raise CodegenError(f"cannot store a {ty}")
+
+
+class _FunctionCodegen:
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.lines: List[str] = []
+        self.labels = 0
+        self.var_reg: Dict[str, int] = {}
+        self.var_stack: Dict[str, int] = {}
+        self.frame_size = 0
+        self._free_locals = list(_LOCAL_POOL) + list(_EXTRA_LOCAL_POOL)
+        self._free_scratch = list(_SCRATCH_POOL)
+        self._var_types: Dict[str, Type] = {}
+
+    # ------------------------------------------------------------------
+    # Infrastructure
+    # ------------------------------------------------------------------
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def new_label(self, hint: str) -> str:
+        self.labels += 1
+        return f"L_{self.fn.name}_{hint}_{self.labels}"
+
+    def take_scratch(self) -> int:
+        if not self._free_scratch:
+            raise CodegenError(
+                f"{self.fn.name}: expression too deep (out of scratch "
+                "registers)"
+            )
+        return self._free_scratch.pop(0)
+
+    def release(self, reg: int, owned: bool) -> None:
+        if owned:
+            self._free_scratch.insert(0, reg)
+
+    # ------------------------------------------------------------------
+    # Variable locations
+    # ------------------------------------------------------------------
+    def declare_var(self, name: str, ty: Type) -> None:
+        self._var_types[name] = ty
+        if self._free_locals:
+            self.var_reg[name] = self._free_locals.pop(0)
+        else:
+            self.var_stack[name] = self.frame_size
+            self.frame_size += 4
+
+    def var_type(self, name: str) -> Type:
+        return self._var_types[name]
+
+    def read_var(self, name: str) -> Tuple[int, bool]:
+        """Register holding the variable's value (+ ownership flag)."""
+        if name in self.var_reg:
+            return self.var_reg[name], False
+        reg = self.take_scratch()
+        self.emit(f"lw {_reg(reg)}, {self.var_stack[name]}(sp)")
+        return reg, True
+
+    def write_var(self, name: str, src: int) -> None:
+        if name in self.var_reg:
+            if self.var_reg[name] != src:
+                self.emit(f"mv {_reg(self.var_reg[name])}, {_reg(src)}")
+        else:
+            self.emit(f"sw {_reg(src)}, {self.var_stack[name]}(sp)")
+
+    def var_home(self, name: str) -> Optional[int]:
+        """The variable's pinned register, or None when stack-resident."""
+        return self.var_reg.get(name)
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def generate(self) -> List[str]:
+        fn = self.fn
+        if len(fn.params) > len(_ARG_REGS):
+            raise CodegenError(f"{fn.name}: more than 8 parameters")
+        for index, param in enumerate(fn.params):
+            self.var_reg[param.name] = _ARG_REGS[index]
+            self._var_types[param.name] = param.ty
+        # Argument registers beyond the parameter list join the scratch
+        # pool (they are caller-saved and otherwise dead).
+        self._free_scratch += _ARG_REGS[len(fn.params):]
+
+        body_lines_start = len(self.lines)
+        self.gen_block(fn.body)
+        if not self.lines or not self.lines[-1].strip() == "ret":
+            self.emit("ret")
+
+        header = [f"{fn.name}:"]
+        if self.frame_size:
+            header.append(f"    addi sp, sp, -{self.frame_size}")
+            # Patch every ret to restore sp first.
+            patched: List[str] = []
+            for line in self.lines[body_lines_start:]:
+                if line.strip() == "ret":
+                    patched.append(f"    addi sp, sp, {self.frame_size}")
+                patched.append(line)
+            self.lines[body_lines_start:] = patched
+        return header + self.lines
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def gen_block(self, block: Block) -> None:
+        for stmt in block.stmts:
+            self.gen_stmt(stmt)
+
+    def gen_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            self.gen_block(stmt)
+        elif isinstance(stmt, Decl):
+            self.declare_var(stmt.name, stmt.ty)
+            if stmt.init is not None:
+                home = self.var_home(stmt.name)
+                if home is not None:
+                    self.eval_into(home, stmt.init)
+                else:
+                    reg, owned = self.eval(stmt.init)
+                    self.write_var(stmt.name, reg)
+                    self.release(reg, owned)
+        elif isinstance(stmt, Assign):
+            self.gen_assign(stmt)
+        elif isinstance(stmt, If):
+            self.gen_if(stmt)
+        elif isinstance(stmt, While):
+            self.gen_while(stmt)
+        elif isinstance(stmt, For):
+            self.gen_for(stmt)
+        elif isinstance(stmt, Return):
+            if stmt.value is not None:
+                self.eval_into(10, stmt.value)  # a0
+            self.emit("ret")
+        elif isinstance(stmt, ExprStmt):
+            reg, owned = self.eval(stmt.expr)
+            self.release(reg, owned)
+        else:
+            raise CodegenError(f"unhandled statement {type(stmt).__name__}")
+
+    def gen_assign(self, stmt: Assign) -> None:
+        target = stmt.target
+        if isinstance(target, Var):
+            home = self.var_home(target.name)
+            if home is not None:
+                self.eval_into(home, stmt.value)
+            else:
+                reg, owned = self.eval(stmt.value)
+                self.write_var(target.name, reg)
+                self.release(reg, owned)
+            return
+        if isinstance(target, Index):
+            addr, addr_owned, offset = self.eval_address(target)
+            value, value_owned = self.eval(stmt.value)
+            store = _store_mnemonic(target.ty)
+            self.emit(f"{store} {_reg(value)}, {offset}({_reg(addr)})")
+            self.release(value, value_owned)
+            self.release(addr, addr_owned)
+            return
+        if isinstance(target, LaneRef):
+            self.gen_lane_store(target, stmt.value)
+            return
+        raise CodegenError(f"cannot assign to {type(target).__name__}")
+
+    def gen_lane_store(self, target: LaneRef, value: Expr) -> None:
+        """Insert a scalar into one lane of a vector variable."""
+        if not isinstance(target.base, Var):
+            raise CodegenError("lane stores need a vector variable")
+        vec_ty: VecType = target.base.ty
+        width = vec_ty.elem.fmt.width
+        shift = target.lane * width
+        value_reg, value_owned = self.eval(value)
+        vec_reg, vec_owned = self.read_var(target.base.name)
+        mask = ((1 << width) - 1) << shift
+        tmp = self.take_scratch()
+        self.emit(f"li {_reg(tmp)}, {(~mask) & 0xFFFFFFFF}")
+        self.emit(f"and {_reg(vec_reg)}, {_reg(vec_reg)}, {_reg(tmp)}")
+        if shift:
+            self.emit(f"slli {_reg(tmp)}, {_reg(value_reg)}, {shift}")
+            self.emit(f"or {_reg(vec_reg)}, {_reg(vec_reg)}, {_reg(tmp)}")
+        else:
+            self.emit(f"or {_reg(vec_reg)}, {_reg(vec_reg)}, {_reg(value_reg)}")
+        self.release(tmp, True)
+        self.write_var(target.base.name, vec_reg)
+        self.release(vec_reg, vec_owned)
+        self.release(value_reg, value_owned)
+
+    def gen_if(self, stmt: If) -> None:
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif")
+        self.branch_if_false(stmt.cond,
+                             else_label if stmt.otherwise else end_label)
+        self.gen_block(stmt.then)
+        if stmt.otherwise is not None:
+            self.emit(f"j {end_label}")
+            self.emit_label(else_label)
+            self.gen_block(stmt.otherwise)
+        self.emit_label(end_label)
+
+    def gen_while(self, stmt: While) -> None:
+        head = self.new_label("while")
+        end = self.new_label("endwhile")
+        self.emit_label(head)
+        self.branch_if_false(stmt.cond, end)
+        self.gen_block(stmt.body)
+        self.emit(f"j {head}")
+        self.emit_label(end)
+
+    def gen_for(self, stmt: For) -> None:
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        head = self.new_label("for")
+        end = self.new_label("endfor")
+        self.emit_label(head)
+        if stmt.cond is not None:
+            self.branch_if_false(stmt.cond, end)
+        self.gen_block(stmt.body)
+        if stmt.step is not None:
+            self.gen_stmt(stmt.step)
+        self.emit(f"j {head}")
+        self.emit_label(end)
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    _INT_INVERSE = {"<": "bge", "<=": "bgt", ">": "ble", ">=": "blt",
+                    "==": "bne", "!=": "beq"}
+
+    def branch_if_false(self, cond: Expr, label: str) -> None:
+        if isinstance(cond, BinOp) and cond.op in self._INT_INVERSE:
+            if isinstance(cond.left.ty, IntType):
+                left, lo = self.eval(cond.left)
+                right, ro = self.eval(cond.right)
+                self.emit(
+                    f"{self._INT_INVERSE[cond.op]} {_reg(left)}, "
+                    f"{_reg(right)}, {label}"
+                )
+                self.release(right, ro)
+                self.release(left, lo)
+                return
+        if isinstance(cond, UnOp) and cond.op == "!":
+            reg, owned = self.eval(cond.operand)
+            self.emit(f"bnez {_reg(reg)}, {label}")
+            self.release(reg, owned)
+            return
+        reg, owned = self.eval(cond)
+        self.emit(f"beqz {_reg(reg)}, {label}")
+        self.release(reg, owned)
+
+    # ------------------------------------------------------------------
+    # Addresses
+    # ------------------------------------------------------------------
+    def eval_address(self, expr: Index) -> Tuple[int, bool, int]:
+        """Compute the address of an array element.
+
+        Returns ``(base_register, owned, constant_offset)``.
+
+        The stride comes from the *pointer's* element type: a
+        vector-typed access produced by the auto-vectorizer still
+        indexes in scalar elements (``float16v`` loads advance by 2-byte
+        lanes times the lane index).
+        """
+        elem_size = expr.base.ty.elem.size
+        base, base_owned = self.eval(expr.base)
+        if isinstance(expr.index, IntLit):
+            offset = expr.index.value * elem_size
+            if -2048 <= offset <= 2047:
+                return base, base_owned, offset
+        index, index_owned = self.eval(expr.index)
+        out = index if index_owned else self.take_scratch()
+        shift = {1: 0, 2: 1, 4: 2}[elem_size]
+        if shift:
+            self.emit(f"slli {_reg(out)}, {_reg(index)}, {shift}")
+            self.emit(f"add {_reg(out)}, {_reg(base)}, {_reg(out)}")
+        else:
+            self.emit(f"add {_reg(out)}, {_reg(base)}, {_reg(index)}")
+        if not index_owned:
+            pass  # out is a fresh scratch we own
+        self.release(base, base_owned)
+        return out, True, 0
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def eval(self, expr: Expr) -> Tuple[int, bool]:
+        """Evaluate into some register; returns (register, owned)."""
+        if isinstance(expr, Var):
+            return self.read_var(expr.name)
+        if isinstance(expr, LaneRef) and expr.lane == 0:
+            # Lane 0 is the low bits; scalar consumers read it in place.
+            return self.eval(expr.base)
+        reg = self.take_scratch()
+        self._eval_to(reg, expr, rd_safe=True)
+        return reg, True
+
+    def eval_into(self, target: int, expr: Expr) -> None:
+        """Evaluate directly into a specific register."""
+        if isinstance(expr, Var):
+            src, owned = self.read_var(expr.name)
+            if src != target:
+                self.emit(f"mv {_reg(target)}, {_reg(src)}")
+            self.release(src, owned)
+            return
+        self._eval_to(target, expr)
+
+    def _eval_to(self, rd: int, expr: Expr, rd_safe: bool = False) -> None:
+        """Emit code leaving ``expr``'s value in ``rd``.
+
+        ``rd_safe`` marks ``rd`` as a register no other live value can
+        alias (a fresh scratch), letting binary operators evaluate their
+        left operand straight into it -- this keeps long left-leaning
+        expression chains at O(1) register pressure (Sethi-Ullman).
+        """
+        if isinstance(expr, IntLit):
+            self.emit(f"li {_reg(rd)}, {expr.value}")
+            return
+        if isinstance(expr, FloatLit):
+            if isinstance(expr.ty, VecType):
+                lane = from_double(expr.value, expr.ty.elem.fmt)
+                width = expr.ty.elem.fmt.width
+                bits = 0
+                for lane_index in range(expr.ty.lanes):
+                    bits |= lane << (lane_index * width)
+                self.emit(f"li {_reg(rd)}, {bits}  # splat {expr.value}")
+            else:
+                bits = from_double(expr.value, expr.ty.fmt)
+                self.emit(f"li {_reg(rd)}, {bits}  # {expr.value}")
+            return
+        if isinstance(expr, Index):
+            addr, owned, offset = self.eval_address(expr)
+            self.emit(
+                f"{_load_mnemonic(expr.ty)} {_reg(rd)}, {offset}({_reg(addr)})"
+            )
+            self.release(addr, owned)
+            return
+        if isinstance(expr, LaneRef):
+            # Scalar FP instructions read only the low-order format bits
+            # of a register, so extracting lane k is a bare shift (the
+            # exact srli + scalar-op pattern of paper Fig. 5).
+            base, owned = self.eval(expr.base)
+            width = expr.base.ty.elem.fmt.width
+            shift = expr.lane * width
+            if shift:
+                self.emit(f"srli {_reg(rd)}, {_reg(base)}, {shift}")
+            elif base != rd:
+                self.emit(f"mv {_reg(rd)}, {_reg(base)}")
+            self.release(base, owned)
+            return
+        if isinstance(expr, UnOp):
+            self._eval_unop(rd, expr)
+            return
+        if isinstance(expr, BinOp):
+            self._eval_binop(rd, expr, rd_safe)
+            return
+        if isinstance(expr, Cast):
+            self._eval_cast(rd, expr)
+            return
+        if isinstance(expr, Call):
+            self._eval_call(rd, expr)
+            return
+        raise CodegenError(f"unhandled expression {type(expr).__name__}")
+
+    def _eval_unop(self, rd: int, expr: UnOp) -> None:
+        src, owned = self.eval(expr.operand)
+        ty = expr.ty
+        if expr.op == "-":
+            if isinstance(ty, IntType):
+                self.emit(f"neg {_reg(rd)}, {_reg(src)}")
+            elif is_vector(ty):
+                self.emit(f"vfsgnjn.{ty.suffix} {_reg(rd)}, {_reg(src)}, "
+                          f"{_reg(src)}")
+            else:
+                self.emit(f"fsgnjn.{ty.suffix} {_reg(rd)}, {_reg(src)}, "
+                          f"{_reg(src)}")
+        elif expr.op == "!":
+            self.emit(f"seqz {_reg(rd)}, {_reg(src)}")
+        else:
+            raise CodegenError(f"unhandled unary {expr.op!r}")
+        self.release(src, owned)
+
+    _INT_BIN = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem"}
+    _FP_BIN = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+    _VEC_BIN = {"+": "vfadd", "-": "vfsub", "*": "vfmul", "/": "vfdiv"}
+
+    def _left_operand(self, rd: int, expr: BinOp,
+                      rd_safe: bool) -> Tuple[int, bool]:
+        """Evaluate the left operand, reusing ``rd`` when safe."""
+        if rd_safe and not isinstance(expr.left, Var):
+            self._eval_to(rd, expr.left, rd_safe=True)
+            return rd, False
+        return self.eval(expr.left)
+
+    def _eval_binop(self, rd: int, expr: BinOp, rd_safe: bool = False) -> None:
+        op, ty = expr.op, expr.ty
+        if op in ("&&", "||"):
+            left, lo = self.eval(expr.left)
+            right, ro = self.eval(expr.right)
+            self.emit(f"snez {_reg(rd)}, {_reg(left)}")
+            tmp = self.take_scratch()
+            self.emit(f"snez {_reg(tmp)}, {_reg(right)}")
+            mnemonic = "and" if op == "&&" else "or"
+            self.emit(f"{mnemonic} {_reg(rd)}, {_reg(rd)}, {_reg(tmp)}")
+            self.release(tmp, True)
+            self.release(right, ro)
+            self.release(left, lo)
+            return
+        # Pointer arithmetic: offset scales by the element size.
+        if isinstance(ty, PtrType):
+            size = ty.elem.size
+            if isinstance(expr.right, IntLit):
+                imm = expr.right.value * size * (1 if op == "+" else -1)
+                if -2048 <= imm <= 2047:
+                    left, lo = self._left_operand(rd, expr, rd_safe)
+                    self.emit(f"addi {_reg(rd)}, {_reg(left)}, {imm}")
+                    self.release(left, lo)
+                    return
+            left, lo = self._left_operand(rd, expr, rd_safe)
+            right, ro = self.eval(expr.right)
+            shift = {1: 0, 2: 1, 4: 2}[size]
+            mnemonic = "add" if op == "+" else "sub"
+            if shift == 0:
+                self.emit(f"{mnemonic} {_reg(rd)}, {_reg(left)}, {_reg(right)}")
+            else:
+                offset = right if ro else self.take_scratch()
+                self.emit(f"slli {_reg(offset)}, {_reg(right)}, {shift}")
+                self.emit(f"{mnemonic} {_reg(rd)}, {_reg(left)}, "
+                          f"{_reg(offset)}")
+                if not ro:
+                    self.release(offset, True)
+            self.release(right, ro)
+            self.release(left, lo)
+            return
+
+        # Peephole: integer add/sub of a small literal becomes addi.
+        if (isinstance(ty, IntType) and op in ("+", "-")
+                and isinstance(expr.right, IntLit)):
+            imm = expr.right.value if op == "+" else -expr.right.value
+            if -2048 <= imm <= 2047:
+                left, lo = self._left_operand(rd, expr, rd_safe)
+                self.emit(f"addi {_reg(rd)}, {_reg(left)}, {imm}")
+                self.release(left, lo)
+                return
+        left, lo = self._left_operand(rd, expr, rd_safe)
+        right, ro = self.eval(expr.right)
+        operand_ty = expr.left.ty
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            self._eval_compare(rd, op, operand_ty, left, right)
+        elif isinstance(ty, IntType):
+            self.emit(f"{self._INT_BIN[op]} {_reg(rd)}, {_reg(left)}, "
+                      f"{_reg(right)}")
+        elif is_vector(ty):
+            variant = ".r" if getattr(expr, "repl", False) else ""
+            self.emit(f"{self._VEC_BIN[op]}{variant}.{ty.suffix} {_reg(rd)}, "
+                      f"{_reg(left)}, {_reg(right)}")
+        elif is_float(ty):
+            self.emit(f"{self._FP_BIN[op]}.{ty.suffix} {_reg(rd)}, "
+                      f"{_reg(left)}, {_reg(right)}")
+        else:
+            raise CodegenError(f"cannot apply {op!r} to {ty}")
+        self.release(right, ro)
+        self.release(left, lo)
+
+    def _eval_compare(self, rd: int, op: str, ty: Type, left: int,
+                      right: int) -> None:
+        if isinstance(ty, IntType):
+            l, r = _reg(left), _reg(right)
+            if op == "<":
+                self.emit(f"slt {_reg(rd)}, {l}, {r}")
+            elif op == ">":
+                self.emit(f"slt {_reg(rd)}, {r}, {l}")
+            elif op == "<=":
+                self.emit(f"slt {_reg(rd)}, {r}, {l}")
+                self.emit(f"xori {_reg(rd)}, {_reg(rd)}, 1")
+            elif op == ">=":
+                self.emit(f"slt {_reg(rd)}, {l}, {r}")
+                self.emit(f"xori {_reg(rd)}, {_reg(rd)}, 1")
+            elif op == "==":
+                self.emit(f"xor {_reg(rd)}, {l}, {r}")
+                self.emit(f"seqz {_reg(rd)}, {_reg(rd)}")
+            elif op == "!=":
+                self.emit(f"xor {_reg(rd)}, {l}, {r}")
+                self.emit(f"snez {_reg(rd)}, {_reg(rd)}")
+            return
+        if is_float(ty):
+            suffix = ty.suffix
+            l, r = _reg(left), _reg(right)
+            if op == "==":
+                self.emit(f"feq.{suffix} {_reg(rd)}, {l}, {r}")
+            elif op == "!=":
+                self.emit(f"feq.{suffix} {_reg(rd)}, {l}, {r}")
+                self.emit(f"xori {_reg(rd)}, {_reg(rd)}, 1")
+            elif op == "<":
+                self.emit(f"flt.{suffix} {_reg(rd)}, {l}, {r}")
+            elif op == "<=":
+                self.emit(f"fle.{suffix} {_reg(rd)}, {l}, {r}")
+            elif op == ">":
+                self.emit(f"flt.{suffix} {_reg(rd)}, {r}, {l}")
+            elif op == ">=":
+                self.emit(f"fle.{suffix} {_reg(rd)}, {r}, {l}")
+            return
+        raise CodegenError(f"cannot compare {ty}")
+
+    def _eval_cast(self, rd: int, expr: Cast) -> None:
+        src_ty = expr.operand.ty
+        dst_ty = expr.target
+        src, owned = self.eval(expr.operand)
+        if src_ty == dst_ty or (isinstance(src_ty, IntType)
+                                and isinstance(dst_ty, IntType)) or (
+                isinstance(src_ty, PtrType) and isinstance(dst_ty, PtrType)):
+            # Same representation (pointer reinterprets are free).
+            if src != rd:
+                self.emit(f"mv {_reg(rd)}, {_reg(src)}")
+        elif isinstance(src_ty, IntType) and is_float(dst_ty):
+            self.emit(f"fcvt.{dst_ty.suffix}.w {_reg(rd)}, {_reg(src)}")
+        elif is_float(src_ty) and isinstance(dst_ty, IntType):
+            # C semantics: truncation toward zero.
+            self.emit(f"fcvt.w.{src_ty.suffix} {_reg(rd)}, {_reg(src)}, rtz")
+        elif is_float(src_ty) and is_float(dst_ty):
+            self.emit(f"fcvt.{dst_ty.suffix}.{src_ty.suffix} {_reg(rd)}, "
+                      f"{_reg(src)}")
+        else:
+            raise CodegenError(f"unhandled cast {src_ty} -> {dst_ty}")
+        self.release(src, owned)
+
+    def _eval_call(self, rd: int, expr: Call) -> None:
+        intr = INTRINSICS[expr.name]
+        if intr.style in ("dotp", "macex", "cpk2"):
+            # rd is also a source: seed it with the first argument.
+            self.eval_into(rd, expr.args[0])
+            regs: List[Tuple[int, bool]] = []
+            for arg in expr.args[1:]:
+                regs.append(self.eval(arg))
+            operands = ", ".join(_reg(r) for r, _ in regs)
+            self.emit(f"{intr.mnemonic} {_reg(rd)}, {operands}")
+            for r, owned in reversed(regs):
+                self.release(r, owned)
+            return
+        regs = [self.eval(arg) for arg in expr.args]
+        operands = ", ".join(_reg(r) for r, _ in regs)
+        self.emit(f"{intr.mnemonic} {_reg(rd)}, {operands}")
+        for r, owned in reversed(regs):
+            self.release(r, owned)
+
+
+def generate(fn: Function) -> str:
+    """Generate assembly text for one function."""
+    return "\n".join(_FunctionCodegen(fn).generate())

@@ -1,0 +1,91 @@
+"""Compiler intrinsics exposing the Xfvec / Xfaux instructions.
+
+Section IV: "we have provided a set of compiler intrinsics which provide
+access to the operations included in the Xfvec and Xfaux ISA extensions".
+These are what a programmer uses for *manual* vectorization (Fig. 5's
+``__macex_vf16`` corresponds to our ``__dotpex_f16`` / ``__macex_f16``).
+
+Each intrinsic maps to exactly one instruction; the code generator emits
+it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .typesys import (
+    FLOAT,
+    FLOAT8,
+    FLOAT8V,
+    FLOAT16,
+    FLOAT16ALT,
+    FLOAT16ALTV,
+    FLOAT16V,
+    Type,
+)
+
+
+@dataclass(frozen=True)
+class Intrinsic:
+    """Signature and target instruction of one intrinsic."""
+
+    name: str
+    params: Tuple[Type, ...]
+    result: Type
+    mnemonic: str
+    #: 'dotp'/'macex' accumulate into their first argument (rd is a
+    #: source); 'cpk2' modifies its first argument's other lanes.
+    style: str = "plain"
+
+
+INTRINSICS = {
+    i.name: i
+    for i in [
+        # Expanding SIMD dot products (vfdotpex.s.<fmt>).
+        Intrinsic("__dotpex_f16", (FLOAT, FLOAT16V, FLOAT16V), FLOAT,
+                  "vfdotpex.s.h", style="dotp"),
+        Intrinsic("__dotpex_f16alt", (FLOAT, FLOAT16ALTV, FLOAT16ALTV), FLOAT,
+                  "vfdotpex.s.ah", style="dotp"),
+        Intrinsic("__dotpex_f8", (FLOAT, FLOAT8V, FLOAT8V), FLOAT,
+                  "vfdotpex.s.b", style="dotp"),
+        # Expanding scalar multiply-accumulate (fmacex.s.<fmt>).
+        Intrinsic("__macex_f16", (FLOAT, FLOAT16, FLOAT16), FLOAT,
+                  "fmacex.s.h", style="macex"),
+        Intrinsic("__macex_f16alt", (FLOAT, FLOAT16ALT, FLOAT16ALT), FLOAT,
+                  "fmacex.s.ah", style="macex"),
+        Intrinsic("__macex_f8", (FLOAT, FLOAT8, FLOAT8), FLOAT,
+                  "fmacex.s.b", style="macex"),
+        # Expanding multiplies (fmulex.s.<fmt>).
+        Intrinsic("__mulex_f16", (FLOAT16, FLOAT16), FLOAT, "fmulex.s.h"),
+        Intrinsic("__mulex_f8", (FLOAT8, FLOAT8), FLOAT, "fmulex.s.b"),
+        # Cast-and-pack (vfcpka/vfcpkb).
+        Intrinsic("__cpk_f16", (FLOAT, FLOAT), FLOAT16V, "vfcpka.h.s"),
+        Intrinsic("__cpk_f16alt", (FLOAT, FLOAT), FLOAT16ALTV, "vfcpka.ah.s"),
+        Intrinsic("__cpka_f8", (FLOAT8V, FLOAT, FLOAT), FLOAT8V,
+                  "vfcpka.b.s", style="cpk2"),
+        Intrinsic("__cpkb_f8", (FLOAT8V, FLOAT, FLOAT), FLOAT8V,
+                  "vfcpkb.b.s", style="cpk2"),
+        # Square roots.
+        Intrinsic("__sqrt_f32", (FLOAT,), FLOAT, "fsqrt.s"),
+        Intrinsic("__sqrt_f16", (FLOAT16,), FLOAT16, "fsqrt.h"),
+        Intrinsic("__sqrt_f16alt", (FLOAT16ALT,), FLOAT16ALT, "fsqrt.ah"),
+        Intrinsic("__sqrt_f8", (FLOAT8,), FLOAT8, "fsqrt.b"),
+        Intrinsic("__vsqrt_f16", (FLOAT16V,), FLOAT16V, "vfsqrt.h"),
+        Intrinsic("__vsqrt_f8", (FLOAT8V,), FLOAT8V, "vfsqrt.b"),
+        # Min/max.
+        Intrinsic("__fmin_f32", (FLOAT, FLOAT), FLOAT, "fmin.s"),
+        Intrinsic("__fmax_f32", (FLOAT, FLOAT), FLOAT, "fmax.s"),
+        Intrinsic("__fmin_f16", (FLOAT16, FLOAT16), FLOAT16, "fmin.h"),
+        Intrinsic("__fmax_f16", (FLOAT16, FLOAT16), FLOAT16, "fmax.h"),
+        Intrinsic("__vfmin_f16", (FLOAT16V, FLOAT16V), FLOAT16V, "vfmin.h"),
+        Intrinsic("__vfmax_f16", (FLOAT16V, FLOAT16V), FLOAT16V, "vfmax.h"),
+    ]
+}
+
+
+def lookup_intrinsic(name: str) -> Intrinsic:
+    try:
+        return INTRINSICS[name]
+    except KeyError:
+        raise KeyError(f"unknown intrinsic {name!r}") from None

@@ -1,0 +1,57 @@
+"""The compile() driver: source text -> assembled Program.
+
+Mirrors the paper's three build configurations:
+
+* ``vectorize=False`` -- scalar code (possibly using smallFloat scalar
+  instructions, depending on the source's types);
+* ``vectorize=True``  -- the auto-vectorizer pass rewrites eligible
+  loops (Section IV);
+* manual vectorization needs no flag: the programmer writes vector
+  types and intrinsics directly (Fig. 5 right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..isa.assembler import DATA_BASE, TEXT_BASE, Program, assemble
+from .astnodes import Module
+from .codegen import generate
+from .optimize import fold_constants
+from .parser import parse
+from .semantic import analyze
+from .vectorize import VectorizeReport, vectorize
+
+
+@dataclass
+class CompiledKernel:
+    """The result of compiling one translation unit."""
+
+    asm: str
+    program: Program
+    module: Module
+    vector_report: Optional[VectorizeReport] = None
+
+    def entry(self, name: str) -> int:
+        """Address of a compiled function."""
+        return self.program.address_of(name)
+
+
+def compile_source(
+    source: str,
+    vectorize_loops: bool = False,
+    text_base: int = TEXT_BASE,
+    data_base: int = DATA_BASE,
+) -> CompiledKernel:
+    """Compile kernel source down to an assembled program."""
+    module = parse(source)
+    analyze(module)
+    fold_constants(module)
+    report = None
+    if vectorize_loops:
+        report = vectorize(module)
+    asm = "\n".join(generate(fn) for fn in module.functions)
+    program = assemble(asm, text_base=text_base, data_base=data_base)
+    return CompiledKernel(asm=asm, program=program, module=module,
+                          vector_report=report)

@@ -1,0 +1,17 @@
+"""Energy model calibrated to the paper's UMC 65 nm evaluation."""
+
+from .model import (
+    BACKGROUND_PJ_PER_CYCLE,
+    MEM_ACCESS_ENERGY,
+    EnergyModel,
+    EnergyReport,
+    EnergyTable,
+)
+
+__all__ = [
+    "BACKGROUND_PJ_PER_CYCLE",
+    "MEM_ACCESS_ENERGY",
+    "EnergyModel",
+    "EnergyReport",
+    "EnergyTable",
+]

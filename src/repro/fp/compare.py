@@ -1,0 +1,153 @@
+"""Comparisons, min/max, classification and sign injection.
+
+Semantics follow the RISC-V "F" extension, which the smallFloat scalar
+extensions mirror per format (paper Section III-A):
+
+* ``feq`` is a *quiet* comparison (quiet NaNs compare unordered without
+  raising NV); ``flt``/``fle`` are *signaling* (any NaN raises NV).
+* ``fmin``/``fmax`` return the non-NaN operand when exactly one operand
+  is NaN, the canonical NaN when both are, and treat -0 as less than +0.
+* ``fclass`` produces the 10-bit classification mask.
+* ``fsgnj``/``fsgnjn``/``fsgnjx`` are pure bit manipulations.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .flags import NV
+from .formats import FloatFormat
+from .unpacked import Kind, Unpacked, unpack
+
+Result = Tuple[int, int]
+
+
+def _magnitude_cmp(a: Unpacked, b: Unpacked) -> int:
+    """Compare |a| and |b| for finite non-zero values: -1, 0 or +1."""
+    common = min(a.exp, b.exp)
+    ma = a.sig << (a.exp - common)
+    mb = b.sig << (b.exp - common)
+    return (ma > mb) - (ma < mb)
+
+
+def _ordered_cmp(a: Unpacked, b: Unpacked) -> int:
+    """Compare two non-NaN values: -1, 0 or +1.  Zeros compare equal."""
+    if a.is_zero and b.is_zero:
+        return 0
+    if a.is_zero:
+        return 1 if b.sign else -1
+    if b.is_zero:
+        return -1 if a.sign else 1
+    if a.sign != b.sign:
+        return -1 if a.sign else 1
+    if a.is_inf and b.is_inf:
+        return 0
+    if a.is_inf:
+        return -1 if a.sign else 1
+    if b.is_inf:
+        return 1 if b.sign else -1
+    mag = _magnitude_cmp(a, b)
+    return -mag if a.sign else mag
+
+
+def feq(fmt: FloatFormat, a: int, b: int) -> Result:
+    """Quiet equality: result is 0/1 in an integer register."""
+    ua, ub = unpack(a, fmt), unpack(b, fmt)
+    if ua.is_nan or ub.is_nan:
+        flags = NV if (ua.is_snan or ub.is_snan) else 0
+        return 0, flags
+    return int(_ordered_cmp(ua, ub) == 0), 0
+
+
+def flt(fmt: FloatFormat, a: int, b: int) -> Result:
+    """Signaling less-than."""
+    ua, ub = unpack(a, fmt), unpack(b, fmt)
+    if ua.is_nan or ub.is_nan:
+        return 0, NV
+    return int(_ordered_cmp(ua, ub) < 0), 0
+
+
+def fle(fmt: FloatFormat, a: int, b: int) -> Result:
+    """Signaling less-or-equal."""
+    ua, ub = unpack(a, fmt), unpack(b, fmt)
+    if ua.is_nan or ub.is_nan:
+        return 0, NV
+    return int(_ordered_cmp(ua, ub) <= 0), 0
+
+
+def _minmax(fmt: FloatFormat, a: int, b: int, pick_max: bool) -> Result:
+    ua, ub = unpack(a, fmt), unpack(b, fmt)
+    flags = NV if (ua.is_snan or ub.is_snan) else 0
+    if ua.is_nan and ub.is_nan:
+        return fmt.quiet_nan, flags
+    if ua.is_nan:
+        return b, flags
+    if ub.is_nan:
+        return a, flags
+    # -0 orders below +0 for min/max purposes.
+    if ua.is_zero and ub.is_zero and ua.sign != ub.sign:
+        want_neg = not pick_max
+        return (a if (ua.sign == 1) == want_neg else b), flags
+    cmp = _ordered_cmp(ua, ub)
+    if pick_max:
+        return (a if cmp >= 0 else b), flags
+    return (a if cmp <= 0 else b), flags
+
+
+def fmin(fmt: FloatFormat, a: int, b: int) -> Result:
+    """IEEE 754 minNum with RISC-V NaN handling."""
+    return _minmax(fmt, a, b, pick_max=False)
+
+
+def fmax(fmt: FloatFormat, a: int, b: int) -> Result:
+    """IEEE 754 maxNum with RISC-V NaN handling."""
+    return _minmax(fmt, a, b, pick_max=True)
+
+
+# ----------------------------------------------------------------------
+# Classification (fclass)
+# ----------------------------------------------------------------------
+CLASS_NEG_INF = 1 << 0
+CLASS_NEG_NORMAL = 1 << 1
+CLASS_NEG_SUBNORMAL = 1 << 2
+CLASS_NEG_ZERO = 1 << 3
+CLASS_POS_ZERO = 1 << 4
+CLASS_POS_SUBNORMAL = 1 << 5
+CLASS_POS_NORMAL = 1 << 6
+CLASS_POS_INF = 1 << 7
+CLASS_SNAN = 1 << 8
+CLASS_QNAN = 1 << 9
+
+
+def fclass(fmt: FloatFormat, a: int) -> int:
+    """The RISC-V ``fclass`` 10-bit one-hot classification mask."""
+    u = unpack(a, fmt)
+    if u.is_nan:
+        return CLASS_SNAN if u.signaling else CLASS_QNAN
+    if u.is_inf:
+        return CLASS_NEG_INF if u.sign else CLASS_POS_INF
+    if u.is_zero:
+        return CLASS_NEG_ZERO if u.sign else CLASS_POS_ZERO
+    biased = (a >> fmt.man_bits) & fmt.exp_mask
+    subnormal = biased == 0
+    if u.sign:
+        return CLASS_NEG_SUBNORMAL if subnormal else CLASS_NEG_NORMAL
+    return CLASS_POS_SUBNORMAL if subnormal else CLASS_POS_NORMAL
+
+
+# ----------------------------------------------------------------------
+# Sign injection
+# ----------------------------------------------------------------------
+def fsgnj(fmt: FloatFormat, a: int, b: int) -> int:
+    """Copy ``b``'s sign onto ``a``'s magnitude (also fmv when a == b)."""
+    return (a & ~fmt.sign_mask & fmt.bits_mask) | (b & fmt.sign_mask)
+
+
+def fsgnjn(fmt: FloatFormat, a: int, b: int) -> int:
+    """Copy the negation of ``b``'s sign (fneg when a == b)."""
+    return (a & ~fmt.sign_mask & fmt.bits_mask) | ((b ^ fmt.sign_mask) & fmt.sign_mask)
+
+
+def fsgnjx(fmt: FloatFormat, a: int, b: int) -> int:
+    """XOR the signs (fabs when a == b has a cleared sign... fabs uses b=a)."""
+    return a ^ (b & fmt.sign_mask)

@@ -1,0 +1,174 @@
+"""Conversions: float<->float, float<->int, and Python-float bridges.
+
+Float-to-float conversions (``fcvt.h.s``, ``fcvt.s.b``, ...) are the
+backbone of transprecision code; the paper singles out "convert scalars
+and assemble vectors" as a main bottleneck, which motivates the
+cast-and-pack instructions implemented in :mod:`repro.fp.simd`.
+
+Integer conversions follow RISC-V: out-of-range and NaN inputs saturate
+to the most positive / most negative representable integer and raise NV
+(NaN saturates to the most positive value).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from .flags import NV, NX
+from .formats import BINARY32, BINARY64, FloatFormat
+from .rounding import RoundingMode, round_and_pack
+from .unpacked import Kind, Unpacked, unpack
+
+Result = Tuple[int, int]
+
+
+# ----------------------------------------------------------------------
+# Float -> float
+# ----------------------------------------------------------------------
+def fcvt_f2f(
+    src_fmt: FloatFormat, dst_fmt: FloatFormat, bits: int, rm: RoundingMode
+) -> Result:
+    """Convert a value between two floating-point formats.
+
+    Widening conversions to a format with both larger precision and
+    wider exponent range are always exact; narrowing conversions round
+    and may overflow or go subnormal.
+    """
+    u = unpack(bits, src_fmt)
+    if u.is_nan:
+        return dst_fmt.quiet_nan, (NV if u.signaling else 0)
+    if u.is_inf:
+        return dst_fmt.inf(u.sign), 0
+    if u.is_zero:
+        return dst_fmt.zero(u.sign), 0
+    return round_and_pack(dst_fmt, u.sign, u.sig, u.exp, rm)
+
+
+# ----------------------------------------------------------------------
+# Float -> integer
+# ----------------------------------------------------------------------
+def _round_to_int(u: Unpacked, rm: RoundingMode) -> Tuple[int, bool]:
+    """Round a finite unpacked value to a Python integer.
+
+    Returns ``(integer, inexact)``; the integer carries its sign.
+    """
+    if u.is_zero or u.sig == 0:
+        return 0, False
+    if u.exp >= 0:
+        return (-(u.sig << u.exp) if u.sign else (u.sig << u.exp)), False
+    discard = -u.exp
+    kept = u.sig >> discard
+    dropped = u.sig & ((1 << discard) - 1)
+    if dropped == 0:
+        return (-kept if u.sign else kept), False
+    round_bit = (u.sig >> (discard - 1)) & 1
+    sticky = 1 if (dropped & ((1 << (discard - 1)) - 1)) else 0
+    increment = False
+    if rm == RoundingMode.RNE:
+        increment = bool(round_bit and (sticky or (kept & 1)))
+    elif rm == RoundingMode.RTZ:
+        increment = False
+    elif rm == RoundingMode.RDN:
+        increment = bool(u.sign)
+    elif rm == RoundingMode.RUP:
+        increment = not u.sign
+    elif rm == RoundingMode.RMM:
+        increment = bool(round_bit)
+    else:  # pragma: no cover - DYN resolved by callers
+        raise ValueError(f"cannot round with mode {rm!r}")
+    if increment:
+        kept += 1
+    return (-kept if u.sign else kept), True
+
+
+def fcvt_to_int(
+    fmt: FloatFormat,
+    bits: int,
+    rm: RoundingMode,
+    signed: bool = True,
+    xlen: int = 32,
+) -> Result:
+    """``fcvt.w.s``-family conversion of a float to an integer register.
+
+    Returns the integer as an *unsigned* ``xlen``-bit pattern (two's
+    complement for negative results), matching what lands in an x
+    register.
+    """
+    lo = -(1 << (xlen - 1)) if signed else 0
+    hi = (1 << (xlen - 1)) - 1 if signed else (1 << xlen) - 1
+    mask = (1 << xlen) - 1
+
+    u = unpack(bits, fmt)
+    if u.is_nan:
+        return hi & mask, NV
+    if u.is_inf:
+        return (hi if not u.sign else lo) & mask, NV
+    value, inexact = _round_to_int(u, rm)
+    if value > hi:
+        return hi & mask, NV
+    if value < lo:
+        return lo & mask, NV
+    return value & mask, (NX if inexact else 0)
+
+
+def fcvt_from_int(
+    fmt: FloatFormat,
+    value: int,
+    rm: RoundingMode,
+    signed: bool = True,
+    xlen: int = 32,
+) -> Result:
+    """``fcvt.s.w``-family conversion of an integer register to a float.
+
+    ``value`` is the raw ``xlen``-bit register pattern.
+    """
+    mask = (1 << xlen) - 1
+    value &= mask
+    if signed and value & (1 << (xlen - 1)):
+        value -= 1 << xlen
+    if value == 0:
+        return fmt.pos_zero, 0
+    sign = 1 if value < 0 else 0
+    return round_and_pack(fmt, sign, abs(value), 0, rm)
+
+
+# ----------------------------------------------------------------------
+# Python-float bridges (for tests, data loading and the fast backend)
+# ----------------------------------------------------------------------
+def double_to_bits(value: float) -> int:
+    """Raw binary64 pattern of a Python float."""
+    (bits,) = struct.unpack("<Q", struct.pack("<d", value))
+    return bits
+
+
+def bits_to_double(bits: int) -> float:
+    """Python float from a raw binary64 pattern."""
+    (value,) = struct.unpack("<d", struct.pack("<Q", bits & (1 << 64) - 1))
+    return value
+
+
+def from_double(
+    value: float, fmt: FloatFormat, rm: RoundingMode = RoundingMode.RNE
+) -> int:
+    """Encode a Python float into ``fmt`` (single rounding from binary64)."""
+    bits, _ = fcvt_f2f(BINARY64, fmt, double_to_bits(value), rm)
+    return bits
+
+
+def to_double(bits: int, fmt: FloatFormat) -> float:
+    """Decode ``fmt`` bits into a Python float.
+
+    Exact for every format in the library: all of them are sub-formats
+    of binary64 (binary64 itself converts trivially).
+    """
+    if fmt is BINARY64 or fmt.name == "binary64":
+        return bits_to_double(bits)
+    wide, flags = fcvt_f2f(fmt, BINARY64, bits, RoundingMode.RNE)
+    assert flags == 0 or unpack(bits, fmt).is_snan, "widening must be exact"
+    return bits_to_double(wide)
+
+
+def float32_to_bits(value: float) -> int:
+    """Round a Python float to binary32 and return the bit pattern."""
+    return from_double(value, BINARY32)

@@ -1,0 +1,267 @@
+"""Floating-point format descriptors for the smallFloat extensions.
+
+The paper (Section III) defines three *smallFloat* formats next to the
+standard IEEE binary32/binary64:
+
+* ``binary16``    -- IEEE 754 half precision, 1 sign / 5 exponent / 10
+  mantissa bits (extension ``Xf16``).
+* ``binary16alt`` -- a custom 16-bit format with the dynamic range of
+  binary32: 1 sign / 8 exponent / 7 mantissa bits, i.e. the format
+  nowadays known as bfloat16 (extension ``Xf16alt``).
+* ``binary8``     -- a custom 8-bit minifloat with 1 sign / 5 exponent /
+  2 mantissa bits (extension ``Xf8``), as specified in the companion
+  transprecision-platform paper [Tagliavini et al., DATE 2018].
+
+Every format follows IEEE 754 conventions: a biased exponent, a hidden
+leading significand bit for normal numbers, gradual underflow via
+subnormals, signed zeroes/infinities and quiet/signaling NaNs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """An IEEE-754-style binary interchange format.
+
+    Attributes:
+        name: Human-readable format name (e.g. ``"binary16"``).
+        exp_bits: Width of the biased exponent field.
+        man_bits: Width of the (explicit) trailing significand field.
+        suffix: Instruction-mnemonic suffix used by the ISA extensions
+            (``s`` for binary32, ``h`` for binary16, ``ah`` for
+            binary16alt, ``b`` for binary8, ``d`` for binary64).
+        c_keyword: The C type keyword introduced by the compiler support
+            (Section IV), or the pre-existing C type name.
+    """
+
+    name: str
+    exp_bits: int
+    man_bits: int
+    suffix: str
+    c_keyword: str
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Total storage width in bits (sign + exponent + mantissa)."""
+        return 1 + self.exp_bits + self.man_bits
+
+    @property
+    def precision(self) -> int:
+        """Significand precision p, including the hidden bit."""
+        return self.man_bits + 1
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias (2^(exp_bits-1) - 1)."""
+        return (1 << (self.exp_bits - 1)) - 1
+
+    @property
+    def emax(self) -> int:
+        """Largest unbiased exponent of a normal number."""
+        return self.bias
+
+    @property
+    def emin(self) -> int:
+        """Smallest unbiased exponent of a normal number (1 - bias)."""
+        return 1 - self.bias
+
+    @property
+    def exp_mask(self) -> int:
+        """All-ones pattern of the exponent field (NaN/inf exponent)."""
+        return (1 << self.exp_bits) - 1
+
+    @property
+    def man_mask(self) -> int:
+        """All-ones pattern of the trailing significand field."""
+        return (1 << self.man_bits) - 1
+
+    @property
+    def sign_mask(self) -> int:
+        """Bit mask selecting the sign bit."""
+        return 1 << (self.width - 1)
+
+    @property
+    def bits_mask(self) -> int:
+        """All-ones pattern of the full encoding width."""
+        return (1 << self.width) - 1
+
+    # ------------------------------------------------------------------
+    # Well-known encodings
+    # ------------------------------------------------------------------
+    @property
+    def quiet_nan(self) -> int:
+        """The canonical quiet NaN (positive, MSB of mantissa set).
+
+        This matches the RISC-V convention of always producing the
+        canonical NaN rather than propagating payloads.
+        """
+        return (self.exp_mask << self.man_bits) | (1 << (self.man_bits - 1))
+
+    @property
+    def pos_inf(self) -> int:
+        """Encoding of +infinity."""
+        return self.exp_mask << self.man_bits
+
+    @property
+    def neg_inf(self) -> int:
+        """Encoding of -infinity."""
+        return self.sign_mask | self.pos_inf
+
+    @property
+    def pos_zero(self) -> int:
+        """Encoding of +0.0."""
+        return 0
+
+    @property
+    def neg_zero(self) -> int:
+        """Encoding of -0.0."""
+        return self.sign_mask
+
+    @property
+    def max_finite(self) -> int:
+        """Encoding of the largest positive finite value."""
+        return ((self.exp_mask - 1) << self.man_bits) | self.man_mask
+
+    @property
+    def min_subnormal(self) -> int:
+        """Encoding of the smallest positive subnormal value."""
+        return 1
+
+    @property
+    def min_normal(self) -> int:
+        """Encoding of the smallest positive normal value."""
+        return 1 << self.man_bits
+
+    def inf(self, sign: int) -> int:
+        """Encoding of infinity with the given sign (0 or 1)."""
+        return self.neg_inf if sign else self.pos_inf
+
+    def zero(self, sign: int) -> int:
+        """Encoding of zero with the given sign (0 or 1)."""
+        return self.neg_zero if sign else self.pos_zero
+
+    def max_finite_signed(self, sign: int) -> int:
+        """Encoding of the largest-magnitude finite value with a sign."""
+        return (self.sign_mask | self.max_finite) if sign else self.max_finite
+
+    # ------------------------------------------------------------------
+    # Exact values (for tests, metrics and documentation)
+    # ------------------------------------------------------------------
+    @property
+    def max_value(self) -> float:
+        """The largest finite value as a Python float."""
+        return float((2 - 2 ** -self.man_bits) * 2 ** self.emax)
+
+    @property
+    def min_normal_value(self) -> float:
+        """The smallest positive normal value as a Python float."""
+        return float(2.0 ** self.emin)
+
+    @property
+    def machine_epsilon(self) -> float:
+        """Distance from 1.0 to the next representable value."""
+        return float(2.0 ** -self.man_bits)
+
+    @property
+    def dynamic_range_db(self) -> float:
+        """Dynamic range max/min-subnormal in dB (20*log10)."""
+        import math
+
+        smallest = 2.0 ** (self.emin - self.man_bits)
+        return 20.0 * math.log10(self.max_value / smallest)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FloatFormat({self.name}: 1+{self.exp_bits}+{self.man_bits}, "
+            f"bias={self.bias})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The format zoo of the smallFloat extensions
+# ----------------------------------------------------------------------
+BINARY8 = FloatFormat("binary8", exp_bits=5, man_bits=2, suffix="b", c_keyword="float8")
+BINARY16 = FloatFormat("binary16", exp_bits=5, man_bits=10, suffix="h", c_keyword="float16")
+BINARY16ALT = FloatFormat(
+    "binary16alt", exp_bits=8, man_bits=7, suffix="ah", c_keyword="float16alt"
+)
+BINARY32 = FloatFormat("binary32", exp_bits=8, man_bits=23, suffix="s", c_keyword="float")
+BINARY64 = FloatFormat("binary64", exp_bits=11, man_bits=52, suffix="d", c_keyword="double")
+
+#: All formats known to the library, keyed by name.
+FORMATS: Dict[str, FloatFormat] = {
+    f.name: f for f in (BINARY8, BINARY16, BINARY16ALT, BINARY32, BINARY64)
+}
+
+#: Formats keyed by ISA mnemonic suffix (``fadd.h`` -> ``h``).
+FORMATS_BY_SUFFIX: Dict[str, FloatFormat] = {f.suffix: f for f in FORMATS.values()}
+
+#: Formats keyed by the C keyword exposed by the compiler extension.
+FORMATS_BY_KEYWORD: Dict[str, FloatFormat] = {f.c_keyword: f for f in FORMATS.values()}
+
+#: The smallFloat formats proper (smaller than 32 bits).
+SMALLFLOAT_FORMATS: Tuple[FloatFormat, ...] = (BINARY16, BINARY16ALT, BINARY8)
+
+
+def lookup(spec) -> FloatFormat:
+    """Resolve a format from a ``FloatFormat``, name, suffix or keyword.
+
+    >>> lookup("binary16") is BINARY16
+    True
+    >>> lookup("h") is BINARY16
+    True
+    >>> lookup("float8") is BINARY8
+    True
+    """
+    if isinstance(spec, FloatFormat):
+        return spec
+    for table in (FORMATS, FORMATS_BY_SUFFIX, FORMATS_BY_KEYWORD):
+        if spec in table:
+            return table[spec]
+    raise KeyError(f"unknown floating-point format: {spec!r}")
+
+
+# ----------------------------------------------------------------------
+# Vector geometry (paper Table II)
+# ----------------------------------------------------------------------
+def vector_lanes(fmt: FloatFormat, flen: int) -> Optional[int]:
+    """Number of SIMD lanes of ``fmt`` in an FLEN-bit FP register.
+
+    Implements paper Table II: vectorial operations exist for every
+    supported format *strictly narrower* than FLEN; a format wider than
+    or equal to FLEN is held as a scalar (or not at all).
+
+    Returns the lane count ``n``, or ``None`` when the format has no
+    vector form at this FLEN (the "x" entries in Table II).
+
+    >>> vector_lanes(BINARY16, 32)
+    2
+    >>> vector_lanes(BINARY8, 64)
+    8
+    >>> vector_lanes(BINARY32, 32) is None
+    True
+    """
+    if flen not in (16, 32, 64):
+        raise ValueError(f"FLEN must be 16, 32 or 64, got {flen}")
+    if fmt.width >= flen:
+        return None
+    return flen // fmt.width
+
+
+def supported_vector_formats(flen: int) -> Dict[str, Optional[int]]:
+    """The full Table II row for a given FLEN.
+
+    Maps format name -> lane count (``None`` when unsupported), for the
+    formats listed in the paper's Table II (F, Xf16, Xf16alt, Xf8).
+    """
+    return {
+        fmt.name: vector_lanes(fmt, flen)
+        for fmt in (BINARY32, BINARY16, BINARY16ALT, BINARY8)
+    }

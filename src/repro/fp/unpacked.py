@@ -1,0 +1,117 @@
+"""Codec between bit patterns and exact unpacked floating-point values.
+
+An :class:`Unpacked` value classifies a bit pattern and, for finite
+values, carries the *exact* value as ``(-1)**sign * sig * 2**exp`` with
+an arbitrary-precision integer significand.  This representation lets
+the arithmetic core (:mod:`repro.fp.arith`) compute exactly and round
+once at the end.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .formats import FloatFormat
+
+
+class Kind(enum.Enum):
+    """Classification of a floating-point datum."""
+
+    ZERO = "zero"
+    FINITE = "finite"  # normal or subnormal, non-zero
+    INF = "inf"
+    NAN = "nan"
+
+
+@dataclass(frozen=True)
+class Unpacked:
+    """A decoded floating-point value.
+
+    For ``FINITE`` values, ``value == (-1)**sign * sig * 2**exp`` with
+    ``sig > 0``.  For the other kinds only ``sign`` (and for NaNs
+    ``signaling``) is meaningful.
+    """
+
+    kind: Kind
+    sign: int = 0
+    sig: int = 0
+    exp: int = 0
+    signaling: bool = False
+
+    # Convenience predicates -------------------------------------------------
+    @property
+    def is_nan(self) -> bool:
+        return self.kind is Kind.NAN
+
+    @property
+    def is_snan(self) -> bool:
+        return self.kind is Kind.NAN and self.signaling
+
+    @property
+    def is_inf(self) -> bool:
+        return self.kind is Kind.INF
+
+    @property
+    def is_zero(self) -> bool:
+        return self.kind is Kind.ZERO
+
+    @property
+    def is_finite(self) -> bool:
+        return self.kind in (Kind.ZERO, Kind.FINITE)
+
+    def to_float(self) -> float:
+        """The exact value as a Python float (may overflow to inf).
+
+        Intended for tests and diagnostics; library code rounds through
+        :func:`repro.fp.rounding.round_and_pack` instead.
+        """
+        if self.kind is Kind.NAN:
+            return float("nan")
+        if self.kind is Kind.INF:
+            return float("-inf") if self.sign else float("inf")
+        if self.kind is Kind.ZERO:
+            return -0.0 if self.sign else 0.0
+        magnitude = self.sig * (2.0 ** self.exp)
+        return -magnitude if self.sign else magnitude
+
+
+def unpack(bits: int, fmt: FloatFormat) -> Unpacked:
+    """Decode ``bits`` (an unsigned integer of ``fmt.width`` bits).
+
+    Bits above the format width are rejected so that packing errors in
+    SIMD lane handling fail loudly instead of corrupting silently.
+    """
+    if bits < 0 or bits > fmt.bits_mask:
+        raise ValueError(
+            f"bit pattern {bits:#x} out of range for {fmt.name} ({fmt.width} bits)"
+        )
+    sign = (bits >> (fmt.width - 1)) & 1
+    biased = (bits >> fmt.man_bits) & fmt.exp_mask
+    mantissa = bits & fmt.man_mask
+
+    if biased == fmt.exp_mask:
+        if mantissa == 0:
+            return Unpacked(Kind.INF, sign=sign)
+        quiet = bool(mantissa & (1 << (fmt.man_bits - 1)))
+        return Unpacked(Kind.NAN, sign=sign, signaling=not quiet)
+    if biased == 0:
+        if mantissa == 0:
+            return Unpacked(Kind.ZERO, sign=sign)
+        # Subnormal: no hidden bit, exponent pinned at emin.
+        return Unpacked(
+            Kind.FINITE, sign=sign, sig=mantissa, exp=fmt.emin - fmt.man_bits
+        )
+    sig = mantissa | (1 << fmt.man_bits)
+    exp = biased - fmt.bias - fmt.man_bits
+    return Unpacked(Kind.FINITE, sign=sign, sig=sig, exp=exp)
+
+
+def from_python_float(value: float) -> Unpacked:
+    """Unpack a Python float (an IEEE binary64) into an exact value."""
+    import struct
+
+    from .formats import BINARY64
+
+    (bits,) = struct.unpack("<Q", struct.pack("<d", value))
+    return unpack(bits, BINARY64)

@@ -1,0 +1,189 @@
+"""Ergonomic wrapper type over the softfloat core.
+
+:class:`SmallFloat` pairs a bit pattern with its format and overloads
+the Python operators, so exploratory code and tests read naturally:
+
+    >>> from repro.fp import BINARY16, SmallFloat
+    >>> a = SmallFloat.from_float(1.5, BINARY16)
+    >>> b = SmallFloat.from_float(0.25, BINARY16)
+    >>> float(a + b)
+    1.75
+
+Arithmetic uses round-to-nearest-even unless a different mode is set via
+:meth:`SmallFloat.with_rounding`.  Operations between different formats
+are deliberately rejected: transprecision code must convert explicitly,
+exactly as the ISA (and the C type system extension) requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from . import arith, compare
+from .convert import fcvt_f2f, from_double, to_double
+from .formats import FloatFormat, lookup
+from .rounding import RoundingMode
+from .unpacked import unpack
+
+_Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class SmallFloat:
+    """An immutable floating-point value in an explicit format."""
+
+    bits: int
+    fmt: FloatFormat
+    rm: RoundingMode = RoundingMode.RNE
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bits <= self.fmt.bits_mask:
+            raise ValueError(
+                f"bits {self.bits:#x} out of range for {self.fmt.name}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_float(
+        cls, value: float, fmt, rm: RoundingMode = RoundingMode.RNE
+    ) -> "SmallFloat":
+        """Round a Python float into the given format."""
+        fmt = lookup(fmt)
+        return cls(from_double(float(value), fmt, rm), fmt, rm)
+
+    @classmethod
+    def from_bits(cls, bits: int, fmt) -> "SmallFloat":
+        """Wrap a raw bit pattern."""
+        return cls(bits, lookup(fmt))
+
+    def with_rounding(self, rm: RoundingMode) -> "SmallFloat":
+        """The same value, with subsequent operations rounded by ``rm``."""
+        return SmallFloat(self.bits, self.fmt, rm)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __float__(self) -> float:
+        return to_double(self.bits, self.fmt)
+
+    @property
+    def is_nan(self) -> bool:
+        return unpack(self.bits, self.fmt).is_nan
+
+    @property
+    def is_inf(self) -> bool:
+        return unpack(self.bits, self.fmt).is_inf
+
+    @property
+    def sign(self) -> int:
+        return (self.bits >> (self.fmt.width - 1)) & 1
+
+    def convert(self, fmt, rm: RoundingMode = RoundingMode.RNE) -> "SmallFloat":
+        """Convert to another format (may round, overflow or underflow)."""
+        fmt = lookup(fmt)
+        bits, _ = fcvt_f2f(self.fmt, fmt, self.bits, rm)
+        return SmallFloat(bits, fmt, self.rm)
+
+    # ------------------------------------------------------------------
+    # Arithmetic operators
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Union["SmallFloat", _Number]) -> "SmallFloat":
+        if isinstance(other, SmallFloat):
+            if other.fmt is not self.fmt and other.fmt.name != self.fmt.name:
+                raise TypeError(
+                    f"mixed-format arithmetic ({self.fmt.name} vs "
+                    f"{other.fmt.name}) requires an explicit convert()"
+                )
+            return other
+        if isinstance(other, (int, float)):
+            return SmallFloat.from_float(float(other), self.fmt, self.rm)
+        return NotImplemented  # type: ignore[return-value]
+
+    def _binop(self, other, op) -> "SmallFloat":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        bits, _ = op(self.fmt, self.bits, rhs.bits, self.rm)
+        return SmallFloat(bits, self.fmt, self.rm)
+
+    def __add__(self, other):
+        return self._binop(other, arith.fadd)
+
+    def __radd__(self, other):
+        return SmallFloat.from_float(float(other), self.fmt, self.rm) + self
+
+    def __sub__(self, other):
+        return self._binop(other, arith.fsub)
+
+    def __rsub__(self, other):
+        return SmallFloat.from_float(float(other), self.fmt, self.rm) - self
+
+    def __mul__(self, other):
+        return self._binop(other, arith.fmul)
+
+    def __rmul__(self, other):
+        return SmallFloat.from_float(float(other), self.fmt, self.rm) * self
+
+    def __truediv__(self, other):
+        return self._binop(other, arith.fdiv)
+
+    def __rtruediv__(self, other):
+        return SmallFloat.from_float(float(other), self.fmt, self.rm) / self
+
+    def __neg__(self) -> "SmallFloat":
+        return SmallFloat(self.bits ^ self.fmt.sign_mask, self.fmt, self.rm)
+
+    def __abs__(self) -> "SmallFloat":
+        return SmallFloat(self.bits & ~self.fmt.sign_mask & self.fmt.bits_mask,
+                          self.fmt, self.rm)
+
+    def sqrt(self) -> "SmallFloat":
+        """Correctly rounded square root."""
+        bits, _ = arith.fsqrt(self.fmt, self.bits, self.rm)
+        return SmallFloat(bits, self.fmt, self.rm)
+
+    def fma(self, b: "SmallFloat", c: "SmallFloat") -> "SmallFloat":
+        """Fused ``self * b + c`` with a single rounding."""
+        b = self._coerce(b)
+        c = self._coerce(c)
+        bits, _ = arith.ffma(self.fmt, self.bits, b.bits, c.bits, self.rm)
+        return SmallFloat(bits, self.fmt, self.rm)
+
+    # ------------------------------------------------------------------
+    # Comparisons (IEEE semantics: NaN is unordered)
+    # ------------------------------------------------------------------
+    def _cmp(self, other, op) -> bool:
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        result, _ = op(self.fmt, self.bits, rhs.bits)
+        return bool(result)
+
+    def __eq__(self, other) -> bool:  # type: ignore[override]
+        if not isinstance(other, (SmallFloat, int, float)):
+            return NotImplemented
+        return self._cmp(other, compare.feq)
+
+    def __lt__(self, other) -> bool:
+        return self._cmp(other, compare.flt)
+
+    def __le__(self, other) -> bool:
+        return self._cmp(other, compare.fle)
+
+    def __gt__(self, other) -> bool:
+        return self._coerce(other)._cmp(self, compare.flt)
+
+    def __ge__(self, other) -> bool:
+        return self._coerce(other)._cmp(self, compare.fle)
+
+    def __hash__(self) -> int:
+        return hash((self.fmt.name, self.bits))
+
+    def __repr__(self) -> str:
+        return (
+            f"SmallFloat({float(self)!r}, {self.fmt.name}, "
+            f"bits={self.bits:#0{2 + (self.fmt.width + 3) // 4}x})"
+        )

@@ -1,0 +1,13 @@
+"""Experiment harness: per-figure/table drivers over the full stack."""
+
+from . import experiments
+from .runner import ARRAY_BASE, HarnessError, KernelRun, MODES, run_kernel
+
+__all__ = [
+    "experiments",
+    "ARRAY_BASE",
+    "HarnessError",
+    "KernelRun",
+    "MODES",
+    "run_kernel",
+]

@@ -1,0 +1,183 @@
+"""Compile-stage-run-score harness for one benchmark configuration.
+
+One :func:`run_kernel` call reproduces one bar of the paper's plots:
+pick a benchmark, an FP type, a vectorization mode and a memory latency;
+get back cycles, instruction mix, energy and quantified output quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..compiler import compile_source
+from ..compiler.typesys import FLOAT_BY_SUFFIX, TYPE_KEYWORDS, FloatType
+from ..energy import EnergyModel, EnergyReport
+from ..fp.convert import from_double
+from ..fp.formats import FloatFormat
+from ..fp.numpy_backend import from_bits, to_bits
+from ..kernels import ArgSpec, KernelSpec
+from ..metrics import classification_error, sqnr_db
+from ..sim import Simulator, Trace
+
+#: Arrays are staged above the assembler's data section.
+ARRAY_BASE = 0x0020_0000
+_ARG_REGS = list(range(10, 18))
+
+#: The vectorization modes of the paper's build matrix.
+MODES = ("scalar", "auto", "manual")
+
+
+class HarnessError(Exception):
+    """Misconfigured benchmark run."""
+
+
+def _format_of(keyword: str) -> FloatFormat:
+    ty = TYPE_KEYWORDS[keyword]
+    if not isinstance(ty, FloatType):
+        raise HarnessError(f"{keyword!r} is not a scalar FP type")
+    return ty.fmt
+
+
+def _dtype_for(width_bits: int) -> np.dtype:
+    return {8: np.dtype("<u1"), 16: np.dtype("<u2"), 32: np.dtype("<u4")}[
+        width_bits
+    ]
+
+
+@dataclass
+class KernelRun:
+    """Everything measured from one benchmark execution."""
+
+    spec_name: str
+    ftype: str
+    mode: str
+    mem_latency: int
+    trace: Trace
+    energy: EnergyReport
+    outputs: Dict[str, np.ndarray]
+    golden: Dict[str, np.ndarray]
+    asm: str
+
+    @property
+    def cycles(self) -> int:
+        return self.trace.cycles
+
+    @property
+    def instret(self) -> int:
+        return self.trace.instret
+
+    def sqnr_db(self, output: Optional[str] = None) -> float:
+        """SQNR of one output (or of all FP outputs concatenated)."""
+        names = [output] if output else [
+            name for name in self.outputs
+            if np.issubdtype(self.outputs[name].dtype, np.floating)
+        ]
+        ref = np.concatenate([np.ravel(self.golden[n]) for n in names])
+        got = np.concatenate([np.ravel(self.outputs[n]) for n in names])
+        return sqnr_db(ref, got)
+
+    def classification_error(self, label_output: str = "labels") -> float:
+        return classification_error(
+            self.golden[label_output], self.outputs[label_output]
+        )
+
+
+def run_kernel(
+    spec: KernelSpec,
+    ftype: str = "float",
+    mode: str = "scalar",
+    mem_latency: int = 1,
+    params: Optional[Dict[str, int]] = None,
+    seed: int = 0,
+    max_instructions: int = 50_000_000,
+    energy_model: Optional[EnergyModel] = None,
+) -> KernelRun:
+    """Run one (benchmark, type, vectorization, latency) configuration.
+
+    ``mode``: ``scalar`` (no vectorization), ``auto`` (compiler pass) or
+    ``manual`` (the hand-vectorized source; requires the spec to provide
+    one and ``ftype`` to be a smallFloat type).
+    """
+    if mode not in MODES:
+        raise HarnessError(f"unknown mode {mode!r} (pick from {MODES})")
+    run_params = dict(spec.params)
+    run_params.update(params or {})
+    rng = np.random.default_rng(seed)
+    data = spec.make_data(run_params, rng)
+
+    if mode == "manual":
+        if spec.manual_source_fn is None:
+            raise HarnessError(f"{spec.name} has no manual-vectorized form")
+        source = spec.manual_source_fn(ftype)
+        kernel = compile_source(source)
+    else:
+        source = spec.source_fn(ftype)
+        kernel = compile_source(source, vectorize_loops=(mode == "auto"))
+
+    sim = Simulator(kernel.program, mem_latency=mem_latency)
+
+    # ------------------------------------------------------------------
+    # Stage arguments
+    # ------------------------------------------------------------------
+    if len(spec.args) > len(_ARG_REGS):
+        raise HarnessError(f"{spec.name}: too many arguments")
+    cursor = ARRAY_BASE
+    array_at: Dict[str, tuple] = {}  # name -> (addr, count, fmt-or-None)
+    regs: Dict[int, int] = {}
+    for arg, reg in zip(spec.args, _ARG_REGS):
+        if arg.kind == "param":
+            key = arg.name if arg.elem == "auto" else arg.elem
+            regs[reg] = int(run_params[key]) & 0xFFFFFFFF
+        elif arg.kind == "scalar":
+            fmt = _format_of(ftype if arg.elem == "auto" else arg.elem)
+            regs[reg] = from_double(float(data[arg.name]), fmt)
+        elif arg.kind == "array":
+            fmt = _format_of(ftype if arg.elem == "auto" else arg.elem)
+            values = np.asarray(data[arg.name], dtype=np.float64).ravel()
+            bits = to_bits(values, fmt).astype(_dtype_for(fmt.width))
+            sim.machine.memory.write_block(cursor, bits.tobytes())
+            array_at[arg.name] = (cursor, values.size, fmt)
+            regs[reg] = cursor
+            cursor += ((values.size * fmt.width // 8 + 15) // 16) * 16 + 16
+        elif arg.kind == "iarray":
+            values = np.asarray(data[arg.name], dtype="<i4").ravel()
+            sim.machine.memory.write_block(cursor, values.tobytes())
+            array_at[arg.name] = (cursor, values.size, None)
+            regs[reg] = cursor
+            cursor += ((values.size * 4 + 15) // 16) * 16 + 16
+        else:
+            raise HarnessError(f"unknown arg kind {arg.kind!r}")
+
+    result = sim.run(spec.entry, args=regs, max_instructions=max_instructions)
+
+    # ------------------------------------------------------------------
+    # Read outputs and score
+    # ------------------------------------------------------------------
+    outputs: Dict[str, np.ndarray] = {}
+    for name in spec.outputs:
+        addr, count, fmt = array_at[name]
+        if fmt is None:
+            raw = sim.machine.memory.read_block(addr, count * 4)
+            outputs[name] = np.frombuffer(raw, dtype="<i4").copy()
+        else:
+            raw = sim.machine.memory.read_block(addr, count * fmt.width // 8)
+            bits = np.frombuffer(raw, dtype=_dtype_for(fmt.width))
+            outputs[name] = from_bits(bits.astype(np.uint64), fmt)
+
+    golden = spec.golden(data, run_params)
+    model = energy_model or EnergyModel()
+    energy = model.estimate(result.trace, mem_latency)
+    return KernelRun(
+        spec_name=spec.name,
+        ftype=ftype,
+        mode=mode,
+        mem_latency=mem_latency,
+        trace=result.trace,
+        energy=energy,
+        outputs=outputs,
+        golden=golden,
+        asm=kernel.asm,
+    )

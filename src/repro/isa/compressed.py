@@ -1,0 +1,202 @@
+"""RV32C: expansion of 16-bit compressed instructions to 32-bit forms.
+
+The paper's baseline is RV32IM(F)C; RISCY executes compressed
+instructions by expanding them in the decoder, which is exactly what
+this module does -- each valid 16-bit parcel maps to one 32-bit
+instruction from the main table, so the executor only ever sees full
+instructions.  Includes the RV32FC ``c.flw``/``c.fsw`` forms.
+"""
+
+from __future__ import annotations
+
+from .encoding import sign_extend
+from .instructions import encode, spec_by_mnemonic
+
+
+class IllegalCompressed(Exception):
+    """Raised for reserved or illegal 16-bit encodings."""
+
+
+def _bit(word: int, pos: int) -> int:
+    return (word >> pos) & 1
+
+
+def _bits(word: int, hi: int, lo: int) -> int:
+    return (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def _enc(mnemonic: str, **fields: int) -> int:
+    return encode(spec_by_mnemonic(mnemonic), **fields)
+
+
+def expand(parcel: int) -> int:
+    """Expand a 16-bit compressed parcel into its 32-bit equivalent.
+
+    Raises :class:`IllegalCompressed` on reserved encodings (including
+    the all-zero illegal instruction).
+    """
+    parcel &= 0xFFFF
+    if parcel == 0:
+        raise IllegalCompressed("illegal instruction (all zeros)")
+    quadrant = parcel & 0b11
+    funct3 = _bits(parcel, 15, 13)
+    if quadrant == 0b00:
+        return _quadrant0(parcel, funct3)
+    if quadrant == 0b01:
+        return _quadrant1(parcel, funct3)
+    if quadrant == 0b10:
+        return _quadrant2(parcel, funct3)
+    raise IllegalCompressed(f"not a compressed parcel: {parcel:#06x}")
+
+
+# Compressed register numbers map to x8-x15.
+def _rd_prime(parcel: int) -> int:
+    return _bits(parcel, 4, 2) + 8
+
+
+def _rs1_prime(parcel: int) -> int:
+    return _bits(parcel, 9, 7) + 8
+
+
+def _quadrant0(parcel: int, funct3: int) -> int:
+    if funct3 == 0b000:  # c.addi4spn
+        imm = (
+            (_bits(parcel, 12, 11) << 4)
+            | (_bits(parcel, 10, 7) << 6)
+            | (_bit(parcel, 6) << 2)
+            | (_bit(parcel, 5) << 3)
+        )
+        if imm == 0:
+            raise IllegalCompressed("c.addi4spn with zero immediate")
+        return _enc("addi", rd=_rd_prime(parcel), rs1=2, imm=imm)
+    if funct3 in (0b010, 0b011):  # c.lw / c.flw
+        imm = (
+            (_bits(parcel, 12, 10) << 3)
+            | (_bit(parcel, 6) << 2)
+            | (_bit(parcel, 5) << 6)
+        )
+        mnemonic = "lw" if funct3 == 0b010 else "flw"
+        return _enc(mnemonic, rd=_rd_prime(parcel), rs1=_rs1_prime(parcel),
+                    imm=imm)
+    if funct3 in (0b110, 0b111):  # c.sw / c.fsw
+        imm = (
+            (_bits(parcel, 12, 10) << 3)
+            | (_bit(parcel, 6) << 2)
+            | (_bit(parcel, 5) << 6)
+        )
+        mnemonic = "sw" if funct3 == 0b110 else "fsw"
+        return _enc(mnemonic, rs1=_rs1_prime(parcel), rs2=_rd_prime(parcel),
+                    imm=imm)
+    raise IllegalCompressed(f"reserved quadrant-0 encoding {parcel:#06x}")
+
+
+def _imm6(parcel: int) -> int:
+    return sign_extend((_bit(parcel, 12) << 5) | _bits(parcel, 6, 2), 6)
+
+
+def _cj_imm(parcel: int) -> int:
+    value = (
+        (_bit(parcel, 12) << 11)
+        | (_bit(parcel, 11) << 4)
+        | (_bits(parcel, 10, 9) << 8)
+        | (_bit(parcel, 8) << 10)
+        | (_bit(parcel, 7) << 6)
+        | (_bit(parcel, 6) << 7)
+        | (_bits(parcel, 5, 3) << 1)
+        | (_bit(parcel, 2) << 5)
+    )
+    return sign_extend(value, 12)
+
+
+def _cb_imm(parcel: int) -> int:
+    value = (
+        (_bit(parcel, 12) << 8)
+        | (_bits(parcel, 11, 10) << 3)
+        | (_bits(parcel, 6, 5) << 6)
+        | (_bits(parcel, 4, 3) << 1)
+        | (_bit(parcel, 2) << 5)
+    )
+    return sign_extend(value, 9)
+
+
+def _quadrant1(parcel: int, funct3: int) -> int:
+    rd = _bits(parcel, 11, 7)
+    if funct3 == 0b000:  # c.nop / c.addi
+        return _enc("addi", rd=rd, rs1=rd, imm=_imm6(parcel))
+    if funct3 == 0b001:  # c.jal (RV32)
+        return _enc("jal", rd=1, imm=_cj_imm(parcel))
+    if funct3 == 0b010:  # c.li
+        return _enc("addi", rd=rd, rs1=0, imm=_imm6(parcel))
+    if funct3 == 0b011:
+        if rd == 2:  # c.addi16sp
+            imm = sign_extend(
+                (_bit(parcel, 12) << 9)
+                | (_bit(parcel, 6) << 4)
+                | (_bit(parcel, 5) << 6)
+                | (_bits(parcel, 4, 3) << 7)
+                | (_bit(parcel, 2) << 5),
+                10,
+            )
+            if imm == 0:
+                raise IllegalCompressed("c.addi16sp with zero immediate")
+            return _enc("addi", rd=2, rs1=2, imm=imm)
+        imm = _imm6(parcel)
+        if imm == 0:
+            raise IllegalCompressed("c.lui with zero immediate")
+        return _enc("lui", rd=rd, imm=imm & 0xFFFFF)
+    if funct3 == 0b100:
+        sub = _bits(parcel, 11, 10)
+        rdp = _rs1_prime(parcel)
+        if sub == 0b00:  # c.srli
+            return _enc("srli", rd=rdp, rs1=rdp, imm=_bits(parcel, 6, 2))
+        if sub == 0b01:  # c.srai
+            return _enc("srai", rd=rdp, rs1=rdp, imm=_bits(parcel, 6, 2))
+        if sub == 0b10:  # c.andi
+            return _enc("andi", rd=rdp, rs1=rdp, imm=_imm6(parcel))
+        rs2p = _rd_prime(parcel)
+        op = _bits(parcel, 6, 5)
+        if _bit(parcel, 12):
+            raise IllegalCompressed("reserved quadrant-1 ALU encoding")
+        mnemonic = ["sub", "xor", "or", "and"][op]
+        return _enc(mnemonic, rd=rdp, rs1=rdp, rs2=rs2p)
+    if funct3 == 0b101:  # c.j
+        return _enc("jal", rd=0, imm=_cj_imm(parcel))
+    if funct3 == 0b110:  # c.beqz
+        return _enc("beq", rs1=_rs1_prime(parcel), rs2=0, imm=_cb_imm(parcel))
+    if funct3 == 0b111:  # c.bnez
+        return _enc("bne", rs1=_rs1_prime(parcel), rs2=0, imm=_cb_imm(parcel))
+    raise IllegalCompressed(f"reserved quadrant-1 encoding {parcel:#06x}")
+
+
+def _quadrant2(parcel: int, funct3: int) -> int:
+    rd = _bits(parcel, 11, 7)
+    rs2 = _bits(parcel, 6, 2)
+    if funct3 == 0b000:  # c.slli
+        return _enc("slli", rd=rd, rs1=rd, imm=_bits(parcel, 6, 2))
+    if funct3 in (0b010, 0b011):  # c.lwsp / c.flwsp
+        if funct3 == 0b010 and rd == 0:
+            raise IllegalCompressed("c.lwsp with rd=x0")
+        imm = (
+            (_bit(parcel, 12) << 5)
+            | (_bits(parcel, 6, 4) << 2)
+            | (_bits(parcel, 3, 2) << 6)
+        )
+        mnemonic = "lw" if funct3 == 0b010 else "flw"
+        return _enc(mnemonic, rd=rd, rs1=2, imm=imm)
+    if funct3 == 0b100:
+        if not _bit(parcel, 12):
+            if rs2 == 0:  # c.jr
+                if rd == 0:
+                    raise IllegalCompressed("c.jr with rs1=x0")
+                return _enc("jalr", rd=0, rs1=rd, imm=0)
+            return _enc("add", rd=rd, rs1=0, rs2=rs2)  # c.mv
+        if rd == 0 and rs2 == 0:  # c.ebreak
+            return _enc("ebreak")
+        if rs2 == 0:  # c.jalr
+            return _enc("jalr", rd=1, rs1=rd, imm=0)
+        return _enc("add", rd=rd, rs1=rd, rs2=rs2)  # c.add
+    if funct3 in (0b110, 0b111):  # c.swsp / c.fswsp
+        imm = (_bits(parcel, 12, 9) << 2) | (_bits(parcel, 8, 7) << 6)
+        mnemonic = "sw" if funct3 == 0b110 else "fsw"
+        return _enc(mnemonic, rs1=2, rs2=rs2, imm=imm)
+    raise IllegalCompressed(f"reserved quadrant-2 encoding {parcel:#06x}")

@@ -1,0 +1,66 @@
+"""Instruction word -> assembly text, driven by the same spec table."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .instructions import Instr, UnknownInstruction, decode
+from .registers import freg_name, xreg_name
+
+_RM_NAMES = {0: "rne", 1: "rtz", 2: "rdn", 3: "rup", 4: "rmm", 7: "dyn"}
+
+_CSR_NAMES = {
+    0x001: "fflags",
+    0x002: "frm",
+    0x003: "fcsr",
+    0xC00: "cycle",
+    0xC02: "instret",
+    0xC80: "cycleh",
+    0xC82: "instreth",
+    0xF14: "mhartid",
+}
+
+
+def disassemble(word: int, addr: Optional[int] = None) -> str:
+    """Render one instruction word as assembly text.
+
+    When ``addr`` is given, branch and jump targets are rendered as
+    absolute addresses instead of relative offsets.
+    """
+    try:
+        instr = decode(word)
+    except UnknownInstruction:
+        return f".word {word:#010x}"
+    return format_instr(instr, addr)
+
+
+def format_instr(instr: Instr, addr: Optional[int] = None) -> str:
+    """Render a decoded :class:`Instr`."""
+    spec = instr.spec
+    parts = []
+    for kind in spec.syntax:
+        if kind in ("rd", "rs1", "rs2"):
+            parts.append(xreg_name(getattr(instr, kind)))
+        elif kind in ("frd", "frs1", "frs2", "frs3"):
+            reg = {"frd": "rd", "frs1": "rs1", "frs2": "rs2", "frs3": "rs3"}[kind]
+            parts.append(freg_name(getattr(instr, reg)))
+        elif kind in ("imm", "shamt"):
+            parts.append(str(instr.imm))
+        elif kind == "uimm20":
+            parts.append(hex(instr.imm))
+        elif kind in ("mem", "fmem"):
+            parts.append(f"{instr.imm}({xreg_name(instr.rs1)})")
+        elif kind in ("blabel", "jlabel"):
+            if addr is not None:
+                parts.append(hex(addr + instr.imm))
+            else:
+                parts.append(str(instr.imm))
+        elif kind == "csr":
+            parts.append(_CSR_NAMES.get(instr.imm, hex(instr.imm)))
+        elif kind == "zimm":
+            parts.append(str(instr.rs1))
+    if spec.has_rm and instr.rm is not None and instr.rm != 0b111:
+        parts.append(_RM_NAMES.get(instr.rm, f"rm{instr.rm}"))
+    if not parts:
+        return spec.mnemonic
+    return f"{spec.mnemonic} {', '.join(parts)}"

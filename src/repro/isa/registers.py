@@ -1,0 +1,76 @@
+"""Register names for the RV32 integer and floating-point register files.
+
+Both architectural names (``x0``/``f0``) and ABI mnemonics (``a0``,
+``ft3``) are accepted everywhere; the disassembler emits ABI names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: ABI names of the integer registers, indexed by number.
+XREG_ABI: List[str] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+]
+
+#: ABI names of the FP registers, indexed by number.
+FREG_ABI: List[str] = [
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+    "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+]
+
+_XREG_LOOKUP: Dict[str, int] = {name: i for i, name in enumerate(XREG_ABI)}
+_XREG_LOOKUP.update({f"x{i}": i for i in range(32)})
+_XREG_LOOKUP["fp"] = 8  # alias of s0
+
+_FREG_LOOKUP: Dict[str, int] = {name: i for i, name in enumerate(FREG_ABI)}
+_FREG_LOOKUP.update({f"f{i}": i for i in range(32)})
+
+
+def parse_xreg(name: str) -> int:
+    """Integer register name -> number (accepts ``x5``, ``t0``, ``fp``)."""
+    try:
+        return _XREG_LOOKUP[name.strip().lower()]
+    except KeyError:
+        raise ValueError(f"unknown integer register {name!r}") from None
+
+
+def parse_freg(name: str) -> int:
+    """FP register name -> number (accepts ``f5``, ``ft5``)."""
+    try:
+        return _FREG_LOOKUP[name.strip().lower()]
+    except KeyError:
+        raise ValueError(f"unknown FP register {name!r}") from None
+
+
+def xreg_name(num: int) -> str:
+    """Canonical ABI name of integer register ``num``."""
+    return XREG_ABI[num]
+
+
+def freg_name(num: int) -> str:
+    """Canonical ABI name of FP register ``num``."""
+    return FREG_ABI[num]
+
+
+# Calling-convention constants used by the compiler and the harness.
+REG_ZERO = 0
+REG_RA = 1
+REG_SP = 2
+#: Integer argument registers a0-a7.
+ARG_REGS = list(range(10, 18))
+#: FP argument registers fa0-fa7.
+FP_ARG_REGS = list(range(10, 18))
+#: Caller-saved integer temporaries (t0-t6).
+TEMP_REGS = [5, 6, 7, 28, 29, 30, 31]
+#: Callee-saved integer registers (s0-s11).
+SAVED_REGS = [8, 9] + list(range(18, 28))
+#: Caller-saved FP temporaries (ft0-ft11).
+FP_TEMP_REGS = list(range(0, 8)) + list(range(28, 32))
+#: Callee-saved FP registers (fs0-fs11).
+FP_SAVED_REGS = [8, 9] + list(range(18, 28))

@@ -1,0 +1,300 @@
+"""The "F" extension and the paper's smallFloat ISA extensions.
+
+Encoding choices follow Section III of the paper:
+
+* The 16-bit formats occupy the previously-unused ``fmt = 0b10`` pattern
+  of the OP-FP format field; ``binary8`` repurposes the quad-precision
+  pattern ``fmt = 0b11`` ("it is highly unlikely embedded implementations
+  targeted towards low precision FP will also implement 128-bit floats").
+* ``binary16alt`` is selected through unused states of the rounding-mode
+  field: rm-bearing operations pin ``rm = 0b101`` (rounding then comes
+  from ``fcsr``); comparison/sign/classify operations set funct3 bit 2;
+  conversions flag an alt *operand* through bit 2 of the rs2 sub-code.
+* The vectorial extension "Xfvec" lives in a previously-unused prefix of
+  the integer ``OP`` opcode: ``funct7[6:5] = 0b11``, with
+  ``funct7[4:0]`` selecting the operation and ``funct3`` carrying the
+  vector format (bit 2 marks the ``.r`` replicated-scalar variants).
+* "Xfaux" expanding operations use the unused funct5 values ``0b10101``
+  (fmulex) and ``0b10110`` (fmacex) of OP-FP, and ``0b10001`` of the
+  vectorial space (vfdotpex).
+
+The full layout is documented in ``docs/isa_manual.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .instructions import (
+    OP_FMADD,
+    OP_FMSUB,
+    OP_FNMADD,
+    OP_FNMSUB,
+    OP_FP,
+    OP_LOAD_FP,
+    OP_OP,
+    OP_STORE_FP,
+    InstrSpec,
+    register,
+)
+
+#: OP-FP fmt field codes.  "q" (0b11) is repurposed for binary8.
+FMT2: Dict[str, int] = {"s": 0b00, "d": 0b01, "h": 0b10, "b": 0b11}
+
+#: rs2 sub-codes naming a *source* format in fcvt.f.f encodings.
+#: Bit 2 marks the alternate 16-bit format.
+SRC_CODE: Dict[str, int] = {"s": 0, "d": 1, "h": 2, "b": 3, "ah": 6}
+
+#: The pinned rounding-mode state that selects binary16alt.
+RM_ALT = 0b101
+
+#: Scalar extension name per format suffix.
+EXT_OF: Dict[str, str] = {"s": "F", "h": "Xf16", "ah": "Xf16alt", "b": "Xf8"}
+
+#: Vector format codes in funct3[1:0] of Xfvec encodings.  The "s"
+#: entry exists for FLEN=64 implementations (paper Table II's first
+#: column: 2 binary32 lanes); executing it on an FLEN=32 core is an
+#: illegal instruction.
+VEC_FMT: Dict[str, int] = {"h": 0b00, "ah": 0b01, "b": 0b10, "s": 0b11}
+
+#: Load/store funct3 width codes in LOAD-FP / STORE-FP.
+WIDTH_OF: Dict[str, int] = {"b": 0b000, "h": 0b001, "s": 0b010}
+
+_VEC_PREFIX = 0b11 << 5
+
+#: Xfvec operation codes (funct7[4:0]).
+VECOP: Dict[str, int] = {
+    "vfadd": 0b00000,
+    "vfsub": 0b00001,
+    "vfmul": 0b00010,
+    "vfdiv": 0b00011,
+    "vfmin": 0b00100,
+    "vfmax": 0b00101,
+    "vfsqrt": 0b00110,
+    "vfmac": 0b00111,
+    "vfsgnj": 0b01000,
+    "vfsgnjn": 0b01001,
+    "vfsgnjx": 0b01010,
+    "vfeq": 0b01011,
+    "vflt": 0b01100,
+    "vfle": 0b01101,
+    "vfcpka": 0b01110,
+    "vfcpkb": 0b01111,
+    "vfcvt": 0b10000,
+    "vfdotpex": 0b10001,
+}
+
+
+def _fp(mn: str, f5: int, fmt: str, *, funct3=None, rs2_fixed=None, syntax,
+        kind: str, src_fmt=None, has_rm=False, rm_fixed=None,
+        ext: Optional[str] = None) -> None:
+    """Register one scalar OP-FP instruction."""
+    fmt2 = FMT2["h"] if fmt == "ah" else FMT2[fmt]
+    register(
+        InstrSpec(
+            mn,
+            "R",
+            OP_FP,
+            funct3=funct3,
+            funct7=(f5 << 2) | fmt2,
+            rs2_fixed=rs2_fixed,
+            syntax=syntax,
+            kind=kind,
+            ext=ext or EXT_OF[fmt],
+            fp_fmt=fmt,
+            src_fmt=src_fmt,
+            has_rm=has_rm,
+            rm_fixed=rm_fixed,
+        )
+    )
+
+
+def _register_scalar_format(fmt: str) -> None:
+    """Register the full "F"-mirroring scalar set for one format."""
+    alt = fmt == "ah"
+    rm_pin = RM_ALT if alt else None
+    # Arithmetic (rm-bearing; the alt format pins rm and rounds via fcsr).
+    for mn, f5 in [("fadd", 0b00000), ("fsub", 0b00001), ("fmul", 0b00010),
+                   ("fdiv", 0b00011)]:
+        _fp(f"{mn}.{fmt}", f5, fmt, syntax=("frd", "frs1", "frs2"), kind=mn,
+            has_rm=not alt, rm_fixed=rm_pin)
+    _fp(f"fsqrt.{fmt}", 0b01011, fmt, rs2_fixed=0, syntax=("frd", "frs1"),
+        kind="fsqrt", has_rm=not alt, rm_fixed=rm_pin)
+
+    # Sign injection / min / max (funct3 is an opcode field; alt sets bit 2).
+    bump = 0b100 if alt else 0
+    for mn, f3 in [("fsgnj", 0), ("fsgnjn", 1), ("fsgnjx", 2)]:
+        _fp(f"{mn}.{fmt}", 0b00100, fmt, funct3=f3 | bump,
+            syntax=("frd", "frs1", "frs2"), kind=mn)
+    for mn, f3 in [("fmin", 0), ("fmax", 1)]:
+        _fp(f"{mn}.{fmt}", 0b00101, fmt, funct3=f3 | bump,
+            syntax=("frd", "frs1", "frs2"), kind=mn)
+
+    # Comparisons (result to an integer register).
+    for mn, f3 in [("fle", 0), ("flt", 1), ("feq", 2)]:
+        _fp(f"{mn}.{fmt}", 0b10100, fmt, funct3=f3 | bump,
+            syntax=("rd", "frs1", "frs2"), kind=mn)
+
+    # Classification.
+    _fp(f"fclass.{fmt}", 0b11100, fmt, funct3=1 | bump, rs2_fixed=0,
+        syntax=("rd", "frs1"), kind="fclass")
+
+    # Integer conversions (alt formats flag themselves in rs2 bit 2,
+    # keeping the rounding-mode field available).
+    alt_rs2 = 0b100 if alt else 0
+    _fp(f"fcvt.w.{fmt}", 0b11000, fmt, rs2_fixed=alt_rs2 | 0,
+        syntax=("rd", "frs1"), kind="fcvt_w_f", has_rm=True)
+    _fp(f"fcvt.wu.{fmt}", 0b11000, fmt, rs2_fixed=alt_rs2 | 1,
+        syntax=("rd", "frs1"), kind="fcvt_wu_f", has_rm=True)
+    _fp(f"fcvt.{fmt}.w", 0b11010, fmt, rs2_fixed=alt_rs2 | 0,
+        syntax=("frd", "rs1"), kind="fcvt_f_w", has_rm=True)
+    _fp(f"fcvt.{fmt}.wu", 0b11010, fmt, rs2_fixed=alt_rs2 | 1,
+        syntax=("frd", "rs1"), kind="fcvt_f_wu", has_rm=True)
+
+    # Raw bit moves (format-width agnostic; the alt format shares the
+    # binary16 pattern, a 16-bit move is a 16-bit move).
+    if not alt:
+        _fp(f"fmv.x.{fmt}", 0b11100, fmt, funct3=0, rs2_fixed=0,
+            syntax=("rd", "frs1"), kind="fmv_x_f")
+        _fp(f"fmv.{fmt}.x", 0b11110, fmt, funct3=0, rs2_fixed=0,
+            syntax=("frd", "rs1"), kind="fmv_f_x")
+
+    # Fused multiply-add family (R4 encodings).
+    for mn, opcode, kind in [("fmadd", OP_FMADD, "fmadd"),
+                             ("fmsub", OP_FMSUB, "fmsub"),
+                             ("fnmsub", OP_FNMSUB, "fnmsub"),
+                             ("fnmadd", OP_FNMADD, "fnmadd")]:
+        register(
+            InstrSpec(
+                f"{mn}.{fmt}",
+                "R4",
+                opcode,
+                funct7=FMT2["h"] if alt else FMT2[fmt],
+                syntax=("frd", "frs1", "frs2", "frs3"),
+                kind=kind,
+                ext=EXT_OF[fmt],
+                fp_fmt=fmt,
+                has_rm=not alt,
+                rm_fixed=rm_pin,
+            )
+        )
+
+
+def _register_loads_stores() -> None:
+    for fmt, width in WIDTH_OF.items():
+        suffix = {"s": "w", "h": "h", "b": "b"}[fmt]
+        register(InstrSpec(f"fl{suffix}", "I", OP_LOAD_FP, funct3=width,
+                           syntax=("frd", "mem"), kind="flw",
+                           ext=EXT_OF[fmt], fp_fmt=fmt))
+        register(InstrSpec(f"fs{suffix}", "S", OP_STORE_FP, funct3=width,
+                           syntax=("frs2", "mem"), kind="fsw",
+                           ext=EXT_OF[fmt], fp_fmt=fmt))
+
+
+def _register_conversions() -> None:
+    """All float-to-float conversion pairs among {s, h, ah, b}."""
+    fmts = ["s", "h", "ah", "b"]
+    for dst in fmts:
+        for src in fmts:
+            if dst == src:
+                continue
+            alt_dst = dst == "ah"
+            _fp(
+                f"fcvt.{dst}.{src}",
+                0b01000,
+                dst,
+                rs2_fixed=SRC_CODE[src],
+                syntax=("frd", "frs1"),
+                kind="fcvt_f2f",
+                src_fmt=src,
+                has_rm=not alt_dst,
+                rm_fixed=RM_ALT if alt_dst else None,
+                ext=EXT_OF[dst] if dst != "s" else EXT_OF[src],
+            )
+
+
+def _register_xfaux_scalar() -> None:
+    """Expanding multiply and multiply-accumulate (Table I: fmacex.s.h)."""
+    for src in ["h", "ah", "b"]:
+        alt = src == "ah"
+        _fp(f"fmulex.s.{src}", 0b10101, src, syntax=("frd", "frs1", "frs2"),
+            kind="fmulex", src_fmt=src, has_rm=not alt,
+            rm_fixed=RM_ALT if alt else None, ext="Xfaux")
+        _fp(f"fmacex.s.{src}", 0b10110, src, syntax=("frd", "frs1", "frs2"),
+            kind="fmacex", src_fmt=src, has_rm=not alt,
+            rm_fixed=RM_ALT if alt else None, ext="Xfaux")
+
+
+def _vec(mn: str, code: int, fmt: str, *, syntax, kind: str, rs2_fixed=None,
+         repl=False, src_fmt=None, ext="Xfvec") -> None:
+    register(
+        InstrSpec(
+            mn,
+            "R",
+            OP_OP,
+            funct3=(0b100 if repl else 0) | VEC_FMT[fmt],
+            funct7=_VEC_PREFIX | code,
+            rs2_fixed=rs2_fixed,
+            syntax=syntax,
+            kind=kind,
+            ext=ext,
+            fp_fmt=fmt,
+            src_fmt=src_fmt,
+            vec=True,
+            repl=repl,
+        )
+    )
+
+
+def _register_xfvec() -> None:
+    rrr = ("frd", "frs1", "frs2")
+    for fmt in VEC_FMT:
+        for mn in ["vfadd", "vfsub", "vfmul", "vfdiv", "vfmin", "vfmax", "vfmac"]:
+            _vec(f"{mn}.{fmt}", VECOP[mn], fmt, syntax=rrr, kind=mn)
+            _vec(f"{mn}.r.{fmt}", VECOP[mn], fmt, syntax=rrr, kind=mn, repl=True)
+        _vec(f"vfsqrt.{fmt}", VECOP["vfsqrt"], fmt, rs2_fixed=0,
+             syntax=("frd", "frs1"), kind="vfsqrt")
+        for mn in ["vfsgnj", "vfsgnjn", "vfsgnjx"]:
+            _vec(f"{mn}.{fmt}", VECOP[mn], fmt, syntax=rrr, kind=mn)
+        for mn in ["vfeq", "vflt", "vfle"]:
+            _vec(f"{mn}.{fmt}", VECOP[mn], fmt, syntax=("rd", "frs1", "frs2"),
+                 kind=mn)
+        # Cast-and-pack from two binary32 scalars (paper: vfcpk.h.s).
+        # Not defined for binary32 lanes: a same-format pack is a plain
+        # move sequence, not a conversion.
+        if fmt != "s":
+            _vec(f"vfcpka.{fmt}.s", VECOP["vfcpka"], fmt, syntax=rrr,
+                 kind="vfcpka", src_fmt="s")
+        if fmt == "b":  # four lanes -> a second pair-filling instruction
+            _vec(f"vfcpkb.{fmt}.s", VECOP["vfcpkb"], fmt, syntax=rrr,
+                 kind="vfcpkb", src_fmt="s")
+        # Vector conversions (rs2 sub-codes, mirroring scalar fcvt).
+        _vec(f"vfcvt.x.{fmt}", VECOP["vfcvt"], fmt, rs2_fixed=0,
+             syntax=("frd", "frs1"), kind="vfcvt_x_f")
+        _vec(f"vfcvt.{fmt}.x", VECOP["vfcvt"], fmt, rs2_fixed=1,
+             syntax=("frd", "frs1"), kind="vfcvt_f_x")
+        # Expanding SIMD dot product (Table I: vfdopex.h).  The binary32
+        # lanes of an FLEN=64 core would expand into binary64, which
+        # this FLEN<=64 model does not provide.
+        if fmt != "s":
+            _vec(f"vfdotpex.s.{fmt}", VECOP["vfdotpex"], fmt, syntax=rrr,
+                 kind="vfdotpex", src_fmt=fmt, ext="Xfaux")
+            _vec(f"vfdotpex.s.r.{fmt}", VECOP["vfdotpex"], fmt, syntax=rrr,
+                 kind="vfdotpex", src_fmt=fmt, ext="Xfaux", repl=True)
+    # Same-width float-to-float vector conversions (h <-> ah only).
+    _vec("vfcvt.h.ah", VECOP["vfcvt"], "h", rs2_fixed=0b01001,
+         syntax=("frd", "frs1"), kind="vfcvt_f2f", src_fmt="ah")
+    _vec("vfcvt.ah.h", VECOP["vfcvt"], "ah", rs2_fixed=0b01000,
+         syntax=("frd", "frs1"), kind="vfcvt_f2f", src_fmt="h")
+
+
+def _register_all() -> None:
+    for fmt in ["s", "h", "ah", "b"]:
+        _register_scalar_format(fmt)
+    _register_loads_stores()
+    _register_conversions()
+    _register_xfaux_scalar()
+    _register_xfvec()
+
+
+_register_all()

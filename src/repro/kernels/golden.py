@@ -1,0 +1,62 @@
+"""Binary64 numpy reference implementations (QoR baselines).
+
+Table III's SQNR compares each kernel's smallFloat output against these
+references computed on the *unquantized* input data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def gemm_ref(data: Dict, params: Dict) -> Dict[str, np.ndarray]:
+    """C = beta*C + alpha * A @ B."""
+    out = data["beta"] * data["C"] + data["alpha"] * (data["A"] @ data["B"])
+    return {"C": out.ravel()}
+
+
+def atax_ref(data: Dict, params: Dict) -> Dict[str, np.ndarray]:
+    """y = A^T (A x)."""
+    tmp = data["A"] @ data["x"]
+    return {"y": data["A"].T @ tmp, "tmp": tmp}
+
+
+def syrk_ref(data: Dict, params: Dict) -> Dict[str, np.ndarray]:
+    """Lower triangle of C = beta*C + alpha * A A^T; upper untouched."""
+    a = data["A"]
+    full = data["beta"] * data["C"] + data["alpha"] * (a @ a.T)
+    out = np.triu(data["C"], k=1) + np.tril(full)
+    return {"C": out.ravel()}
+
+
+def syr2k_ref(data: Dict, params: Dict) -> Dict[str, np.ndarray]:
+    """Lower triangle of C = beta*C + alpha*(A B^T + B A^T)."""
+    a, b = data["A"], data["B"]
+    full = data["beta"] * data["C"] + data["alpha"] * (a @ b.T + b @ a.T)
+    out = np.triu(data["C"], k=1) + np.tril(full)
+    return {"C": out.ravel()}
+
+
+def fdtd2d_ref(data: Dict, params: Dict) -> Dict[str, np.ndarray]:
+    """The Polybench FDTD-2D time loop."""
+    ex = data["ex"].copy()
+    ey = data["ey"].copy()
+    hz = data["hz"].copy()
+    fict = data["fict"]
+    for t in range(params["t_max"]):
+        ey[0, :] = fict[t]
+        ey[1:, :] -= 0.5 * (hz[1:, :] - hz[:-1, :])
+        ex[:, 1:] -= 0.5 * (hz[:, 1:] - hz[:, :-1])
+        hz[:-1, :-1] -= 0.7 * (
+            ex[:-1, 1:] - ex[:-1, :-1] + ey[1:, :-1] - ey[:-1, :-1]
+        )
+    return {"ex": ex.ravel(), "ey": ey.ravel(), "hz": hz.ravel()}
+
+
+def svm_ref(data: Dict, params: Dict) -> Dict[str, np.ndarray]:
+    """Per-sample class scores and the argmax labels."""
+    scores = data["X"] @ data["W"].T + data["bias"]
+    return {"scores": scores.ravel(),
+            "labels": np.argmax(scores, axis=1)}

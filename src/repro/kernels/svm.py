@@ -1,0 +1,111 @@
+"""The EMG-gesture SVM inference kernel (paper Sections V-A and V-C).
+
+Three precision schemes, mirroring the case study:
+
+* *uniform*  -- every FP variable shares one type ``{T}`` (this is what
+  Figures 1-3 and Table III run);
+* *mixed*    -- the precision-tuned assignment of Section V-C: inputs,
+  weights and intermediate products in ``float16`` (or another
+  smallFloat), the final accumulation in binary32;
+* *manual*   -- the mixed scheme hand-vectorized with the Xfaux
+  expanding dot product, eliminating the conversion instructions
+  (Fig. 5 right).
+"""
+
+from __future__ import annotations
+
+from .polybench import _VECTOR_INFO, _instantiate
+
+#: Uniform-precision inference: argmax_c (W_c . x + b_c) per sample.
+SVM_UNIFORM = """
+void svm(int ns, int nc, int nf, {T} *W, {T} *X, {T} *bias, {T} *scores,
+         int *labels) {
+    for (int s = 0; s < ns; s = s + 1) {
+        int best = 0;
+        {T} bestv = ({T})-30000.0;
+        for (int c = 0; c < nc; c = c + 1) {
+            {T} acc = ({T})0.0;
+            for (int f = 0; f < nf; f = f + 1) {
+                acc = acc + W[c * nf + f] * X[s * nf + f];
+            }
+            acc = acc + bias[c];
+            scores[s * nc + c] = acc;
+            if (acc > bestv) {
+                bestv = acc;
+                best = c;
+            }
+        }
+        labels[s] = best;
+    }
+}
+"""
+
+#: Mixed precision (the tuner's assignment): smallFloat data, binary32
+#: accumulator.  The auto-vectorizer turns the inner loop into the
+#: vfmul + unpack + fcvt + fadd.s pattern of Fig. 5 (left).
+SVM_MIXED = """
+void svm(int ns, int nc, int nf, {T} *W, {T} *X, {T} *bias, float *scores,
+         int *labels) {
+    for (int s = 0; s < ns; s = s + 1) {
+        int best = 0;
+        float bestv = -30000.0;
+        for (int c = 0; c < nc; c = c + 1) {
+            float acc = 0.0;
+            for (int f = 0; f < nf; f = f + 1) {
+                acc = acc + W[c * nf + f] * X[s * nf + f];
+            }
+            acc = acc + (float)bias[c];
+            scores[s * nc + c] = acc;
+            if (acc > bestv) {
+                bestv = acc;
+                best = c;
+            }
+        }
+        labels[s] = best;
+    }
+}
+"""
+
+#: Mixed precision, manually vectorized with the expanding dot product.
+SVM_MIXED_MANUAL = """
+void svm(int ns, int nc, int nf, {T} *W, {T} *X, {T} *bias, float *scores,
+         int *labels) {
+    int nfv = nf / {VF};
+    {TV} *Wv = ({TV}*)W;
+    {TV} *Xv = ({TV}*)X;
+    for (int s = 0; s < ns; s = s + 1) {
+        int best = 0;
+        float bestv = -30000.0;
+        for (int c = 0; c < nc; c = c + 1) {
+            float acc = 0.0;
+            for (int f = 0; f < nfv; f = f + 1) {
+                acc = {DOTPEX}(acc, Wv[c * nfv + f], Xv[s * nfv + f]);
+            }
+            acc = acc + (float)bias[c];
+            scores[s * nc + c] = acc;
+            if (acc > bestv) {
+                bestv = acc;
+                best = c;
+            }
+        }
+        labels[s] = best;
+    }
+}
+"""
+
+
+def source(ftype: str) -> str:
+    """Uniform-precision SVM source (``ftype`` may be ``float``)."""
+    return _instantiate(SVM_UNIFORM, ftype)
+
+
+def mixed_source(ftype: str = "float16") -> str:
+    """Mixed-precision SVM: smallFloat data, binary32 accumulation."""
+    return _instantiate(SVM_MIXED, ftype)
+
+
+def mixed_manual_source(ftype: str = "float16") -> str:
+    """Hand-vectorized mixed-precision SVM using the Xfaux dot product."""
+    if ftype not in _VECTOR_INFO:
+        raise ValueError(f"no manual vectorization for {ftype!r}")
+    return _instantiate(SVM_MIXED_MANUAL, ftype, manual=True)

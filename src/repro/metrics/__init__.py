@@ -1,0 +1,5 @@
+"""Quality-of-result metrics."""
+
+from .sqnr import classification_error, sqnr_db
+
+__all__ = ["classification_error", "sqnr_db"]

@@ -1,0 +1,43 @@
+"""Quality-of-result metrics: SQNR (Table III) and classification error."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def sqnr_db(reference, approximation) -> float:
+    """Signal-to-quantization-noise ratio in dB.
+
+    ``10 * log10( sum(ref^2) / sum((ref - approx)^2) )`` over the
+    flattened arrays -- the paper's Table III metric.  Returns ``inf``
+    for a bit-exact result and ``-inf`` for a zero reference with
+    non-zero error.
+    """
+    ref = np.asarray(reference, dtype=np.float64).ravel()
+    approx = np.asarray(approximation, dtype=np.float64).ravel()
+    if ref.shape != approx.shape:
+        raise ValueError(
+            f"shape mismatch: {ref.shape} vs {approx.shape}"
+        )
+    noise = np.sum((ref - approx) ** 2)
+    signal = np.sum(ref ** 2)
+    if noise == 0.0:
+        return math.inf
+    if signal == 0.0:
+        return -math.inf
+    return 10.0 * math.log10(signal / noise)
+
+
+def classification_error(reference_labels: Sequence[int],
+                         labels: Sequence[int]) -> float:
+    """Fraction of misclassified samples (the case study's constraint)."""
+    ref = np.asarray(reference_labels).ravel()
+    got = np.asarray(labels).ravel()
+    if ref.shape != got.shape:
+        raise ValueError(f"shape mismatch: {ref.shape} vs {got.shape}")
+    if ref.size == 0:
+        raise ValueError("empty label arrays")
+    return float(np.mean(ref != got))

@@ -1,0 +1,36 @@
+"""Instruction-set simulator with a RISCY-like cycle model."""
+
+from .csr import CsrFile, IllegalCsr
+from .executor import EbreakTrap, EcallTrap, execute
+from .machine import Machine
+from .memory import LATENCY_LEVELS, Memory
+from .simulator import (
+    HALT_ADDRESS,
+    STACK_TOP,
+    RunResult,
+    SimulationError,
+    Simulator,
+)
+from .timing import TimingConfig, TimingModel
+from .tracer import CATEGORIES, Trace, classify
+
+__all__ = [
+    "CsrFile",
+    "IllegalCsr",
+    "EbreakTrap",
+    "EcallTrap",
+    "execute",
+    "Machine",
+    "LATENCY_LEVELS",
+    "Memory",
+    "HALT_ADDRESS",
+    "STACK_TOP",
+    "RunResult",
+    "SimulationError",
+    "Simulator",
+    "TimingConfig",
+    "TimingModel",
+    "CATEGORIES",
+    "Trace",
+    "classify",
+]

@@ -1,0 +1,81 @@
+"""Control and status registers: fcsr (fflags + frm) and the counters."""
+
+from __future__ import annotations
+
+from ..fp.flags import ALL as FFLAGS_MASK
+from ..fp.rounding import RoundingMode
+
+CSR_FFLAGS = 0x001
+CSR_FRM = 0x002
+CSR_FCSR = 0x003
+CSR_CYCLE = 0xC00
+CSR_INSTRET = 0xC02
+CSR_CYCLEH = 0xC80
+CSR_INSTRETH = 0xC82
+CSR_MHARTID = 0xF14
+
+
+class IllegalCsr(Exception):
+    """Access to an unimplemented CSR."""
+
+
+class CsrFile:
+    """The CSRs RISCY exposes to user code, plus the cycle counters.
+
+    The counter CSRs are read-only views of attributes the simulator
+    updates (``cycle_source``/``instret_source`` callables).
+    """
+
+    def __init__(self):
+        self.fflags = 0
+        self.frm = int(RoundingMode.RNE)
+        self.cycle_source = lambda: 0
+        self.instret_source = lambda: 0
+
+    # ------------------------------------------------------------------
+    @property
+    def fcsr(self) -> int:
+        return (self.frm << 5) | self.fflags
+
+    def accrue(self, flags: int) -> None:
+        """OR exception flags raised by an FP operation into fflags."""
+        self.fflags |= flags & FFLAGS_MASK
+
+    @property
+    def rounding_mode(self) -> RoundingMode:
+        """The dynamic rounding mode (raises on reserved frm values)."""
+        return RoundingMode(self.frm)
+
+    # ------------------------------------------------------------------
+    def read(self, csr: int) -> int:
+        if csr == CSR_FFLAGS:
+            return self.fflags
+        if csr == CSR_FRM:
+            return self.frm
+        if csr == CSR_FCSR:
+            return self.fcsr
+        if csr == CSR_CYCLE:
+            return self.cycle_source() & 0xFFFFFFFF
+        if csr == CSR_CYCLEH:
+            return (self.cycle_source() >> 32) & 0xFFFFFFFF
+        if csr == CSR_INSTRET:
+            return self.instret_source() & 0xFFFFFFFF
+        if csr == CSR_INSTRETH:
+            return (self.instret_source() >> 32) & 0xFFFFFFFF
+        if csr == CSR_MHARTID:
+            return 0
+        raise IllegalCsr(f"read of unimplemented CSR {csr:#x}")
+
+    def write(self, csr: int, value: int) -> None:
+        if csr == CSR_FFLAGS:
+            self.fflags = value & FFLAGS_MASK
+        elif csr == CSR_FRM:
+            self.frm = value & 0b111
+        elif csr == CSR_FCSR:
+            self.fflags = value & FFLAGS_MASK
+            self.frm = (value >> 5) & 0b111
+        elif csr in (CSR_CYCLE, CSR_CYCLEH, CSR_INSTRET, CSR_INSTRETH,
+                     CSR_MHARTID):
+            raise IllegalCsr(f"write to read-only CSR {csr:#x}")
+        else:
+            raise IllegalCsr(f"write to unimplemented CSR {csr:#x}")

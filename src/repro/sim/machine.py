@@ -1,0 +1,78 @@
+"""Architectural state of the modelled RISCY core.
+
+The PULP RISCY configuration evaluated in the paper shares one register
+file between integer and FP instructions (visible in Fig. 5, where
+``lw``, ``vfmul.h`` and ``fmacex.s.h`` all operate on ``a``/``s``
+registers).  That merged configuration is the default here; a separate
+32-entry FP register file can be selected for standard-RV32F modelling.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .csr import CsrFile
+from .memory import Memory
+
+MASK32 = 0xFFFFFFFF
+
+
+class Machine:
+    """Registers, PC, CSRs and memory of one hart."""
+
+    def __init__(
+        self,
+        memory: Memory = None,
+        merged_regfile: bool = True,
+        flen: int = 32,
+    ):
+        self.memory = memory if memory is not None else Memory()
+        self.merged_regfile = merged_regfile
+        self.flen = flen
+        self.pc = 0
+        self.xregs: List[int] = [0] * 32
+        self.fregs: List[int] = [0] * 32
+        self.csr = CsrFile()
+
+    # ------------------------------------------------------------------
+    # Integer register file (x0 hardwired to zero)
+    # ------------------------------------------------------------------
+    def read_x(self, reg: int) -> int:
+        return self.xregs[reg]
+
+    def read_x_signed(self, reg: int) -> int:
+        value = self.xregs[reg]
+        return value - (1 << 32) if value & 0x80000000 else value
+
+    def write_x(self, reg: int, value: int) -> None:
+        if reg != 0:
+            self.xregs[reg] = value & MASK32
+
+    # ------------------------------------------------------------------
+    # FP register file (routed to the integer file when merged)
+    # ------------------------------------------------------------------
+    def read_f(self, reg: int, width: int = None) -> int:
+        """Read an FP register, truncated to ``width`` bits if given.
+
+        Sub-register reads take the low-order lanes, matching both the
+        merged-regfile hardware and the SIMD lane layout (lane 0 in the
+        least significant bits).
+        """
+        value = self.xregs[reg] if self.merged_regfile else self.fregs[reg]
+        if width is not None and width < self.flen:
+            value &= (1 << width) - 1
+        return value
+
+    def write_f(self, reg: int, value: int, width: int = None) -> None:
+        """Write an FP register (narrow scalars are zero-extended)."""
+        if width is not None and width < self.flen:
+            value &= (1 << width) - 1
+        else:
+            value &= (1 << self.flen) - 1
+        if self.merged_regfile:
+            self.write_x(reg, value)
+        else:
+            self.fregs[reg] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Machine(pc={self.pc:#x}, merged={self.merged_regfile})"

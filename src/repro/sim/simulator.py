@@ -1,0 +1,160 @@
+"""Top-level fetch/decode/execute loop (the PULP-virtual-platform stand-in).
+
+The simulator loads an assembled :class:`~repro.isa.assembler.Program`,
+runs from an entry symbol to a sentinel return address, and produces a
+:class:`~repro.sim.tracer.Trace` with cycle and instruction-mix
+statistics.  Decoded instructions are cached per address, and compressed
+parcels are expanded on fetch (RISCY does the same in its decoder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from ..isa.assembler import Program
+from ..isa.compressed import expand
+from ..isa.encoding import is_compressed
+from ..isa.instructions import Instr, decode
+from .executor import EbreakTrap, EcallTrap, execute
+from .machine import MASK32, Machine
+from .memory import Memory
+from .timing import TimingConfig, TimingModel
+from .tracer import Trace
+
+#: The sentinel return address that terminates a run (aligned, outside
+#: any mapped program region).
+HALT_ADDRESS = 0xFFFF_FF00
+
+#: Default stack top (grows downward, far from text and data).
+STACK_TOP = 0x00F0_0000
+
+
+class SimulationError(Exception):
+    """Runaway or faulting simulation."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`Simulator.run` call."""
+
+    trace: Trace
+    exit_reason: str  # 'halt', 'ecall', 'ebreak'
+    machine: Machine
+
+    @property
+    def cycles(self) -> int:
+        return self.trace.cycles
+
+    @property
+    def instret(self) -> int:
+        return self.trace.instret
+
+
+class Simulator:
+    """An RV32IMFC + smallFloat instruction-set simulator."""
+
+    def __init__(
+        self,
+        program: Program = None,
+        mem_latency: int = 1,
+        merged_regfile: bool = True,
+        flen: int = 32,
+        timing: TimingConfig = None,
+    ):
+        memory = Memory(latency=mem_latency)
+        timing_config = timing or TimingConfig()
+        timing_config.mem_latency = mem_latency
+        self.machine = Machine(memory, merged_regfile=merged_regfile, flen=flen)
+        self.timing = TimingModel(timing_config)
+        self.program: Optional[Program] = None
+        self._decode_cache: Dict[int, Tuple[Instr, int]] = {}
+        if program is not None:
+            self.load(program)
+
+    # ------------------------------------------------------------------
+    def load(self, program: Program) -> None:
+        """Load text and data sections into memory."""
+        self.program = program
+        self._decode_cache.clear()
+        for index, word in enumerate(program.words):
+            self.machine.memory.write_u32(program.text_base + 4 * index, word)
+        if program.data:
+            self.machine.memory.write_block(program.data_base, bytes(program.data))
+
+    def address_of(self, entry: Union[str, int]) -> int:
+        if isinstance(entry, int):
+            return entry
+        if self.program is None:
+            raise SimulationError("no program loaded")
+        return self.program.address_of(entry)
+
+    # ------------------------------------------------------------------
+    def _fetch(self, pc: int) -> Tuple[Instr, int]:
+        cached = self._decode_cache.get(pc)
+        if cached is not None:
+            return cached
+        parcel = self.machine.memory.read_u16(pc)
+        if is_compressed(parcel):
+            instr = decode(expand(parcel))
+            size = 2
+        else:
+            instr = decode(self.machine.memory.read_u32(pc))
+            size = 4
+        instr.size = size  # type: ignore[attr-defined]
+        self._decode_cache[pc] = (instr, size)
+        return instr, size
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        entry: Union[str, int] = 0,
+        args: Dict[int, int] = None,
+        max_instructions: int = 50_000_000,
+        trace: Trace = None,
+    ) -> RunResult:
+        """Run from ``entry`` until the sentinel return address.
+
+        ``args`` maps integer register numbers to initial values (the
+        harness passes pointers and sizes in a0-a7 this way).  The run
+        behaves like a call: ``ra`` is pointed at :data:`HALT_ADDRESS`
+        so a final ``ret`` ends the simulation.
+        """
+        machine = self.machine
+        machine.pc = self.address_of(entry)
+        machine.write_x(1, HALT_ADDRESS)  # ra
+        machine.write_x(2, STACK_TOP)  # sp
+        for reg, value in (args or {}).items():
+            machine.write_x(reg, value)
+
+        stats = trace if trace is not None else Trace()
+        machine.csr.cycle_source = lambda: stats.cycles
+        machine.csr.instret_source = lambda: stats.instret
+
+        exit_reason = "halt"
+        executed = 0
+        while machine.pc != HALT_ADDRESS:
+            if executed >= max_instructions:
+                raise SimulationError(
+                    f"exceeded {max_instructions} instructions at "
+                    f"pc={machine.pc:#x}"
+                )
+            instr, size = self._fetch(machine.pc)
+            fallthrough = (machine.pc + size) & MASK32
+            try:
+                next_pc = execute(machine, instr)
+            except EcallTrap:
+                stats.record(instr, 1)
+                exit_reason = "ecall"
+                break
+            except EbreakTrap:
+                stats.record(instr, 1)
+                exit_reason = "ebreak"
+                break
+            # Any redirect counts as taken (even a branch to pc+4: the
+            # pipeline still flushes).
+            taken = next_pc is not None
+            stats.record(instr, self.timing.cycles(instr, taken=taken), taken)
+            machine.pc = next_pc if next_pc is not None else fallthrough
+            executed += 1
+        return RunResult(trace=stats, exit_reason=exit_reason, machine=machine)

@@ -1,0 +1,33 @@
+"""Automatic precision tuning (Section V-C)."""
+
+from .case_study import (
+    GestureCase,
+    evaluate_assignment,
+    make_gesture_case,
+    make_problem,
+    run_case_study,
+)
+from .tuner import (
+    Assignment,
+    TunableVariable,
+    TuningProblem,
+    TuningResult,
+    default_cost,
+    tune_delta,
+    tune_greedy,
+)
+
+__all__ = [
+    "GestureCase",
+    "evaluate_assignment",
+    "make_gesture_case",
+    "make_problem",
+    "run_case_study",
+    "Assignment",
+    "TunableVariable",
+    "TuningProblem",
+    "TuningResult",
+    "default_cost",
+    "tune_delta",
+    "tune_greedy",
+]

@@ -1,0 +1,241 @@
+"""Automatic precision tuning (the fpPrecisionTuning / Precimonious
+substitute used by the paper's Section V-C case study).
+
+A *tuning problem* is a set of named variables, each with an ordered
+list of candidate types (widest first), an evaluation function mapping a
+complete assignment to a quality-of-result number, and a QoR constraint.
+The tuner searches for the cheapest assignment that satisfies the
+constraint.
+
+Two dynamic strategies are provided, mirroring the cited tools:
+
+* :func:`tune_greedy` -- iteratively narrow one variable at a time,
+  keeping the move that most reduces cost without violating the
+  constraint (fpPrecisionTuning-style hill descent);
+* :func:`tune_delta` -- first try narrowing *all* variables, then
+  bisect the failing set, Precimonious/delta-debugging style, finishing
+  with a greedy polish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..compiler.typesys import TYPE_KEYWORDS, FloatType
+
+Assignment = Dict[str, str]
+
+
+@dataclass(frozen=True)
+class TunableVariable:
+    """One variable (or variable group) the tuner may narrow.
+
+    ``candidates`` are type keywords ordered widest-first; the search
+    only ever moves rightward (narrower) through this list.
+    """
+
+    name: str
+    candidates: Tuple[str, ...] = (
+        "float", "float16", "float8",
+    )
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise ValueError(f"{self.name}: empty candidate list")
+        for kw in self.candidates:
+            if kw not in TYPE_KEYWORDS or not isinstance(
+                TYPE_KEYWORDS[kw], FloatType
+            ):
+                raise ValueError(f"{self.name}: {kw!r} is not an FP type")
+
+
+def default_cost(assignment: Assignment) -> float:
+    """Cost proxy: total bit-width of the assignment.
+
+    Energy per operation scales with operand width to first order, so
+    the summed width ranks assignments the same way the energy model
+    does while staying evaluation-free.
+    """
+    return float(sum(TYPE_KEYWORDS[kw].fmt.width
+                     for kw in assignment.values()))
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a tuning run."""
+
+    assignment: Assignment
+    qor: float
+    cost: float
+    evaluations: int
+    history: List[Tuple[Assignment, float, bool]] = field(
+        default_factory=list
+    )
+
+
+class TuningProblem:
+    """Variables + evaluator + constraint.
+
+    ``evaluate(assignment)`` returns a QoR scalar; ``accept(qor)``
+    decides whether it satisfies the application constraint (e.g.
+    "classification error == 0", "SQNR >= 40 dB").
+    """
+
+    def __init__(
+        self,
+        variables: Sequence[TunableVariable],
+        evaluate: Callable[[Assignment], float],
+        accept: Callable[[float], bool],
+        cost: Callable[[Assignment], float] = default_cost,
+    ):
+        if not variables:
+            raise ValueError("a tuning problem needs at least one variable")
+        names = [v.name for v in variables]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate variable names")
+        self.variables = list(variables)
+        self._evaluate = evaluate
+        self.accept = accept
+        self.cost = cost
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    def widest(self) -> Assignment:
+        return {v.name: v.candidates[0] for v in self.variables}
+
+    def evaluate(self, assignment: Assignment) -> float:
+        self.evaluations += 1
+        return self._evaluate(assignment)
+
+    def narrower(self, variable: TunableVariable, current: str) -> Optional[str]:
+        """The next narrower candidate for a variable, if any."""
+        index = variable.candidates.index(current)
+        if index + 1 < len(variable.candidates):
+            return variable.candidates[index + 1]
+        return None
+
+
+def _result(problem: TuningProblem, assignment: Assignment, qor: float,
+            history) -> TuningResult:
+    return TuningResult(
+        assignment=dict(assignment),
+        qor=qor,
+        cost=problem.cost(assignment),
+        evaluations=problem.evaluations,
+        history=history,
+    )
+
+
+def tune_greedy(problem: TuningProblem) -> TuningResult:
+    """Hill-descent: repeatedly apply the best single-variable narrowing.
+
+    Starts from the widest assignment (which must satisfy the
+    constraint) and stops when no single narrowing is acceptable.
+    """
+    current = problem.widest()
+    qor = problem.evaluate(current)
+    history: List[Tuple[Assignment, float, bool]] = [
+        (dict(current), qor, True)
+    ]
+    if not problem.accept(qor):
+        raise ValueError(
+            "the widest assignment already violates the QoR constraint"
+        )
+    improved = True
+    while improved:
+        improved = False
+        best_move: Optional[Tuple[float, Assignment, float]] = None
+        for variable in problem.variables:
+            narrower = problem.narrower(variable, current[variable.name])
+            if narrower is None:
+                continue
+            candidate = dict(current)
+            candidate[variable.name] = narrower
+            qor_c = problem.evaluate(candidate)
+            ok = problem.accept(qor_c)
+            history.append((dict(candidate), qor_c, ok))
+            if not ok:
+                continue
+            cost_c = problem.cost(candidate)
+            if best_move is None or cost_c < best_move[0]:
+                best_move = (cost_c, candidate, qor_c)
+        if best_move is not None:
+            _, current, qor = best_move
+            improved = True
+    return _result(problem, current, qor, history)
+
+
+def tune_delta(problem: TuningProblem) -> TuningResult:
+    """Delta-debugging flavour: narrow everything, bisect failures.
+
+    1. Narrow every variable one step; if acceptable, repeat.
+    2. On failure, split the just-narrowed set in halves and retry each
+       half (recursively), keeping acceptable narrowings.
+    3. Finish with a greedy polish from the resulting assignment.
+    """
+    current = problem.widest()
+    qor = problem.evaluate(current)
+    history: List[Tuple[Assignment, float, bool]] = [
+        (dict(current), qor, True)
+    ]
+    if not problem.accept(qor):
+        raise ValueError(
+            "the widest assignment already violates the QoR constraint"
+        )
+
+    def try_narrow(names: List[str], base: Assignment
+                   ) -> Tuple[Assignment, float, bool]:
+        candidate = dict(base)
+        changed = False
+        for name in names:
+            variable = next(v for v in problem.variables if v.name == name)
+            narrower = problem.narrower(variable, candidate[name])
+            if narrower is not None:
+                candidate[name] = narrower
+                changed = True
+        if not changed:
+            return base, qor, False
+        qor_c = problem.evaluate(candidate)
+        ok = problem.accept(qor_c)
+        history.append((dict(candidate), qor_c, ok))
+        return (candidate, qor_c, ok) if ok else (base, qor_c, False)
+
+    def descend(names: List[str], base: Assignment,
+                base_qor: float) -> Tuple[Assignment, float]:
+        candidate, qor_c, ok = try_narrow(names, base)
+        if ok:
+            return candidate, qor_c
+        if len(names) <= 1:
+            return base, base_qor
+        mid = len(names) // 2
+        out, out_qor = descend(names[:mid], base, base_qor)
+        out, out_qor = descend(names[mid:], out, out_qor)
+        return out, out_qor
+
+    names = [v.name for v in problem.variables]
+    progress = True
+    while progress:
+        before = dict(current)
+        current, qor = descend(names, current, qor)
+        progress = current != before
+
+    # Greedy polish catches narrowings enabled by earlier moves.
+    polish = TuningProblem(self_vars := problem.variables,
+                           problem._evaluate, problem.accept, problem.cost)
+
+    def polish_from(start: Assignment):
+        nonlocal current, qor
+        saved = [v for v in polish.variables]
+        trimmed = []
+        for v in saved:
+            index = v.candidates.index(start[v.name])
+            trimmed.append(TunableVariable(v.name, v.candidates[index:]))
+        polish.variables = trimmed
+        result = tune_greedy(polish)
+        current, qor = result.assignment, result.qor
+        history.extend(result.history)
+
+    polish_from(current)
+    problem.evaluations += polish.evaluations
+    return _result(problem, current, qor, history)

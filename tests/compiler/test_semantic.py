@@ -1,0 +1,184 @@
+"""Type checking and the extended conversion rules (paper Section IV)."""
+
+import pytest
+
+from repro.compiler.astnodes import Cast, LaneRef
+from repro.compiler.parser import parse
+from repro.compiler.semantic import SemanticError, analyze
+from repro.compiler.typesys import (
+    FLOAT,
+    FLOAT8,
+    FLOAT16,
+    FLOAT16ALT,
+    FLOAT16V,
+    INT,
+    promote,
+    TypeError_,
+)
+
+
+def check(src):
+    return analyze(parse(src))
+
+
+class TestPromotionRules:
+    def test_int_plus_float16_promotes(self):
+        assert promote(INT, FLOAT16) == FLOAT16
+
+    def test_float16_plus_float_promotes_to_float(self):
+        assert promote(FLOAT16, FLOAT) == FLOAT
+
+    def test_float8_promotes_to_anything_wider(self):
+        assert promote(FLOAT8, FLOAT16) == FLOAT16
+        assert promote(FLOAT8, FLOAT16ALT) == FLOAT16ALT
+        assert promote(FLOAT8, FLOAT) == FLOAT
+
+    def test_the_two_16bit_formats_do_not_mix(self):
+        """Neither subsumes the other (range vs precision)."""
+        with pytest.raises(TypeError_):
+            promote(FLOAT16, FLOAT16ALT)
+
+
+class TestAnalyzer:
+    def test_types_propagate(self):
+        mod = check("void f(float16 *a) { float16 x = a[0] * a[1]; }")
+        decl = mod.function("f").body.stmts[0]
+        assert decl.init.ty == FLOAT16
+
+    def test_implicit_widening_cast_inserted(self):
+        mod = check("void f(float s, float16 h) { s = s + h; }")
+        value = mod.function("f").body.stmts[0].value
+        assert value.ty == FLOAT
+        assert isinstance(value.right, Cast)
+        assert value.right.implicit
+
+    def test_assignment_narrowing_cast_inserted(self):
+        mod = check("void f(float16 h, float s) { h = s; }")
+        stmt = mod.function("f").body.stmts[0]
+        assert isinstance(stmt.value, Cast)
+        assert stmt.value.target == FLOAT16
+
+    def test_mixing_16bit_formats_rejected(self):
+        with pytest.raises(SemanticError, match="ambiguous"):
+            check("void f(float16 h, float16alt a) { h = h + a; }")
+
+    def test_explicit_cast_between_16bit_formats_ok(self):
+        mod = check("void f(float16 h, float16alt a) { h = h + (float16)a; }")
+        assert mod is not None
+
+    def test_undeclared_variable(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check("void f() { x = 1; }")
+
+    def test_redeclaration_in_same_scope(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            check("void f() { int x; int x; }")
+
+    def test_shadowing_in_nested_scope_ok(self):
+        check("void f() { int x = 1; { int x = 2; } }")
+
+    def test_indexing_non_pointer(self):
+        with pytest.raises(SemanticError, match="cannot index"):
+            check("void f(int x) { x[0] = 1; }")
+
+    def test_non_integer_index(self):
+        with pytest.raises(SemanticError, match="indices"):
+            check("void f(int *a, float x) { a[x] = 1; }")
+
+    def test_float_condition_rejected(self):
+        with pytest.raises(SemanticError, match="conditions"):
+            check("void f(float x) { if (x) { } }")
+
+    def test_comparison_condition_ok(self):
+        check("void f(float x) { if (x > 0.0) { } }")
+
+    def test_return_type_checked(self):
+        with pytest.raises(SemanticError, match="return"):
+            check("void f() { return 3; }")
+
+    def test_missing_return_value(self):
+        with pytest.raises(SemanticError, match="return"):
+            check("int f() { return; }")
+
+    def test_return_conversion(self):
+        mod = check("float16 f(float x) { return x; }")
+        ret = mod.function("f").body.stmts[0]
+        assert isinstance(ret.value, Cast)
+
+    def test_modulo_requires_ints(self):
+        with pytest.raises(SemanticError):
+            check("void f(float x) { x = x % 2.0; }")
+
+
+class TestVectorTyping:
+    def test_vector_arithmetic(self):
+        mod = check("void f(float16v a, float16v b) { float16v c = a * b; }")
+        decl = mod.function("f").body.stmts[0]
+        assert decl.init.ty == FLOAT16V
+
+    def test_vector_scalar_broadcast_allowed(self):
+        """vector * scalar-of-element-type broadcasts via .r variants."""
+        mod = check("void f(float16v a, float16 b) { a = a * b; }")
+        value = mod.function("f").body.stmts[0].value
+        assert value.repl
+        assert value.ty == FLOAT16V
+
+    def test_scalar_on_left_commutes(self):
+        mod = check("void f(float16v a, float16 b) { a = b * a; }")
+        value = mod.function("f").body.stmts[0].value
+        assert value.repl
+        assert value.right.ty == FLOAT16
+
+    def test_scalar_left_of_division_rejected(self):
+        with pytest.raises(SemanticError, match="broadcast"):
+            check("void f(float16v a, float16 b) { a = b / a; }")
+
+    def test_mismatched_vector_types_rejected(self):
+        with pytest.raises(SemanticError):
+            check("void f(float16v a, float8v b) { a = a * b; }")
+
+    def test_pointer_reinterpret_cast(self):
+        mod = check("void f(float16 *a) { float16v *v = (float16v*)a; }")
+        assert mod is not None
+
+    def test_lane_access_becomes_laneref(self):
+        mod = check("void f(float16v a, float16 x) { x = a[1]; }")
+        value = mod.function("f").body.stmts[0].value
+        assert isinstance(value, LaneRef)
+        assert value.lane == 1
+        assert value.ty == FLOAT16
+
+    def test_lane_out_of_range(self):
+        with pytest.raises(SemanticError, match="lane"):
+            check("void f(float16v a, float16 x) { x = a[2]; }")
+
+    def test_lane_index_must_be_constant(self):
+        with pytest.raises(SemanticError, match="constant"):
+            check("void f(float16v a, float16 x, int i) { x = a[i]; }")
+
+    def test_float8v_has_four_lanes(self):
+        check("void f(float8v a, float8 x) { x = a[3]; }")
+
+
+class TestIntrinsicChecking:
+    def test_dotpex_signature(self):
+        mod = check(
+            "float f(float s, float16v a, float16v b)"
+            "{ return __dotpex_f16(s, a, b); }"
+        )
+        ret = mod.function("f").body.stmts[0]
+        assert ret.value.ty == FLOAT
+
+    def test_wrong_arity(self):
+        with pytest.raises(SemanticError, match="arguments"):
+            check("float f(float s) { return __dotpex_f16(s); }")
+
+    def test_unknown_intrinsic(self):
+        with pytest.raises(SemanticError, match="unknown"):
+            check("void f() { __frobnicate(); }")
+
+    def test_argument_conversion(self):
+        # int literal accumulator converts to float.
+        mod = check("float f(float16 a, float16 b)"
+                    "{ return __macex_f16(0, a, b); }")
+        assert mod is not None

@@ -1,0 +1,118 @@
+"""Energy model: per-op ratios, memory levels, report arithmetic."""
+
+import pytest
+
+from repro.energy import EnergyModel, EnergyReport, EnergyTable, MEM_ACCESS_ENERGY
+from repro.isa import spec_by_mnemonic
+from repro.sim.tracer import Trace
+
+
+def op_energy(mnemonic):
+    return EnergyTable().op_energy(spec_by_mnemonic(mnemonic))
+
+
+class TestOperationRatios:
+    """The relative costs that drive every normalized figure."""
+
+    def test_smaller_formats_cost_less_scalar(self):
+        assert op_energy("fadd.b") < op_energy("fadd.h") < op_energy("fadd.s")
+        assert op_energy("fadd.ah") <= op_energy("fadd.h")
+
+    def test_simd_op_cheaper_per_element(self):
+        # 2 lanes of f16 for less than 2 scalar f16 ops.
+        assert op_energy("vfadd.h") < 2 * op_energy("fadd.h")
+        # 4 lanes of f8 for less than 4 scalar f8 ops.
+        assert op_energy("vfadd.b") < 4 * op_energy("fadd.b")
+
+    def test_simd_op_near_parity_with_fp32(self):
+        """An FPnew-style datapath: a full-width SIMD op costs about
+        one binary32 op."""
+        ratio = op_energy("vfadd.h") / op_energy("fadd.s")
+        assert 0.7 < ratio < 1.1
+
+    def test_fma_costs_more_than_add(self):
+        assert op_energy("fmadd.s") > op_energy("fadd.s")
+        assert op_energy("vfmac.h") > op_energy("vfadd.h")
+
+    def test_division_is_expensive(self):
+        assert op_energy("fdiv.s") > 3 * op_energy("fadd.s")
+        assert op_energy("div") > 5 * op_energy("add")
+
+    def test_int_alu_is_cheapest(self):
+        assert op_energy("add") < op_energy("fadd.b")
+
+    def test_expanding_dotp_cheaper_than_unpack_sequence(self):
+        """The Xfaux motivation: one vfdotpex must beat the auto
+        pattern (vfmul + 2x fcvt + 2x fadd.s + srli)."""
+        auto_pattern = (
+            op_energy("vfmul.h")
+            + 2 * op_energy("fcvt.s.h")
+            + 2 * op_energy("fadd.s")
+            + op_energy("srli")
+        )
+        assert op_energy("vfdotpex.s.h") < auto_pattern / 2
+
+    def test_every_instruction_has_an_energy(self):
+        from repro.isa import all_specs
+
+        table = EnergyTable()
+        for spec in all_specs():
+            assert table.op_energy(spec) > 0, spec.mnemonic
+
+
+class TestMemoryEnergy:
+    def test_levels_are_monotonic(self):
+        model = EnergyModel()
+        assert (model.mem_access_energy(1)
+                < model.mem_access_energy(10)
+                < model.mem_access_energy(100))
+
+    def test_calibrated_points_exact(self):
+        model = EnergyModel()
+        for latency, energy in MEM_ACCESS_ENERGY.items():
+            assert model.mem_access_energy(latency) == energy
+
+    def test_interpolation_between_levels(self):
+        model = EnergyModel()
+        mid = model.mem_access_energy(30)
+        assert model.mem_access_energy(10) < mid < model.mem_access_energy(100)
+
+    def test_clamping_outside_range(self):
+        model = EnergyModel()
+        assert model.mem_access_energy(200) == MEM_ACCESS_ENERGY[100]
+
+
+class TestEstimate:
+    def _trace(self, mnemonics, cycles=0, mem=0):
+        trace = Trace()
+        for mn in mnemonics:
+            trace.by_mnemonic[mn] += 1
+        trace.cycles = cycles
+        trace.mem_accesses = mem
+        trace.instret = len(mnemonics)
+        return trace
+
+    def test_components_add_up(self):
+        model = EnergyModel()
+        trace = self._trace(["add", "fadd.s"], cycles=10, mem=2)
+        report = model.estimate(trace, mem_latency=1)
+        assert report.total == pytest.approx(
+            report.op_energy + report.mem_energy + report.background_energy
+        )
+        assert report.op_energy == pytest.approx(
+            op_energy("add") + op_energy("fadd.s")
+        )
+        assert report.mem_energy == pytest.approx(
+            2 * MEM_ACCESS_ENERGY[1]
+        )
+
+    def test_background_scales_with_cycles(self):
+        model = EnergyModel()
+        short = model.estimate(self._trace(["add"], cycles=10), 1)
+        long = model.estimate(self._trace(["add"], cycles=1000), 1)
+        assert long.background_energy > short.background_energy
+
+    def test_normalization(self):
+        report = EnergyReport(10.0, 10.0, 10.0)
+        baseline = EnergyReport(20.0, 20.0, 20.0)
+        assert report.normalized_to(baseline) == pytest.approx(0.5)

@@ -1,0 +1,270 @@
+"""Directed special-case tests for the softfloat arithmetic core."""
+
+import pytest
+
+from repro.fp import BINARY8, BINARY16, BINARY16ALT, BINARY32, DZ, NV, NX, RoundingMode
+from repro.fp.arith import fadd, fdiv, ffma, fma_mixed, fmul, fmul_widen, fsqrt, fsub
+from repro.fp.convert import from_double, to_double
+
+RNE = RoundingMode.RNE
+RDN = RoundingMode.RDN
+F16 = BINARY16
+
+
+def f16(x):
+    return from_double(x, F16)
+
+
+def val(bits, fmt=F16):
+    return to_double(bits, fmt)
+
+
+QNAN = F16.quiet_nan
+SNAN = F16.quiet_nan & ~(1 << (F16.man_bits - 1)) | 1  # exp all-ones, MSB clear
+PINF = F16.pos_inf
+NINF = F16.neg_inf
+
+
+class TestAddSpecials:
+    def test_simple_add(self):
+        bits, flags = fadd(F16, f16(1.5), f16(2.25), RNE)
+        assert val(bits) == 3.75
+        assert flags == 0
+
+    def test_qnan_propagates_canonically_without_nv(self):
+        bits, flags = fadd(F16, QNAN | 0x55, f16(1.0), RNE)
+        assert bits == QNAN
+        assert flags == 0
+
+    def test_snan_raises_nv(self):
+        bits, flags = fadd(F16, SNAN, f16(1.0), RNE)
+        assert bits == QNAN
+        assert flags == NV
+
+    def test_inf_plus_finite(self):
+        assert fadd(F16, PINF, f16(-1e4), RNE) == (PINF, 0)
+
+    def test_inf_minus_inf_is_invalid(self):
+        bits, flags = fadd(F16, PINF, NINF, RNE)
+        assert bits == QNAN
+        assert flags == NV
+
+    def test_same_sign_zeros(self):
+        assert fadd(F16, f16(0.0), f16(0.0), RNE) == (0, 0)
+        assert fadd(F16, f16(-0.0), f16(-0.0), RNE) == (F16.neg_zero, 0)
+
+    def test_opposite_zeros_rne_gives_pos_zero(self):
+        assert fadd(F16, f16(0.0), f16(-0.0), RNE) == (0, 0)
+
+    def test_opposite_zeros_rdn_gives_neg_zero(self):
+        assert fadd(F16, f16(0.0), f16(-0.0), RDN) == (F16.neg_zero, 0)
+
+    def test_exact_cancellation_sign_follows_mode(self):
+        a, b = f16(1.5), f16(-1.5)
+        assert fadd(F16, a, b, RNE) == (0, 0)
+        assert fadd(F16, a, b, RDN) == (F16.neg_zero, 0)
+
+    def test_inexact_raises_nx(self):
+        # 2048 + 1 is not representable in binary16 (ulp at 2048 is 2).
+        bits, flags = fadd(F16, f16(2048.0), f16(1.0), RNE)
+        assert val(bits) == 2048.0
+        assert flags == NX
+
+    def test_alignment_with_huge_exponent_gap(self):
+        bits, flags = fadd(F16, f16(32768.0), f16(2.0 ** -24), RNE)
+        assert val(bits) == 32768.0
+        assert flags == NX
+
+
+class TestSubSpecials:
+    def test_simple_sub(self):
+        bits, _ = fsub(F16, f16(5.0), f16(3.5), RNE)
+        assert val(bits) == 1.5
+
+    def test_sub_of_snan_rhs_raises_nv(self):
+        bits, flags = fsub(F16, f16(1.0), SNAN, RNE)
+        assert bits == QNAN
+        assert flags == NV
+
+    def test_sub_is_add_of_negation(self):
+        a, b = f16(7.0), f16(-2.5)
+        assert fsub(F16, a, b, RNE) == fadd(F16, a, b ^ F16.sign_mask, RNE)
+
+
+class TestMulSpecials:
+    def test_simple_mul(self):
+        bits, flags = fmul(F16, f16(1.5), f16(-2.0), RNE)
+        assert val(bits) == -3.0
+        assert flags == 0
+
+    def test_zero_times_inf_invalid(self):
+        bits, flags = fmul(F16, f16(0.0), PINF, RNE)
+        assert bits == QNAN
+        assert flags == NV
+
+    def test_sign_of_zero_product(self):
+        bits, _ = fmul(F16, f16(-0.0), f16(3.0), RNE)
+        assert bits == F16.neg_zero
+
+    def test_overflow(self):
+        bits, flags = fmul(F16, f16(300.0), f16(300.0), RNE)
+        assert bits == PINF
+        assert flags & NX
+
+    def test_underflow_to_subnormal(self):
+        bits, flags = fmul(F16, f16(2.0 ** -14), f16(0.5), RNE)
+        assert val(bits) == 2.0 ** -15
+        assert flags == 0  # exact subnormal result
+
+
+class TestDivSpecials:
+    def test_simple_div(self):
+        bits, _ = fdiv(F16, f16(7.0), f16(2.0), RNE)
+        assert val(bits) == 3.5
+
+    def test_divide_by_zero(self):
+        bits, flags = fdiv(F16, f16(1.0), f16(0.0), RNE)
+        assert bits == PINF
+        assert flags == DZ
+
+    def test_negative_divide_by_zero(self):
+        bits, flags = fdiv(F16, f16(-1.0), f16(0.0), RNE)
+        assert bits == NINF
+        assert flags == DZ
+
+    def test_zero_over_zero_invalid(self):
+        bits, flags = fdiv(F16, f16(0.0), f16(0.0), RNE)
+        assert bits == QNAN
+        assert flags == NV
+
+    def test_inf_over_inf_invalid(self):
+        assert fdiv(F16, PINF, NINF, RNE) == (QNAN, NV)
+
+    def test_finite_over_inf_is_zero(self):
+        assert fdiv(F16, f16(5.0), NINF, RNE) == (F16.neg_zero, 0)
+
+    def test_one_third_rounding(self):
+        bits, flags = fdiv(F16, f16(1.0), f16(3.0), RNE)
+        # 1/3 in binary16 RNE = 0x3555.
+        assert bits == 0x3555
+        assert flags == NX
+
+    def test_exact_division_no_flags(self):
+        bits, flags = fdiv(F16, f16(6.0), f16(3.0), RNE)
+        assert val(bits) == 2.0
+        assert flags == 0
+
+
+class TestSqrtSpecials:
+    def test_perfect_square(self):
+        bits, flags = fsqrt(F16, f16(9.0), RNE)
+        assert val(bits) == 3.0
+        assert flags == 0
+
+    def test_sqrt_two(self):
+        bits, flags = fsqrt(F16, f16(2.0), RNE)
+        assert bits == 0x3DA8  # sqrt(2) in binary16 RNE
+        assert flags == NX
+
+    def test_negative_invalid(self):
+        assert fsqrt(F16, f16(-4.0), RNE) == (QNAN, NV)
+
+    def test_minus_zero_passes_through(self):
+        assert fsqrt(F16, F16.neg_zero, RNE) == (F16.neg_zero, 0)
+
+    def test_inf(self):
+        assert fsqrt(F16, PINF, RNE) == (PINF, 0)
+
+    def test_subnormal_input(self):
+        bits, flags = fsqrt(F16, 1, RNE)  # sqrt(2^-24) = 2^-12
+        assert val(bits) == 2.0 ** -12
+        assert flags == 0
+
+
+class TestFma:
+    def test_fused_is_single_rounded(self):
+        """(1+2^-10)(1-2^-10) - 1 == -2^-24... -2^-20 exactly: the fused
+        op keeps the term a separate multiply would round away."""
+        a = f16(1.0 + 2.0 ** -10)
+        b = f16(1.0 - 2.0 ** -10)
+        minus_one = f16(-1.0)
+        fused, _ = ffma(F16, a, b, minus_one, RNE)
+        prod, _ = fmul(F16, a, b, RNE)  # 1 - 2^-20 rounds to 1.0
+        seq, _ = fadd(F16, prod, minus_one, RNE)
+        assert val(seq) == 0.0
+        assert val(fused) == -(2.0 ** -20)
+
+    def test_variants(self):
+        a, b, c = f16(2.0), f16(3.0), f16(4.0)
+        assert val(ffma(F16, a, b, c, RNE)[0]) == 10.0  # fmadd
+        assert val(ffma(F16, a, b, c, RNE, negate_addend=True)[0]) == 2.0  # fmsub
+        assert val(ffma(F16, a, b, c, RNE, negate_product=True)[0]) == -2.0  # fnmsub
+        assert (
+            val(ffma(F16, a, b, c, RNE, negate_product=True, negate_addend=True)[0])
+            == -10.0
+        )  # fnmadd
+
+    def test_zero_times_inf_plus_anything_invalid(self):
+        assert ffma(F16, f16(0.0), PINF, f16(1.0), RNE) == (QNAN, NV)
+
+    def test_inf_product_minus_inf_invalid(self):
+        assert ffma(F16, f16(2.0), PINF, NINF, RNE) == (QNAN, NV)
+
+    def test_cancellation_to_zero(self):
+        bits, flags = ffma(F16, f16(2.0), f16(3.0), f16(-6.0), RNE)
+        assert bits == 0
+        assert flags == 0
+
+
+class TestExpandingOps:
+    """Xfaux: narrow operands, binary32 result (paper Table I)."""
+
+    def test_fmulex_is_exact(self):
+        # The product of two binary16 values always fits binary32.
+        a, b = f16(1.0 + 2.0 ** -10), f16(1.0 + 2.0 ** -10)
+        bits, flags = fmul_widen(F16, BINARY32, a, b, RNE)
+        assert to_double(bits, BINARY32) == (1.0 + 2.0 ** -10) ** 2
+        assert flags == 0
+
+    def test_fmacex_accumulates_in_binary32(self):
+        acc = from_double(0.0, BINARY32)
+        x = f16(2.0 ** -12)
+        for _ in range(4096):
+            acc, _ = fma_mixed(F16, BINARY32, x, f16(1.0), acc, RNE)
+        # 4096 * 2^-12 == 1.0 exactly in binary32; a binary16 accumulator
+        # would have stagnated long before.
+        assert to_double(acc, BINARY32) == 1.0
+
+    def test_fmacex_vs_convert_then_fma(self):
+        """fmacex.s.h == fcvt.s.h on both operands + fmadd.s, since the
+        binary16->binary32 conversion is exact."""
+        from repro.fp.convert import fcvt_f2f
+
+        a, b = f16(3.14159), f16(-2.71828)
+        c = from_double(10.0, BINARY32)
+        direct, _ = fma_mixed(F16, BINARY32, a, b, c, RNE)
+        wa, _ = fcvt_f2f(F16, BINARY32, a, RNE)
+        wb, _ = fcvt_f2f(F16, BINARY32, b, RNE)
+        via_convert, _ = ffma(BINARY32, wa, wb, c, RNE)
+        assert direct == via_convert
+
+    def test_binary8_expanding(self):
+        a = from_double(1.25, BINARY8)
+        b = from_double(3.0, BINARY8)
+        bits, flags = fmul_widen(BINARY8, BINARY32, a, b, RNE)
+        assert to_double(bits, BINARY32) == 3.75
+        assert flags == 0
+
+
+class TestAltFormat:
+    def test_binary16alt_survives_binary32_range(self):
+        """A value that overflows binary16 fits binary16alt (range!)."""
+        big = 1.0e6
+        assert to_double(from_double(big, BINARY16), BINARY16) == float("inf")
+        alt = to_double(from_double(big, BINARY16ALT), BINARY16ALT)
+        assert alt == pytest.approx(big, rel=2.0 ** -7)
+
+    def test_binary16alt_is_coarser_than_binary16(self):
+        x = 1.0 + 2.0 ** -9
+        assert to_double(from_double(x, BINARY16), BINARY16) == x
+        assert to_double(from_double(x, BINARY16ALT), BINARY16ALT) != x

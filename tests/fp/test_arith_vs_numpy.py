@@ -1,0 +1,111 @@
+"""Property-based bitwise equivalence against numpy's IEEE arithmetic.
+
+numpy's float16/float32/float64 follow IEEE 754 with round-to-nearest-
+even, so for those formats every softfloat result must match bit for bit
+(modulo NaN payloads, which RISC-V canonicalizes).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp import BINARY16, BINARY32, BINARY64, RoundingMode
+from repro.fp.arith import fadd, fdiv, fmul, fsqrt, fsub
+
+RNE = RoundingMode.RNE
+
+_CASES = [
+    (BINARY16, np.float16, np.uint16),
+    (BINARY32, np.float32, np.uint32),
+    (BINARY64, np.float64, np.uint64),
+]
+
+
+def _np_value(bits, ftype, utype):
+    return np.array([bits], dtype=utype).view(ftype)[0]
+
+
+def _np_bits(value, utype):
+    return int(np.array([value]).view(utype)[0])
+
+
+def _is_nan_bits(bits, fmt):
+    exp = (bits >> fmt.man_bits) & fmt.exp_mask
+    man = bits & fmt.man_mask
+    return exp == fmt.exp_mask and man != 0
+
+
+def _check_binop(fmt, ftype, utype, soft_op, np_op, a, b):
+    got, _ = soft_op(fmt, a, b, RNE)
+    with np.errstate(all="ignore"):
+        expected = np_op(_np_value(a, ftype, utype), _np_value(b, ftype, utype))
+    want = _np_bits(ftype(expected), utype)
+    if _is_nan_bits(want, fmt):
+        assert _is_nan_bits(got, fmt)
+    else:
+        assert got == want, (
+            f"{fmt.name}: {a:#x} op {b:#x} -> got {got:#x}, want {want:#x}"
+        )
+
+
+@pytest.mark.parametrize("fmt,ftype,utype", _CASES, ids=lambda c: getattr(c, "name", ""))
+class TestAgainstNumpy:
+    @given(data=st.data())
+    @settings(max_examples=400, deadline=None)
+    def test_add(self, fmt, ftype, utype, data):
+        a = data.draw(st.integers(0, fmt.bits_mask))
+        b = data.draw(st.integers(0, fmt.bits_mask))
+        _check_binop(fmt, ftype, utype, fadd, np.add, a, b)
+
+    @given(data=st.data())
+    @settings(max_examples=400, deadline=None)
+    def test_sub(self, fmt, ftype, utype, data):
+        a = data.draw(st.integers(0, fmt.bits_mask))
+        b = data.draw(st.integers(0, fmt.bits_mask))
+        _check_binop(fmt, ftype, utype, fsub, np.subtract, a, b)
+
+    @given(data=st.data())
+    @settings(max_examples=400, deadline=None)
+    def test_mul(self, fmt, ftype, utype, data):
+        a = data.draw(st.integers(0, fmt.bits_mask))
+        b = data.draw(st.integers(0, fmt.bits_mask))
+        _check_binop(fmt, ftype, utype, fmul, np.multiply, a, b)
+
+    @given(data=st.data())
+    @settings(max_examples=400, deadline=None)
+    def test_div(self, fmt, ftype, utype, data):
+        a = data.draw(st.integers(0, fmt.bits_mask))
+        b = data.draw(st.integers(0, fmt.bits_mask))
+        _check_binop(fmt, ftype, utype, fdiv, np.divide, a, b)
+
+    @given(data=st.data())
+    @settings(max_examples=400, deadline=None)
+    def test_sqrt(self, fmt, ftype, utype, data):
+        a = data.draw(st.integers(0, fmt.bits_mask))
+        got, _ = fsqrt(fmt, a, RNE)
+        with np.errstate(all="ignore"):
+            expected = np.sqrt(_np_value(a, ftype, utype))
+        want = _np_bits(ftype(expected), utype)
+        if _is_nan_bits(want, fmt):
+            assert _is_nan_bits(got, fmt)
+        else:
+            assert got == want
+
+
+class TestSubnormalEdges:
+    """Exhaustive sweep of binary16 subnormal x subnormal addition."""
+
+    def test_subnormal_add_exhaustive_sample(self):
+        rng = np.random.default_rng(7)
+        patterns = rng.integers(0, 0x400, size=200, dtype=np.uint16)
+        for a in patterns[:100]:
+            for b in patterns[100:][:20]:
+                _check_binop(BINARY16, np.float16, np.uint16, fadd, np.add,
+                             int(a), int(b))
+
+    def test_every_binary16_value_squares_correctly(self):
+        """Exhaustive: x*x over all 2^16 binary16 patterns (sampled 1/16)."""
+        for bits in range(0, 1 << 16, 16):
+            _check_binop(BINARY16, np.float16, np.uint16, fmul, np.multiply,
+                         bits, bits)

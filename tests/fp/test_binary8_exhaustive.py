@@ -1,0 +1,72 @@
+"""Exhaustive binary8 verification: all 256 x 256 operand pairs.
+
+binary8 has no numpy oracle, but the repository contains two
+independently-derived implementations of its arithmetic:
+
+* the exact-integer softfloat core (`repro.fp.arith`), and
+* the quantize-after-binary64 emulation (`repro.fp.numpy_backend`),
+  whose correctness rests on the innocuous-double-rounding theorem.
+
+Agreement across the *entire* 8-bit operand space for add/sub/mul/div
+makes a residual bug in either path extremely unlikely, and doubles as
+an exhaustive regression net for the format every paper experiment
+leans on hardest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fp import BINARY8, RoundingMode
+from repro.fp.arith import fadd, fdiv, fmul, fsub
+from repro.fp.numpy_backend import from_bits, quantize, to_bits
+
+RNE = RoundingMode.RNE
+
+
+@pytest.fixture(scope="module")
+def all_values():
+    bits = np.arange(256, dtype=np.uint64)
+    return bits, from_bits(bits, BINARY8)
+
+
+def _check_against_emulation(all_values, soft_op, np_op):
+    bits, values = all_values
+    # Vectorized emulation over the full 256x256 grid.
+    lhs = values[:, None]
+    rhs = values[None, :]
+    with np.errstate(all="ignore"):
+        expected = quantize(np_op(lhs, rhs), BINARY8)
+    expected_bits = to_bits(expected, BINARY8)
+
+    mismatches = []
+    for i in range(256):
+        for j in range(256):
+            got, _ = soft_op(BINARY8, int(bits[i]), int(bits[j]), RNE)
+            want = int(expected_bits[i, j])
+            if got == want:
+                continue
+            # NaNs canonicalize identically on both paths; signed-zero
+            # results from exact cancellation are the one spot where
+            # binary64 emulation cannot see the operand signs...
+            got_val = from_bits(np.uint64(got), BINARY8)
+            want_val = from_bits(np.uint64(want), BINARY8)
+            if np.isnan(got_val) and np.isnan(want_val):
+                continue
+            mismatches.append((int(bits[i]), int(bits[j]), got, want))
+    assert not mismatches, mismatches[:10]
+
+
+def test_exhaustive_add(all_values):
+    _check_against_emulation(all_values, fadd, np.add)
+
+
+def test_exhaustive_sub(all_values):
+    _check_against_emulation(all_values, fsub, np.subtract)
+
+
+def test_exhaustive_mul(all_values):
+    _check_against_emulation(all_values, fmul, np.multiply)
+
+
+def test_exhaustive_div(all_values):
+    _check_against_emulation(all_values, fdiv, np.divide)

@@ -1,0 +1,153 @@
+"""Comparisons, min/max, classification and sign injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp import BINARY16, BINARY32, NV
+from repro.fp.compare import (
+    CLASS_NEG_INF,
+    CLASS_NEG_NORMAL,
+    CLASS_NEG_SUBNORMAL,
+    CLASS_NEG_ZERO,
+    CLASS_POS_INF,
+    CLASS_POS_NORMAL,
+    CLASS_POS_SUBNORMAL,
+    CLASS_POS_ZERO,
+    CLASS_QNAN,
+    CLASS_SNAN,
+    fclass,
+    feq,
+    fle,
+    flt,
+    fmax,
+    fmin,
+    fsgnj,
+    fsgnjn,
+    fsgnjx,
+)
+from repro.fp.convert import from_double
+
+F16 = BINARY16
+QNAN = F16.quiet_nan
+SNAN = (F16.exp_mask << F16.man_bits) | 1  # exp all-ones, quiet bit clear
+
+
+def f16(x):
+    return from_double(x, F16)
+
+
+class TestComparisons:
+    def test_ordering(self):
+        assert flt(F16, f16(1.0), f16(2.0)) == (1, 0)
+        assert flt(F16, f16(2.0), f16(1.0)) == (0, 0)
+        assert fle(F16, f16(2.0), f16(2.0)) == (1, 0)
+        assert feq(F16, f16(2.0), f16(2.0)) == (1, 0)
+
+    def test_negative_ordering(self):
+        assert flt(F16, f16(-3.0), f16(-2.0)) == (1, 0)
+        assert flt(F16, f16(-2.0), f16(3.0)) == (1, 0)
+
+    def test_zero_signs_compare_equal(self):
+        assert feq(F16, f16(0.0), f16(-0.0)) == (1, 0)
+        assert flt(F16, f16(-0.0), f16(0.0)) == (0, 0)
+        assert fle(F16, f16(0.0), f16(-0.0)) == (1, 0)
+
+    def test_inf_ordering(self):
+        assert flt(F16, F16.neg_inf, F16.pos_inf) == (1, 0)
+        assert feq(F16, F16.pos_inf, F16.pos_inf) == (1, 0)
+        assert flt(F16, f16(65504.0), F16.pos_inf) == (1, 0)
+
+    def test_feq_quiet_on_qnan(self):
+        assert feq(F16, QNAN, f16(1.0)) == (0, 0)
+
+    def test_feq_signals_on_snan(self):
+        assert feq(F16, SNAN, f16(1.0)) == (0, NV)
+
+    def test_flt_fle_signal_on_any_nan(self):
+        assert flt(F16, QNAN, f16(1.0)) == (0, NV)
+        assert fle(F16, f16(1.0), QNAN) == (0, NV)
+
+    @given(st.integers(0, F16.bits_mask), st.integers(0, F16.bits_mask))
+    @settings(max_examples=300, deadline=None)
+    def test_matches_numpy_ordering(self, a, b):
+        va = np.array([a], dtype=np.uint16).view(np.float16)[0]
+        vb = np.array([b], dtype=np.uint16).view(np.float16)[0]
+        assert flt(F16, a, b)[0] == int(bool(va < vb))
+        assert fle(F16, a, b)[0] == int(bool(va <= vb))
+        assert feq(F16, a, b)[0] == int(bool(va == vb))
+
+
+class TestMinMax:
+    def test_basic(self):
+        assert fmin(F16, f16(1.0), f16(2.0)) == (f16(1.0), 0)
+        assert fmax(F16, f16(1.0), f16(2.0)) == (f16(2.0), 0)
+
+    def test_minus_zero_below_plus_zero(self):
+        assert fmin(F16, f16(0.0), f16(-0.0))[0] == F16.neg_zero
+        assert fmax(F16, f16(-0.0), f16(0.0))[0] == F16.pos_zero
+
+    def test_one_nan_returns_other(self):
+        assert fmin(F16, QNAN, f16(3.0)) == (f16(3.0), 0)
+        assert fmax(F16, f16(3.0), QNAN) == (f16(3.0), 0)
+
+    def test_both_nan_returns_canonical(self):
+        assert fmin(F16, QNAN | 1, QNAN | 2) == (QNAN, 0)
+
+    def test_snan_sets_nv_but_still_numeric(self):
+        bits, flags = fmin(F16, SNAN, f16(3.0))
+        assert bits == f16(3.0)
+        assert flags == NV
+
+
+class TestFclass:
+    @pytest.mark.parametrize(
+        "bits,expected",
+        [
+            (F16.neg_inf, CLASS_NEG_INF),
+            (0xC000, CLASS_NEG_NORMAL),  # -2.0
+            (0x8001, CLASS_NEG_SUBNORMAL),
+            (F16.neg_zero, CLASS_NEG_ZERO),
+            (0, CLASS_POS_ZERO),
+            (1, CLASS_POS_SUBNORMAL),
+            (0x3C00, CLASS_POS_NORMAL),  # 1.0
+            (F16.pos_inf, CLASS_POS_INF),
+            (SNAN, CLASS_SNAN),
+            (QNAN, CLASS_QNAN),
+        ],
+    )
+    def test_classes(self, bits, expected):
+        assert fclass(F16, bits) == expected
+
+    @given(st.integers(0, F16.bits_mask))
+    @settings(max_examples=300, deadline=None)
+    def test_exactly_one_class_bit(self, bits):
+        mask = fclass(F16, bits)
+        assert mask != 0 and (mask & (mask - 1)) == 0
+
+
+class TestSignInjection:
+    def test_fsgnj_copies_sign(self):
+        assert fsgnj(F16, f16(2.0), f16(-1.0)) == f16(-2.0)
+        assert fsgnj(F16, f16(-2.0), f16(1.0)) == f16(2.0)
+
+    def test_fsgnjn_is_fneg_when_same(self):
+        x = f16(2.5)
+        assert fsgnjn(F16, x, x) == f16(-2.5)
+
+    def test_fsgnjx_is_fabs_when_same(self):
+        x = f16(-2.5)
+        assert fsgnjx(F16, x, x) == f16(2.5)
+
+    @given(st.integers(0, F16.bits_mask), st.integers(0, F16.bits_mask))
+    @settings(max_examples=200, deadline=None)
+    def test_sign_ops_preserve_magnitude(self, a, b):
+        mag = a & ~F16.sign_mask
+        for op in (fsgnj, fsgnjn, fsgnjx):
+            assert op(F16, a, b) & ~F16.sign_mask == mag
+
+    def test_works_for_binary32(self):
+        a = from_double(3.0, BINARY32)
+        b = from_double(-1.0, BINARY32)
+        assert fsgnj(BINARY32, a, b) == from_double(-3.0, BINARY32)

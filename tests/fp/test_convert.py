@@ -1,0 +1,196 @@
+"""Float<->float and float<->int conversion tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp import (
+    BINARY8,
+    BINARY16,
+    BINARY16ALT,
+    BINARY32,
+    BINARY64,
+    NV,
+    NX,
+    RoundingMode,
+)
+from repro.fp.convert import (
+    fcvt_f2f,
+    fcvt_from_int,
+    fcvt_to_int,
+    from_double,
+    to_double,
+)
+
+RNE = RoundingMode.RNE
+RTZ = RoundingMode.RTZ
+RUP = RoundingMode.RUP
+RDN = RoundingMode.RDN
+
+
+class TestFloatToFloat:
+    def test_widening_is_exact(self):
+        h = from_double(1.5, BINARY16)
+        s, flags = fcvt_f2f(BINARY16, BINARY32, h, RNE)
+        assert to_double(s, BINARY32) == 1.5
+        assert flags == 0
+
+    @given(st.integers(0, BINARY16.bits_mask))
+    @settings(max_examples=300, deadline=None)
+    def test_h_to_s_roundtrip(self, bits):
+        """binary16 -> binary32 -> binary16 is the identity (non-NaN)."""
+        wide, up_flags = fcvt_f2f(BINARY16, BINARY32, bits, RNE)
+        back, down_flags = fcvt_f2f(BINARY32, BINARY16, wide, RNE)
+        exp = (bits >> BINARY16.man_bits) & BINARY16.exp_mask
+        man = bits & BINARY16.man_mask
+        if exp == BINARY16.exp_mask and man:
+            assert back == BINARY16.quiet_nan
+        else:
+            assert back == bits
+            assert up_flags == down_flags == 0
+
+    @given(st.integers(0, BINARY8.bits_mask))
+    @settings(max_examples=256, deadline=None)
+    def test_b_to_h_roundtrip(self, bits):
+        """binary8 widens exactly into binary16 (same exponent range,
+        more mantissa)."""
+        wide, flags = fcvt_f2f(BINARY8, BINARY16, bits, RNE)
+        back, _ = fcvt_f2f(BINARY16, BINARY8, wide, RNE)
+        exp = (bits >> BINARY8.man_bits) & BINARY8.exp_mask
+        man = bits & BINARY8.man_mask
+        if exp == BINARY8.exp_mask and man:
+            assert back == BINARY8.quiet_nan
+        else:
+            assert back == bits
+
+    def test_narrowing_rounds(self):
+        s = from_double(1.0 + 2.0 ** -12, BINARY32)
+        h, flags = fcvt_f2f(BINARY32, BINARY16, s, RNE)
+        assert to_double(h, BINARY16) == 1.0
+        assert flags == NX
+
+    def test_narrowing_overflow_to_inf(self):
+        s = from_double(1.0e6, BINARY32)
+        h, flags = fcvt_f2f(BINARY32, BINARY16, s, RNE)
+        assert h == BINARY16.pos_inf
+        assert flags & NX
+
+    def test_h_to_alt_loses_precision_keeps_range(self):
+        # 1 + 2^-8 + 2^-10: round bit and sticky set -> RNE rounds up.
+        h = from_double(1.0 + 2.0 ** -8 + 2.0 ** -10, BINARY16)
+        ah, flags = fcvt_f2f(BINARY16, BINARY16ALT, h, RNE)
+        assert to_double(ah, BINARY16ALT) == 1.0 + 2.0 ** -7
+        assert flags == NX
+
+    def test_matches_numpy_float32_to_float16(self):
+        rng = np.random.default_rng(3)
+        values = rng.standard_normal(500).astype(np.float32) * 100
+        for v in values:
+            s = int(np.array([v]).view(np.uint32)[0])
+            got, _ = fcvt_f2f(BINARY32, BINARY16, s, RNE)
+            want = int(np.array([np.float16(v)]).view(np.uint16)[0])
+            assert got == want
+
+    def test_snan_input_raises_nv(self):
+        snan = (BINARY16.exp_mask << BINARY16.man_bits) | 1
+        bits, flags = fcvt_f2f(BINARY16, BINARY32, snan, RNE)
+        assert bits == BINARY32.quiet_nan
+        assert flags == NV
+
+
+class TestFloatToInt:
+    def test_basic(self):
+        assert fcvt_to_int(BINARY16, from_double(42.0, BINARY16), RNE) == (42, 0)
+
+    def test_negative_two_complement(self):
+        bits, flags = fcvt_to_int(BINARY16, from_double(-3.0, BINARY16), RNE)
+        assert bits == (-3) & 0xFFFFFFFF
+        assert flags == 0
+
+    def test_rtz_truncates(self):
+        assert fcvt_to_int(BINARY16, from_double(2.7, BINARY16), RTZ)[0] == 2
+        assert fcvt_to_int(BINARY16, from_double(-2.7, BINARY16), RTZ)[0] == (
+            -2 & 0xFFFFFFFF
+        )
+
+    def test_rne_ties_to_even(self):
+        assert fcvt_to_int(BINARY16, from_double(2.5, BINARY16), RNE)[0] == 2
+        assert fcvt_to_int(BINARY16, from_double(3.5, BINARY16), RNE)[0] == 4
+
+    def test_inexact_flag(self):
+        _, flags = fcvt_to_int(BINARY16, from_double(2.5, BINARY16), RNE)
+        assert flags == NX
+
+    def test_nan_saturates_positive_with_nv(self):
+        bits, flags = fcvt_to_int(BINARY16, BINARY16.quiet_nan, RNE)
+        assert bits == 0x7FFFFFFF
+        assert flags == NV
+
+    def test_inf_saturates(self):
+        assert fcvt_to_int(BINARY16, BINARY16.pos_inf, RNE) == (0x7FFFFFFF, NV)
+        assert fcvt_to_int(BINARY16, BINARY16.neg_inf, RNE) == (0x80000000, NV)
+
+    def test_unsigned_negative_saturates_to_zero(self):
+        bits, flags = fcvt_to_int(
+            BINARY16, from_double(-1.0, BINARY16), RNE, signed=False
+        )
+        assert bits == 0
+        assert flags == NV
+
+    def test_unsigned_range(self):
+        bits, flags = fcvt_to_int(
+            BINARY32, from_double(3.0e9, BINARY32), RNE, signed=False
+        )
+        assert flags == 0
+        assert bits == int(np.float32(3.0e9))
+
+    def test_signed_overflow_saturates(self):
+        bits, flags = fcvt_to_int(BINARY32, from_double(3.0e9, BINARY32), RNE)
+        assert bits == 0x7FFFFFFF
+        assert flags == NV
+
+
+class TestIntToFloat:
+    def test_basic(self):
+        bits, flags = fcvt_from_int(BINARY16, 42, RNE)
+        assert to_double(bits, BINARY16) == 42.0
+        assert flags == 0
+
+    def test_negative(self):
+        bits, _ = fcvt_from_int(BINARY16, (-7) & 0xFFFFFFFF, RNE)
+        assert to_double(bits, BINARY16) == -7.0
+
+    def test_unsigned_interpretation(self):
+        bits, _ = fcvt_from_int(BINARY32, 0xFFFFFFFF, RNE, signed=False)
+        assert to_double(bits, BINARY32) == float(np.float32(2 ** 32 - 1))
+
+    def test_rounding_large_int_to_binary16(self):
+        bits, flags = fcvt_from_int(BINARY16, 2049, RNE)
+        assert to_double(bits, BINARY16) == 2048.0
+        assert flags == NX
+
+    def test_int_overflowing_binary8(self):
+        bits, flags = fcvt_from_int(BINARY8, 1 << 20, RNE)
+        assert bits == BINARY8.pos_inf
+        assert flags & NX
+
+    @given(st.integers(-(2 ** 31), 2 ** 31 - 1))
+    @settings(max_examples=300, deadline=None)
+    def test_matches_numpy_int_to_float32(self, value):
+        bits, _ = fcvt_from_int(BINARY32, value & 0xFFFFFFFF, RNE)
+        want = int(np.array([np.float32(value)]).view(np.uint32)[0])
+        assert bits == want
+
+
+class TestRoundTripThroughDouble:
+    @pytest.mark.parametrize("fmt", [BINARY8, BINARY16, BINARY16ALT, BINARY32])
+    def test_all_patterns_roundtrip(self, fmt):
+        """to_double/from_double are mutually inverse on non-NaN values."""
+        step = max(1, (fmt.bits_mask + 1) // 4096)
+        for bits in range(0, fmt.bits_mask + 1, step):
+            exp = (bits >> fmt.man_bits) & fmt.exp_mask
+            man = bits & fmt.man_mask
+            if exp == fmt.exp_mask and man:
+                continue
+            assert from_double(to_double(bits, fmt), fmt) == bits

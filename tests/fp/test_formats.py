@@ -1,0 +1,146 @@
+"""Format geometry and the paper's Table II (vector lanes vs FLEN)."""
+
+import pytest
+
+from repro.fp import (
+    BINARY8,
+    BINARY16,
+    BINARY16ALT,
+    BINARY32,
+    BINARY64,
+    FORMATS,
+    lookup,
+    supported_vector_formats,
+    vector_lanes,
+)
+
+
+class TestGeometry:
+    def test_widths(self):
+        assert BINARY8.width == 8
+        assert BINARY16.width == 16
+        assert BINARY16ALT.width == 16
+        assert BINARY32.width == 32
+        assert BINARY64.width == 64
+
+    def test_binary16_is_ieee_half(self):
+        assert BINARY16.exp_bits == 5
+        assert BINARY16.man_bits == 10
+        assert BINARY16.bias == 15
+        assert BINARY16.max_value == 65504.0
+
+    def test_binary16alt_has_binary32_range(self):
+        """The alt format trades mantissa for binary32's exponent range."""
+        assert BINARY16ALT.exp_bits == BINARY32.exp_bits
+        assert BINARY16ALT.bias == BINARY32.bias
+        assert BINARY16ALT.emax == BINARY32.emax
+
+    def test_binary8_is_1_5_2(self):
+        assert BINARY8.exp_bits == 5
+        assert BINARY8.man_bits == 2
+        assert BINARY8.bias == 15
+
+    def test_precision_includes_hidden_bit(self):
+        assert BINARY32.precision == 24
+        assert BINARY16.precision == 11
+        assert BINARY8.precision == 3
+
+    def test_emin_emax(self):
+        assert BINARY32.emin == -126
+        assert BINARY32.emax == 127
+        assert BINARY16.emin == -14
+        assert BINARY16.emax == 15
+
+    def test_special_encodings_binary16(self):
+        assert BINARY16.pos_inf == 0x7C00
+        assert BINARY16.neg_inf == 0xFC00
+        assert BINARY16.quiet_nan == 0x7E00
+        assert BINARY16.neg_zero == 0x8000
+        assert BINARY16.max_finite == 0x7BFF
+        assert BINARY16.min_normal == 0x0400
+
+    def test_special_encodings_binary32(self):
+        assert BINARY32.pos_inf == 0x7F800000
+        assert BINARY32.quiet_nan == 0x7FC00000
+        assert BINARY32.max_finite == 0x7F7FFFFF
+
+    def test_machine_epsilon(self):
+        assert BINARY16.machine_epsilon == 2.0 ** -10
+        assert BINARY8.machine_epsilon == 0.25
+
+    def test_dynamic_range_alt_exceeds_half(self):
+        """binary16alt exists for applications needing binary32's range."""
+        assert BINARY16ALT.dynamic_range_db > BINARY16.dynamic_range_db
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert lookup("binary16") is BINARY16
+
+    def test_by_suffix(self):
+        assert lookup("h") is BINARY16
+        assert lookup("ah") is BINARY16ALT
+        assert lookup("b") is BINARY8
+        assert lookup("s") is BINARY32
+
+    def test_by_c_keyword(self):
+        """Section IV: the compiler adds float8/float16/float16alt."""
+        assert lookup("float16") is BINARY16
+        assert lookup("float16alt") is BINARY16ALT
+        assert lookup("float8") is BINARY8
+        assert lookup("float") is BINARY32
+
+    def test_identity(self):
+        assert lookup(BINARY8) is BINARY8
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            lookup("binary128")
+
+
+class TestTableII:
+    """Paper Table II: supported vector formats per FLEN."""
+
+    def test_flen64_row(self):
+        row = supported_vector_formats(64)
+        assert row == {
+            "binary32": 2,
+            "binary16": 4,
+            "binary16alt": 4,
+            "binary8": 8,
+        }
+
+    def test_flen32_row(self):
+        row = supported_vector_formats(32)
+        assert row == {
+            "binary32": None,
+            "binary16": 2,
+            "binary16alt": 2,
+            "binary8": 4,
+        }
+
+    def test_flen16_row(self):
+        row = supported_vector_formats(16)
+        assert row == {
+            "binary32": None,
+            "binary16": None,
+            "binary16alt": None,
+            "binary8": 2,
+        }
+
+    def test_equal_width_has_no_vector_form(self):
+        assert vector_lanes(BINARY16, 16) is None
+
+    def test_invalid_flen_rejected(self):
+        with pytest.raises(ValueError):
+            vector_lanes(BINARY16, 128)
+
+
+def test_format_registry_complete():
+    assert set(FORMATS) == {
+        "binary8",
+        "binary16",
+        "binary16alt",
+        "binary32",
+        "binary64",
+    }

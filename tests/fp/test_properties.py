@@ -1,0 +1,211 @@
+"""Property-based tests of IEEE axioms on the softfloat core.
+
+These hold for *every* format, including the non-standard binary16alt
+and binary8 where no numpy oracle exists.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.fp import (
+    BINARY8,
+    BINARY16,
+    BINARY16ALT,
+    BINARY32,
+    RoundingMode,
+    unpack,
+)
+from repro.fp.arith import fadd, fdiv, fmul, fsqrt, fsub
+from repro.fp.compare import feq, fle, flt, fmax, fmin
+from repro.fp.convert import fcvt_f2f, to_double
+
+RNE = RoundingMode.RNE
+ALL = [BINARY8, BINARY16, BINARY16ALT, BINARY32]
+IDS = [f.name for f in ALL]
+
+
+def bits_strategy(fmt):
+    return st.integers(0, fmt.bits_mask)
+
+
+def is_nan(bits, fmt):
+    return unpack(bits, fmt).is_nan
+
+
+@pytest.mark.parametrize("fmt", ALL, ids=IDS)
+class TestAlgebraicAxioms:
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_addition_commutes(self, fmt, data):
+        a = data.draw(bits_strategy(fmt))
+        b = data.draw(bits_strategy(fmt))
+        assert fadd(fmt, a, b, RNE) == fadd(fmt, b, a, RNE)
+
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_multiplication_commutes(self, fmt, data):
+        a = data.draw(bits_strategy(fmt))
+        b = data.draw(bits_strategy(fmt))
+        assert fmul(fmt, a, b, RNE) == fmul(fmt, b, a, RNE)
+
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_subtraction_negates(self, fmt, data):
+        a = data.draw(bits_strategy(fmt))
+        b = data.draw(bits_strategy(fmt))
+        assume(not is_nan(a, fmt) and not is_nan(b, fmt))
+        lhs, _ = fsub(fmt, a, b, RNE)
+        rhs, _ = fsub(fmt, b, a, RNE)
+        if not is_nan(lhs, fmt):
+            # x - y == -(y - x) except for signed zero under RNE.
+            if lhs != fmt.pos_zero and rhs != fmt.pos_zero:
+                assert lhs == rhs ^ fmt.sign_mask
+
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_add_zero_is_identity(self, fmt, data):
+        a = data.draw(bits_strategy(fmt))
+        assume(not is_nan(a, fmt))
+        bits, flags = fadd(fmt, a, fmt.pos_zero, RNE)
+        if a == fmt.neg_zero:
+            assert bits == fmt.pos_zero  # (-0) + (+0) = +0 under RNE
+        else:
+            assert bits == a
+        assert flags == 0
+
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_mul_one_is_identity(self, fmt, data):
+        a = data.draw(bits_strategy(fmt))
+        assume(not is_nan(a, fmt))
+        one = fcvt_f2f(BINARY32, fmt, 0x3F800000, RNE)[0]
+        bits, flags = fmul(fmt, a, one, RNE)
+        assert bits == a
+        assert flags == 0
+
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_div_by_self_is_one(self, fmt, data):
+        a = data.draw(bits_strategy(fmt))
+        u = unpack(a, fmt)
+        assume(u.kind.value == "finite")
+        bits, _ = fdiv(fmt, a, a, RNE)
+        assert to_double(bits, fmt) == 1.0
+
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_sqrt_square_within_one_ulp_region(self, fmt, data):
+        a = data.draw(bits_strategy(fmt))
+        u = unpack(a, fmt)
+        assume(u.is_finite and not u.sign)
+        root, _ = fsqrt(fmt, a, RNE)
+        # sqrt is monotone: sqrt(a) <= sqrt(next(a)).
+        if a < fmt.max_finite:
+            root_next, _ = fsqrt(fmt, a + 1, RNE)
+            assert to_double(root, fmt) <= to_double(root_next, fmt)
+
+
+@pytest.mark.parametrize("fmt", ALL, ids=IDS)
+class TestOrderingAxioms:
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_trichotomy(self, fmt, data):
+        a = data.draw(bits_strategy(fmt))
+        b = data.draw(bits_strategy(fmt))
+        assume(not is_nan(a, fmt) and not is_nan(b, fmt))
+        lt = flt(fmt, a, b)[0]
+        gt = flt(fmt, b, a)[0]
+        eq = feq(fmt, a, b)[0]
+        assert lt + gt + eq == 1
+
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_le_is_lt_or_eq(self, fmt, data):
+        a = data.draw(bits_strategy(fmt))
+        b = data.draw(bits_strategy(fmt))
+        assert fle(fmt, a, b)[0] == (flt(fmt, a, b)[0] or feq(fmt, a, b)[0])
+
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_minmax_partition(self, fmt, data):
+        a = data.draw(bits_strategy(fmt))
+        b = data.draw(bits_strategy(fmt))
+        assume(not is_nan(a, fmt) and not is_nan(b, fmt))
+        lo = fmin(fmt, a, b)[0]
+        hi = fmax(fmt, a, b)[0]
+        assert {lo, hi} == {a, b} or to_double(lo, fmt) == to_double(hi, fmt)
+        assert fle(fmt, lo, hi)[0] == 1
+
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_addition_monotone(self, fmt, data):
+        """a <= b implies a + c <= b + c (absent NaN/inf)."""
+        a = data.draw(bits_strategy(fmt))
+        b = data.draw(bits_strategy(fmt))
+        c = data.draw(bits_strategy(fmt))
+        for x in (a, b, c):
+            assume(unpack(x, fmt).is_finite)
+        if not fle(fmt, a, b)[0]:
+            a, b = b, a
+        sa, _ = fadd(fmt, a, c, RNE)
+        sb, _ = fadd(fmt, b, c, RNE)
+        if unpack(sa, fmt).is_finite and unpack(sb, fmt).is_finite:
+            assert fle(fmt, sa, sb)[0] == 1
+
+
+@pytest.mark.parametrize("fmt", ALL, ids=IDS)
+class TestRoundingEnvelope:
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_rdn_below_rup(self, fmt, data):
+        """Directed roundings bracket the result: RDN <= RNE <= RUP."""
+        a = data.draw(bits_strategy(fmt))
+        b = data.draw(bits_strategy(fmt))
+        assume(not is_nan(a, fmt) and not is_nan(b, fmt))
+        down, _ = fmul(fmt, a, b, RoundingMode.RDN)
+        near, _ = fmul(fmt, a, b, RoundingMode.RNE)
+        up, _ = fmul(fmt, a, b, RoundingMode.RUP)
+        if any(is_nan(x, fmt) for x in (down, near, up)):
+            return
+        vd, vn, vu = (to_double(x, fmt) for x in (down, near, up))
+        assert vd <= vn <= vu
+
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_rtz_never_grows_magnitude(self, fmt, data):
+        a = data.draw(bits_strategy(fmt))
+        b = data.draw(bits_strategy(fmt))
+        assume(not is_nan(a, fmt) and not is_nan(b, fmt))
+        trunc, _ = fadd(fmt, a, b, RoundingMode.RTZ)
+        exact = to_double(a, fmt) + to_double(b, fmt)
+        if not is_nan(trunc, fmt):
+            assert abs(to_double(trunc, fmt)) <= abs(exact) + 1e-300
+
+
+class TestConversionLattice:
+    """Widening conversions along the format lattice are exact."""
+
+    @given(st.integers(0, BINARY8.bits_mask))
+    @settings(max_examples=256, deadline=None)
+    def test_b_widens_exactly_everywhere(self, bits):
+        assume(not is_nan(bits, BINARY8))
+        for wide in (BINARY16, BINARY16ALT, BINARY32):
+            out, flags = fcvt_f2f(BINARY8, wide, bits, RNE)
+            assert flags == 0
+            assert to_double(out, wide) == to_double(bits, BINARY8)
+
+    @given(st.integers(0, BINARY16.bits_mask))
+    @settings(max_examples=300, deadline=None)
+    def test_h_to_s_exact(self, bits):
+        assume(not is_nan(bits, BINARY16))
+        out, flags = fcvt_f2f(BINARY16, BINARY32, bits, RNE)
+        assert flags == 0
+
+    @given(st.integers(0, BINARY16ALT.bits_mask))
+    @settings(max_examples=300, deadline=None)
+    def test_ah_to_s_exact(self, bits):
+        assume(not is_nan(bits, BINARY16ALT))
+        out, flags = fcvt_f2f(BINARY16ALT, BINARY32, bits, RNE)
+        assert flags == 0

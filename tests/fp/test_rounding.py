@@ -1,0 +1,208 @@
+"""Directed tests of the round-and-pack funnel across all five modes."""
+
+import pytest
+
+from repro.fp import BINARY8, BINARY16, BINARY32, NX, OF, UF, RoundingMode
+from repro.fp.convert import from_double, to_double
+from repro.fp.rounding import resolve_rm, round_and_pack
+
+RNE = RoundingMode.RNE
+RTZ = RoundingMode.RTZ
+RDN = RoundingMode.RDN
+RUP = RoundingMode.RUP
+RMM = RoundingMode.RMM
+
+
+def rp(fmt, sign, sig, exp, rm):
+    return round_and_pack(fmt, sign, sig, exp, rm)
+
+
+class TestExactCases:
+    def test_one_in_binary16(self):
+        bits, flags = rp(BINARY16, 0, 1, 0, RNE)
+        assert bits == 0x3C00
+        assert flags == 0
+
+    def test_zero_significand_keeps_sign(self):
+        assert rp(BINARY16, 1, 0, 0, RNE) == (0x8000, 0)
+        assert rp(BINARY16, 0, 0, 5, RNE) == (0x0000, 0)
+
+    def test_exact_values_have_no_flags(self):
+        # 1.5 = 3 * 2^-1
+        bits, flags = rp(BINARY16, 0, 3, -1, RNE)
+        assert to_double(bits, BINARY16) == 1.5
+        assert flags == 0
+
+    def test_denormalized_significand_input(self):
+        """A significand with trailing zeros is normalized correctly."""
+        bits, flags = rp(BINARY16, 0, 4, -2, RNE)  # 4 * 2^-2 == 1.0
+        assert bits == 0x3C00
+        assert flags == 0
+
+
+class TestTiesToEven:
+    def test_tie_rounds_to_even_down(self):
+        # 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10.
+        sig = (1 << 11) + 1
+        bits, flags = rp(BINARY16, 0, sig, -11, RNE)
+        assert bits == 0x3C00  # stays at 1.0 (even)
+        assert flags == NX
+
+    def test_tie_rounds_to_even_up(self):
+        # 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9.
+        sig = (1 << 11) + 3
+        bits, flags = rp(BINARY16, 0, sig, -11, RNE)
+        assert to_double(bits, BINARY16) == 1.0 + 2 * 2.0 ** -10
+        assert flags == NX
+
+    def test_above_tie_rounds_up(self):
+        sig = (1 << 12) + 3  # 1 + 3*2^-12, above the halfway point
+        bits, _ = rp(BINARY16, 0, sig, -12, RNE)
+        assert to_double(bits, BINARY16) == 1.0 + 2.0 ** -10
+
+
+class TestDirectedModes:
+    @pytest.mark.parametrize(
+        "rm,expected",
+        [
+            (RTZ, 1.0),
+            (RDN, 1.0),
+            (RUP, 1.0 + 2.0 ** -10),
+            (RMM, 1.0 + 2.0 ** -10),  # exactly halfway: away from zero
+            (RNE, 1.0),
+        ],
+    )
+    def test_positive_halfway(self, rm, expected):
+        sig = (1 << 11) + 1
+        bits, _ = rp(BINARY16, 0, sig, -11, rm)
+        assert to_double(bits, BINARY16) == expected
+
+    @pytest.mark.parametrize(
+        "rm,expected",
+        [
+            (RTZ, -1.0),
+            (RDN, -(1.0 + 2.0 ** -10)),
+            (RUP, -1.0),
+            (RMM, -(1.0 + 2.0 ** -10)),
+            (RNE, -1.0),
+        ],
+    )
+    def test_negative_halfway(self, rm, expected):
+        sig = (1 << 11) + 1
+        bits, _ = rp(BINARY16, 1, sig, -11, rm)
+        assert to_double(bits, BINARY16) == expected
+
+
+class TestOverflow:
+    def test_rne_overflows_to_inf(self):
+        bits, flags = rp(BINARY16, 0, 1, 16, RNE)  # 2^16 > 65504
+        assert bits == BINARY16.pos_inf
+        assert flags == OF | NX
+
+    def test_rtz_saturates(self):
+        bits, flags = rp(BINARY16, 0, 1, 16, RTZ)
+        assert bits == BINARY16.max_finite
+        assert flags == OF | NX
+
+    def test_rdn_positive_saturates_negative_to_inf(self):
+        bits_pos, _ = rp(BINARY16, 0, 1, 16, RDN)
+        bits_neg, _ = rp(BINARY16, 1, 1, 16, RDN)
+        assert bits_pos == BINARY16.max_finite
+        assert bits_neg == BINARY16.neg_inf
+
+    def test_rup_negative_saturates_positive_to_inf(self):
+        bits_pos, _ = rp(BINARY16, 0, 1, 16, RUP)
+        bits_neg, _ = rp(BINARY16, 1, 1, 16, RUP)
+        assert bits_pos == BINARY16.pos_inf
+        assert bits_neg == BINARY16.sign_mask | BINARY16.max_finite
+
+    def test_largest_finite_is_exact(self):
+        value = BINARY16.max_value
+        bits = from_double(value, BINARY16)
+        assert bits == BINARY16.max_finite
+
+    def test_just_beyond_max_rounds_down_under_rne(self):
+        # 65520 is the midpoint between 65504 and 65536 -> ties to inf.
+        assert from_double(65519.9, BINARY16) == BINARY16.max_finite
+        assert from_double(65520.0, BINARY16) == BINARY16.pos_inf
+
+
+class TestSubnormalsAndUnderflow:
+    def test_min_subnormal_is_exact(self):
+        bits, flags = rp(BINARY16, 0, 1, -24, RNE)  # 2^-24
+        assert bits == 0x0001
+        assert flags == 0
+
+    def test_below_half_min_subnormal_rounds_to_zero(self):
+        bits, flags = rp(BINARY16, 0, 1, -26, RNE)  # 2^-26 < half ulp
+        assert bits == 0
+        assert flags & NX
+        assert flags & UF
+
+    def test_half_min_subnormal_ties_to_zero(self):
+        bits, flags = rp(BINARY16, 0, 1, -25, RNE)  # exactly half -> even
+        assert bits == 0
+        assert flags == NX | UF
+
+    def test_inexact_subnormal_raises_uf(self):
+        # 2^-24 + 2^-26 rounds within the subnormal range.
+        sig = 4 + 1
+        bits, flags = rp(BINARY16, 0, sig, -26, RNE)
+        assert flags == NX | UF
+
+    def test_exact_subnormal_no_uf(self):
+        bits, flags = rp(BINARY16, 0, 3, -24, RNE)  # 3*2^-24, exact
+        assert bits == 3
+        assert flags == 0
+
+    def test_round_up_to_min_normal_is_not_tiny(self):
+        """Tininess after rounding: a value that rounds up to the
+        smallest normal must not raise UF (RISC-V semantics)."""
+        # min_normal * (1 - 2^-12) rounds (RNE) up to min_normal.
+        sig = (1 << 12) - 1
+        bits, flags = rp(BINARY16, 0, sig, -14 - 12, RNE)
+        assert bits == BINARY16.min_normal
+        assert flags == NX  # no UF
+
+    def test_value_strictly_below_rounds_into_subnormal_raises_uf(self):
+        sig = (1 << 12) - 3  # rounds to largest subnormal
+        bits, flags = rp(BINARY16, 0, sig, -26, RNE)
+        assert bits == BINARY16.min_normal - 1
+        assert flags == NX | UF
+
+    def test_rup_promotes_tiny_to_min_subnormal(self):
+        bits, flags = rp(BINARY16, 0, 1, -40, RUP)
+        assert bits == 1
+        assert flags == NX | UF
+
+
+class TestBinary8Extremes:
+    """binary8 (1-5-2) has very coarse rounding; exercise its edges."""
+
+    def test_max_value(self):
+        assert BINARY8.max_value == 57344.0  # 1.75 * 2^15
+
+    def test_epsilon_quantization(self):
+        # 1.1 rounds to 1.0 in binary8 (ulp at 1.0 is 0.25).
+        assert to_double(from_double(1.1, BINARY8), BINARY8) == 1.0
+        assert to_double(from_double(1.13, BINARY8), BINARY8) == 1.25
+
+    def test_min_subnormal(self):
+        assert to_double(1, BINARY8) == 2.0 ** -16
+
+
+class TestResolveRm:
+    def test_static_mode_passes_through(self):
+        assert resolve_rm(RTZ, RNE) is RTZ
+
+    def test_dyn_defers_to_frm(self):
+        assert resolve_rm(RoundingMode.DYN, RUP) is RUP
+
+    def test_dyn_of_dyn_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_rm(RoundingMode.DYN, RoundingMode.DYN)
+
+
+def test_negative_significand_rejected():
+    with pytest.raises(ValueError):
+        round_and_pack(BINARY16, 0, -1, 0, RNE)

@@ -1,0 +1,110 @@
+"""The ergonomic SmallFloat wrapper."""
+
+import math
+
+import pytest
+
+from repro.fp import BINARY8, BINARY16, BINARY16ALT, BINARY32, RoundingMode, SmallFloat
+
+
+class TestConstruction:
+    def test_from_float(self):
+        x = SmallFloat.from_float(1.5, BINARY16)
+        assert float(x) == 1.5
+        assert x.bits == 0x3E00
+
+    def test_from_bits(self):
+        assert float(SmallFloat.from_bits(0x3C00, "binary16")) == 1.0
+
+    def test_format_lookup_by_keyword(self):
+        x = SmallFloat.from_float(2.0, "float8")
+        assert x.fmt is BINARY8
+
+    def test_rounds_on_construction(self):
+        x = SmallFloat.from_float(1.1, BINARY8)
+        assert float(x) == 1.0
+
+    def test_bits_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SmallFloat(0x10000, BINARY16)
+
+
+class TestArithmetic:
+    def test_operators(self):
+        a = SmallFloat.from_float(6.0, BINARY16)
+        b = SmallFloat.from_float(1.5, BINARY16)
+        assert float(a + b) == 7.5
+        assert float(a - b) == 4.5
+        assert float(a * b) == 9.0
+        assert float(a / b) == 4.0
+        assert float(-a) == -6.0
+        assert float(abs(-a)) == 6.0
+
+    def test_python_scalar_coercion(self):
+        a = SmallFloat.from_float(2.0, BINARY16)
+        assert float(a + 1) == 3.0
+        assert float(1 + a) == 3.0
+        assert float(10 - a) == 8.0
+        assert float(3 * a) == 6.0
+        assert float(8 / a) == 4.0
+
+    def test_sqrt_and_fma(self):
+        a = SmallFloat.from_float(2.0, BINARY16)
+        assert float(SmallFloat.from_float(9.0, BINARY16).sqrt()) == 3.0
+        b = SmallFloat.from_float(3.0, BINARY16)
+        c = SmallFloat.from_float(4.0, BINARY16)
+        assert float(a.fma(b, c)) == 10.0
+
+    def test_mixed_format_rejected(self):
+        a = SmallFloat.from_float(1.0, BINARY16)
+        b = SmallFloat.from_float(1.0, BINARY16ALT)
+        with pytest.raises(TypeError):
+            _ = a + b
+
+    def test_explicit_convert(self):
+        a = SmallFloat.from_float(1.5, BINARY16)
+        b = a.convert(BINARY32)
+        assert b.fmt is BINARY32
+        assert float(b) == 1.5
+
+    def test_rounding_mode_is_sticky(self):
+        a = SmallFloat.from_float(1.0, BINARY16).with_rounding(RoundingMode.RUP)
+        tiny = SmallFloat.from_float(2.0 ** -24, BINARY16)
+        assert float(a + tiny) == 1.0 + 2.0 ** -10  # rounds up
+
+    def test_quantization_visible_in_sum(self):
+        """binary8's 2-bit mantissa makes 1 + 0.1 collapse to 1.0."""
+        one = SmallFloat.from_float(1.0, BINARY8)
+        assert float(one + 0.1) == 1.0
+
+
+class TestComparisons:
+    def test_ordering(self):
+        a = SmallFloat.from_float(1.0, BINARY16)
+        b = SmallFloat.from_float(2.0, BINARY16)
+        assert a < b
+        assert a <= b
+        assert b > a
+        assert b >= a
+        assert a == SmallFloat.from_float(1.0, BINARY16)
+
+    def test_nan_is_unordered(self):
+        nan = SmallFloat.from_bits(BINARY16.quiet_nan, BINARY16)
+        one = SmallFloat.from_float(1.0, BINARY16)
+        assert not (nan == one)
+        assert not (nan < one)
+        assert not (nan <= one)
+        assert nan.is_nan
+
+    def test_inf_detection(self):
+        assert SmallFloat.from_float(math.inf, BINARY16).is_inf
+        assert SmallFloat.from_float(1e30, BINARY8).is_inf  # overflows
+
+    def test_hashable(self):
+        a = SmallFloat.from_float(1.0, BINARY16)
+        b = SmallFloat.from_float(1.0, BINARY16)
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_repr_mentions_format(self):
+        assert "binary16" in repr(SmallFloat.from_float(1.0, BINARY16))

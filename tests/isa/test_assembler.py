@@ -1,0 +1,209 @@
+"""Assembler: labels, pseudos, directives, relocations, diagnostics."""
+
+import pytest
+
+from repro.isa import AssemblerError, assemble, decode, disassemble
+
+
+def words(source, **kw):
+    return assemble(source, **kw).words
+
+
+class TestBasics:
+    def test_single_instruction(self):
+        assert words("addi x1, x0, 5") == [0x00500093]
+
+    def test_register_abi_names(self):
+        assert words("addi ra, zero, 5") == [0x00500093]
+
+    def test_comments_and_blank_lines(self):
+        src = """
+        # a comment
+        addi x1, x0, 5   # trailing
+        ; semicolon comment
+        """
+        assert words(src) == [0x00500093]
+
+    def test_hex_and_negative_immediates(self):
+        prog = words("addi t0, zero, -1\naddi t1, zero, 0x7f")
+        assert decode(prog[0]).imm == -1
+        assert decode(prog[1]).imm == 0x7F
+
+    def test_memory_operands(self):
+        prog = words("lw a0, 8(sp)\nsw a0, -4(s0)")
+        assert decode(prog[0]).imm == 8
+        assert decode(prog[1]).imm == -4
+
+    def test_fp_instruction_with_rounding_mode(self):
+        prog = words("fadd.s fa0, fa1, fa2, rtz")
+        instr = decode(prog[0])
+        assert instr.mnemonic == "fadd.s"
+        assert instr.rm == 1
+
+    def test_fp_default_rounding_is_dyn(self):
+        instr = decode(words("fadd.s fa0, fa1, fa2")[0])
+        assert instr.rm == 0b111
+
+    def test_fp_operands_accept_integer_names(self):
+        """Merged register file (PULP RISCY): vfmul.h a5, a5, a6."""
+        instr = decode(words("vfmul.h a5, a5, a6")[0])
+        assert instr.mnemonic == "vfmul.h"
+        assert instr.rd == 15 and instr.rs1 == 15 and instr.rs2 == 16
+
+
+class TestLabelsAndBranches:
+    def test_backward_branch(self):
+        prog = words("loop: addi x1, x1, -1\nbnez x1, loop")
+        assert decode(prog[1]).imm == -4
+
+    def test_forward_branch(self):
+        prog = words("beq x1, x2, done\naddi x3, x0, 1\ndone: addi x3, x0, 2")
+        assert decode(prog[0]).imm == 8
+
+    def test_jump_and_call(self):
+        prog = words("call fn\nj end\nfn: ret\nend: nop")
+        assert decode(prog[0]).mnemonic == "jal" and decode(prog[0]).rd == 1
+        assert decode(prog[0]).imm == 8
+        assert decode(prog[1]).rd == 0
+
+    def test_undefined_label(self):
+        with pytest.raises(KeyError):
+            assemble("j nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("a: nop\na: nop")
+
+
+class TestPseudoInstructions:
+    def test_nop(self):
+        assert words("nop") == [0x00000013]
+
+    def test_li_small(self):
+        prog = words("li a0, 42")
+        assert len(prog) == 1
+        assert decode(prog[0]).imm == 42
+
+    def test_li_large(self):
+        prog = words("li a0, 0x12345678")
+        assert len(prog) == 2
+        assert decode(prog[0]).mnemonic == "lui"
+        assert decode(prog[1]).mnemonic == "addi"
+
+    def test_li_large_negative_lo(self):
+        """%hi/%lo interplay: low part 0x800+ bumps the upper part."""
+        prog = words("li a0, 0x12345FFF")
+        hi = decode(prog[0]).imm
+        lo = decode(prog[1]).imm
+        assert ((hi << 12) + lo) & 0xFFFFFFFF == 0x12345FFF
+
+    def test_mv_not_neg(self):
+        prog = words("mv a0, a1\nnot a2, a3\nneg a4, a5")
+        assert decode(prog[0]).mnemonic == "addi"
+        assert decode(prog[1]).mnemonic == "xori"
+        assert decode(prog[2]).mnemonic == "sub"
+
+    def test_fmv_family(self):
+        prog = words("fmv.h ft0, ft1\nfneg.h ft0, ft1\nfabs.h ft0, ft1")
+        assert decode(prog[0]).mnemonic == "fsgnj.h"
+        assert decode(prog[1]).mnemonic == "fsgnjn.h"
+        assert decode(prog[2]).mnemonic == "fsgnjx.h"
+
+    def test_csrr(self):
+        instr = decode(words("csrr a0, fcsr")[0])
+        assert instr.mnemonic == "csrrs"
+        assert instr.imm == 3
+
+    def test_bgt_swaps_operands(self):
+        prog = words("bgt a0, a1, out\nout: nop")
+        instr = decode(prog[0])
+        assert instr.mnemonic == "blt"
+        assert instr.rs1 == 11 and instr.rs2 == 10
+
+
+class TestDataSection:
+    def test_word_data(self):
+        prog = assemble(".data\nvals: .word 1, 2, 0xdeadbeef")
+        assert prog.data == b"\x01\x00\x00\x00\x02\x00\x00\x00\xef\xbe\xad\xde"
+        assert prog.symbols["vals"] == prog.data_base
+
+    def test_half_and_byte(self):
+        prog = assemble(".data\n.half 0x1234\n.byte 0xff, 1")
+        assert prog.data == b"\x34\x12\xff\x01"
+
+    def test_space_and_align(self):
+        prog = assemble(".data\n.byte 1\n.align 2\nx: .word 7")
+        assert prog.symbols["x"] == prog.data_base + 4
+
+    def test_la_loads_data_address(self):
+        prog = assemble(".data\nbuf: .word 0\n.text\nla a0, buf")
+        hi = decode(prog.words[0]).imm
+        lo = decode(prog.words[1]).imm
+        assert ((hi << 12) + lo) & 0xFFFFFFFF == prog.symbols["buf"]
+
+    def test_lw_with_lo_relocation(self):
+        prog = assemble(
+            ".data\nbuf: .word 0\n.text\nlui a1, %hi(buf)\nlw a0, %lo(buf)(a1)"
+        )
+        hi = decode(prog.words[0]).imm
+        lo = decode(prog.words[1]).imm
+        assert ((hi << 12) + lo) & 0xFFFFFFFF == prog.symbols["buf"]
+
+
+class TestDiagnostics:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown instruction"):
+            assemble("frobnicate x1, x2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("add x1, x2")
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("addi x1, x0, 5000")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add x1, x2, x99")
+
+    def test_instruction_in_data_section(self):
+        with pytest.raises(AssemblerError, match="outside .text"):
+            assemble(".data\nadd x1, x2, x3")
+
+
+class TestSmallFloatProgram:
+    def test_fig5_style_kernel_assembles(self):
+        """The manually vectorized loop of Fig. 5 (paper Section V-C)."""
+        src = """
+        # a0 = a*, a1 = b*, a2 = n/2, s8 = sum (f32 bits)
+        loop:
+            lw   a5, 0(a0)
+            lw   a6, 0(a1)
+            vfdotpex.s.h s8, a5, a6
+            addi a0, a0, 4
+            addi a1, a1, 4
+            addi a2, a2, -1
+            bnez a2, loop
+            ret
+        """
+        prog = assemble(src)
+        assert len(prog.words) == 8
+        assert decode(prog.words[2]).mnemonic == "vfdotpex.s.h"
+
+    def test_disassembler_round_trip(self):
+        src = "\n".join(
+            [
+                "fadd.h ft0, ft1, ft2",
+                "vfmul.b a0, a1, a2",
+                "fmacex.s.h fs8, fs7, fa5",
+                "vfcpka.h.s fa0, fa1, fa2",
+                "fcvt.h.s ft0, ft1",
+                "fcvt.ah.s ft0, ft1",
+            ]
+        )
+        prog = assemble(src)
+        for word in prog.words:
+            text = disassemble(word)
+            again = assemble(text)
+            assert again.words[0] == word

@@ -1,0 +1,77 @@
+"""Disassembler output format and assembler round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import all_specs, assemble, decode, disassemble, encode
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("addi x1, x0, 5", "addi ra, zero, 5"),
+            ("add a0, a1, a2", "add a0, a1, a2"),
+            ("lw t0, 8(sp)", "lw t0, 8(sp)"),
+            ("sw t0, -4(s0)", "sw t0, -4(s0)"),
+            ("lui a0, 0x12345", "lui a0, 0x12345"),
+            ("fadd.h ft0, ft1, ft2, rtz", "fadd.h ft0, ft1, ft2, rtz"),
+            ("fadd.h ft0, ft1, ft2", "fadd.h ft0, ft1, ft2"),
+            ("vfdotpex.s.h s8, a5, a6", "vfdotpex.s.h fs8, fa5, fa6"),
+            ("csrr a0, fcsr", "csrrs a0, fcsr, zero"),
+            ("ecall", "ecall"),
+        ],
+    )
+    def test_known_forms(self, source, expected):
+        word = assemble(source).words[0]
+        assert disassemble(word) == expected
+
+    def test_unknown_word_renders_as_data(self):
+        assert disassemble(0xFFFFFFFF) == ".word 0xffffffff"
+
+    def test_branch_with_address_context(self):
+        word = assemble("beq x1, x2, t\nnop\nt: nop").words[0]
+        text = disassemble(word, addr=0x100)
+        assert "0x108" in text
+
+    def test_dyn_rounding_mode_not_shown(self):
+        word = assemble("fadd.s fa0, fa1, fa2").words[0]
+        assert disassemble(word) == "fadd.s fa0, fa1, fa2"
+
+
+class TestFullRoundTrip:
+    @pytest.mark.parametrize("spec", all_specs(), ids=lambda s: s.mnemonic)
+    def test_every_instruction_reassembles(self, spec):
+        """disassemble(encode(x)) must assemble back to the same word."""
+        if spec.form in ("B", "J"):
+            pytest.skip("relative targets need an address context")
+        if not spec.syntax:  # operand-less forms (fence/ecall/ebreak)
+            fields = {}
+        else:
+            fields = {"rd": 3, "rs1": 4, "rs2": 5, "rs3": 6, "imm": 16,
+                      "rm": 0}
+            if spec.form == "U":
+                fields["imm"] = 0x100
+            if spec.form in ("CSR", "CSRI"):
+                fields["imm"] = 0x001  # fflags
+                fields["rs1"] = 4
+        word = encode(spec, **fields)
+        text = disassemble(word)
+        again = assemble(text).words[0]
+        assert again == word, f"{spec.mnemonic}: {text}"
+
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_random_r_type_round_trips(self, data):
+        specs = [s for s in all_specs() if s.form == "R"
+                 and s.rs2_fixed is None]
+        spec = specs[data.draw(st.integers(0, len(specs) - 1))]
+        fields = {
+            "rd": data.draw(st.integers(0, 31)),
+            "rs1": data.draw(st.integers(0, 31)),
+            "rs2": data.draw(st.integers(0, 31)),
+            "rm": 0,
+        }
+        word = encode(spec, **fields)
+        assert assemble(disassemble(word)).words[0] == word

@@ -1,0 +1,102 @@
+"""Bit-field packing against golden encodings from the RISC-V spec."""
+
+import pytest
+
+from repro.isa import encoding as enc
+
+
+class TestFieldHelpers:
+    def test_bits(self):
+        assert enc.bits(0b1101_0000, 7, 4) == 0b1101
+
+    def test_sign_extend_positive(self):
+        assert enc.sign_extend(0x7FF, 12) == 0x7FF
+
+    def test_sign_extend_negative(self):
+        assert enc.sign_extend(0x800, 12) == -2048
+        assert enc.sign_extend(0xFFF, 12) == -1
+
+    def test_to_unsigned(self):
+        assert enc.to_unsigned(-1, 12) == 0xFFF
+        assert enc.to_unsigned(-1) == 0xFFFFFFFF
+
+
+class TestGoldenEncodings:
+    """Cross-checked against the official toolchain's output."""
+
+    def test_addi(self):
+        assert enc.encode_i(0b0010011, 1, 0, 0, 5) == 0x00500093
+
+    def test_add(self):
+        assert enc.encode_r(0b0110011, 3, 0, 1, 2, 0) == 0x002081B3
+
+    def test_lui(self):
+        assert enc.encode_u(0b0110111, 5, 0x12345) == 0x123452B7
+
+    def test_lw(self):
+        assert enc.encode_i(0b0000011, 6, 2, 7, 8) == 0x0083A303
+
+    def test_sw(self):
+        assert enc.encode_s(0b0100011, 2, 7, 6, 12) == 0x0063A623
+
+    def test_beq(self):
+        assert enc.encode_b(0b1100011, 0, 1, 2, 8) == 0x00208463
+
+    def test_jal(self):
+        assert enc.encode_j(0b1101111, 1, 16) == 0x010000EF
+
+    def test_fmadd(self):
+        assert enc.encode_r4(0b1000011, 1, 0, 2, 3, 4, 0) == 0x203100C3
+
+    def test_negative_branch_offset(self):
+        word = enc.encode_b(0b1100011, 1, 5, 6, -4)
+        assert enc.imm_b(word) == -4
+
+    def test_negative_jump_offset(self):
+        word = enc.encode_j(0b1101111, 0, -2048)
+        assert enc.imm_j(word) == -2048
+
+
+class TestImmediateRoundTrips:
+    @pytest.mark.parametrize("imm", [-2048, -1, 0, 1, 2047])
+    def test_i_immediate(self, imm):
+        word = enc.encode_i(0b0010011, 1, 0, 2, imm)
+        assert enc.imm_i(word) == imm
+
+    @pytest.mark.parametrize("imm", [-2048, -4, 0, 4, 2047])
+    def test_s_immediate(self, imm):
+        word = enc.encode_s(0b0100011, 2, 1, 2, imm)
+        assert enc.imm_s(word) == imm
+
+    @pytest.mark.parametrize("imm", [-4096, -2, 0, 2, 4094])
+    def test_b_immediate(self, imm):
+        word = enc.encode_b(0b1100011, 0, 1, 2, imm)
+        assert enc.imm_b(word) == imm
+
+    @pytest.mark.parametrize("imm", [-(1 << 20), -2, 0, 2, (1 << 20) - 2])
+    def test_j_immediate(self, imm):
+        word = enc.encode_j(0b1101111, 1, imm)
+        assert enc.imm_j(word) == imm
+
+
+class TestRangeChecks:
+    def test_i_immediate_overflow(self):
+        with pytest.raises(ValueError):
+            enc.encode_i(0b0010011, 1, 0, 0, 2048)
+
+    def test_odd_branch_offset(self):
+        with pytest.raises(ValueError):
+            enc.encode_b(0b1100011, 0, 1, 2, 3)
+
+    def test_register_out_of_range(self):
+        with pytest.raises(ValueError):
+            enc.encode_r(0b0110011, 32, 0, 0, 0, 0)
+
+
+class TestCompressedDetection:
+    def test_compressed_parcels(self):
+        assert enc.is_compressed(0x4501)
+        assert enc.is_compressed(0x8082)
+
+    def test_full_width_words(self):
+        assert not enc.is_compressed(0x00500093 & 0xFFFF)

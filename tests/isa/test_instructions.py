@@ -1,0 +1,164 @@
+"""The instruction table: round trips, extension contents, Table I."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    all_specs,
+    decode,
+    encode,
+    spec_by_mnemonic,
+    specs_by_extension,
+)
+from repro.isa.instructions import UnknownInstruction
+
+
+def _sample_fields(spec, draw=None):
+    """Plausible operand fields for a spec (random when draw given)."""
+    rnd = (lambda lo, hi: draw(st.integers(lo, hi))) if draw else (lambda lo, hi: hi)
+    fields = {
+        "rd": rnd(0, 31),
+        "rs1": rnd(0, 31),
+        "rs2": rnd(0, 31),
+        "rs3": rnd(0, 31),
+    }
+    if spec.form in ("I", "S"):
+        fields["imm"] = rnd(-2048, 2047)
+    elif spec.form == "B":
+        fields["imm"] = 2 * rnd(-2048, 2047)
+    elif spec.form == "U":
+        fields["imm"] = rnd(0, (1 << 20) - 1)
+    elif spec.form == "J":
+        fields["imm"] = 2 * rnd(-(1 << 19), (1 << 19) - 1)
+    elif spec.form == "SHIFT":
+        fields["imm"] = rnd(0, 31)
+    elif spec.form in ("CSR", "CSRI"):
+        fields["imm"] = rnd(0, 0xFFF)
+    if spec.has_rm:
+        fields["rm"] = 0  # RNE; 0b101 would alias into the alt format
+    return fields
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", all_specs(), ids=lambda s: s.mnemonic)
+    def test_every_mnemonic_round_trips(self, spec):
+        fields = _sample_fields(spec)
+        word = encode(spec, **fields)
+        decoded = decode(word)
+        assert decoded.mnemonic == spec.mnemonic
+
+    @given(data=st.data())
+    @settings(max_examples=300, deadline=None)
+    def test_random_operands_round_trip(self, data):
+        specs = all_specs()
+        spec = specs[data.draw(st.integers(0, len(specs) - 1))]
+        fields = _sample_fields(spec, data.draw)
+        word = encode(spec, **fields)
+        decoded = decode(word)
+        assert decoded.mnemonic == spec.mnemonic
+        # Register fields must survive (when the form carries them).
+        if "rd" in [k[:2] for k in spec.syntax] or any(
+            k in spec.syntax for k in ("rd", "frd")
+        ):
+            assert decoded.rd == fields["rd"]
+
+    def test_unknown_word_raises(self):
+        with pytest.raises(UnknownInstruction):
+            decode(0xFFFFFFFF)
+
+    def test_all_zero_word_raises(self):
+        with pytest.raises(UnknownInstruction):
+            decode(0)
+
+
+class TestExtensionInventory:
+    def test_base_isa_present(self):
+        base = {s.mnemonic for s in specs_by_extension("I")}
+        for mn in ["lui", "auipc", "jal", "jalr", "beq", "lw", "sw", "addi",
+                   "add", "sub", "sll", "srl", "sra", "and", "or", "xor",
+                   "ecall", "ebreak"]:
+            assert mn in base
+
+    def test_m_extension(self):
+        assert {s.mnemonic for s in specs_by_extension("M")} == {
+            "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu"
+        }
+
+    @pytest.mark.parametrize("ext,suffix", [("Xf16", "h"), ("Xf16alt", "ah"),
+                                            ("Xf8", "b")])
+    def test_scalar_smallfloat_extensions_mirror_f(self, ext, suffix):
+        """Section III-A: operations are equivalent to the binary32 ones."""
+        ops = {s.mnemonic.split(".")[0] for s in specs_by_extension(ext)}
+        for op in ["fadd", "fsub", "fmul", "fdiv", "fsqrt", "fsgnj", "fmin",
+                   "fmax", "feq", "flt", "fle", "fclass", "fmadd", "fmsub",
+                   "fnmsub", "fnmadd", "fcvt"]:
+            assert op in ops, f"{op} missing from {ext}"
+
+    def test_xfvec_covers_all_narrow_formats(self):
+        """Section III-B: vector ops for every format narrower than FLEN."""
+        vec = {s.mnemonic for s in specs_by_extension("Xfvec")}
+        for fmt in ["h", "ah", "b"]:
+            for op in ["vfadd", "vfsub", "vfmul", "vfdiv", "vfmin", "vfmax",
+                       "vfmac", "vfsqrt", "vfsgnj", "vfeq"]:
+                assert f"{op}.{fmt}" in vec
+
+    def test_xfaux_expanding_ops(self):
+        """Section III-C: expanding mul, MAC and dot products."""
+        aux = {s.mnemonic for s in specs_by_extension("Xfaux")}
+        for mn in ["fmulex.s.h", "fmacex.s.h", "fmulex.s.b", "fmacex.s.b",
+                   "vfdotpex.s.h", "vfdotpex.s.b"]:
+            assert mn in aux
+
+
+class TestTableI:
+    """Paper Table I: one instruction of each operation class exists and
+    encodes/decodes with the documented semantics hooks."""
+
+    @pytest.mark.parametrize(
+        "mnemonic,kind,ext",
+        [
+            ("fadd.h", "fadd", "Xf16"),          # Arithmetic
+            ("fcvt.h.s", "fcvt_f2f", "Xf16"),    # Conversion
+            ("vfadd.h", "vfadd", "Xfvec"),       # Vector arithmetic
+            ("vfcvt.x.h", "vfcvt_x_f", "Xfvec"), # Vector conversion
+            ("vfcpka.h.s", "vfcpka", "Xfvec"),   # Cast-and-pack
+            ("fmacex.s.h", "fmacex", "Xfaux"),   # Expanding
+            ("vfdotpex.s.h", "vfdotpex", "Xfaux"),  # Expanding dot product
+        ],
+    )
+    def test_operation_classes(self, mnemonic, kind, ext):
+        spec = spec_by_mnemonic(mnemonic)
+        assert spec.kind == kind
+        assert spec.ext == ext
+
+
+class TestAltFormatEncodingTricks:
+    """Section III-A: fmt/rm field repurposing."""
+
+    def test_16bit_formats_use_fmt_0b10(self):
+        assert spec_by_mnemonic("fadd.h").funct7 & 0b11 == 0b10
+        assert spec_by_mnemonic("fadd.ah").funct7 & 0b11 == 0b10
+
+    def test_binary8_repurposes_q_pattern(self):
+        assert spec_by_mnemonic("fadd.b").funct7 & 0b11 == 0b11
+
+    def test_alt_selected_by_rounding_mode_state(self):
+        spec = spec_by_mnemonic("fadd.ah")
+        assert spec.rm_fixed == 0b101
+        assert not spec.has_rm
+
+    def test_fadd_h_with_rm101_decodes_as_alt(self):
+        """The aliasing is the feature: rm=0b101 *is* the alt format."""
+        word = encode(spec_by_mnemonic("fadd.h"), rd=1, rs1=2, rs2=3, rm=0b101)
+        assert decode(word).mnemonic == "fadd.ah"
+
+    def test_vector_ops_live_in_op_opcode(self):
+        spec = spec_by_mnemonic("vfadd.h")
+        assert spec.opcode == 0b0110011
+        assert spec.funct7 >> 5 == 0b11  # the previously-unused prefix
+
+    def test_replicating_variants(self):
+        spec = spec_by_mnemonic("vfadd.r.h")
+        assert spec.repl
+        assert spec.funct3 & 0b100

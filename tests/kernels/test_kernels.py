@@ -1,0 +1,163 @@
+"""Kernel sources compile in every configuration and compute correctly."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_source
+from repro.harness.runner import run_kernel
+from repro.kernels import BENCHMARK_NAMES, KERNELS
+from repro.kernels.data import make_svm_dataset
+from repro.kernels.polybench import manual_source, source
+
+SMALL = {
+    "gemm": {"n": 4},
+    "atax": {"m": 4, "n": 4},
+    "syrk": {"n": 4, "m": 4},
+    "syr2k": {"n": 4, "m": 4},
+    "fdtd2d": {"t_max": 1, "nx": 4, "ny": 4},
+    "svm": {"nsamples": 4, "nclasses": 3, "nfeatures": 8},
+    "svm_mixed": {"nsamples": 4, "nclasses": 3, "nfeatures": 8},
+}
+
+POLY = ["gemm", "atax", "syrk", "syr2k", "fdtd2d"]
+
+
+class TestSourcesCompile:
+    @pytest.mark.parametrize("kernel", POLY)
+    @pytest.mark.parametrize("ftype", ["float", "float16", "float16alt",
+                                       "float8"])
+    def test_scalar_sources(self, kernel, ftype):
+        compile_source(source(kernel, ftype))
+
+    @pytest.mark.parametrize("kernel", POLY)
+    @pytest.mark.parametrize("ftype", ["float16", "float16alt", "float8"])
+    def test_auto_vectorized_sources(self, kernel, ftype):
+        compiled = compile_source(source(kernel, ftype), vectorize_loops=True)
+        assert compiled.vector_report.vectorized_loops >= 1, kernel
+
+    @pytest.mark.parametrize("kernel", POLY)
+    @pytest.mark.parametrize("ftype", ["float16", "float16alt", "float8"])
+    def test_manual_sources(self, kernel, ftype):
+        compiled = compile_source(manual_source(kernel, ftype))
+        # Manual code uses vector instructions directly.
+        assert "vf" in compiled.asm
+
+    def test_manual_requires_smallfloat(self):
+        with pytest.raises(ValueError):
+            manual_source("gemm", "float")
+
+    def test_float_source_does_not_vectorize(self):
+        compiled = compile_source(source("gemm", "float"),
+                                  vectorize_loops=True)
+        assert compiled.vector_report.vectorized_loops == 0
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+class TestAgainstGolden:
+    """Binary32 runs must track the binary64 reference closely."""
+
+    def test_float_baseline_accuracy(self, name):
+        run = run_kernel(KERNELS[name], "float", "scalar",
+                         params=SMALL[name])
+        assert run.sqnr_db() > 100.0  # binary32 vs binary64 reference
+
+    def test_float16_beats_float8(self, name):
+        r16 = run_kernel(KERNELS[name], "float16", "scalar",
+                         params=SMALL[name])
+        r8 = run_kernel(KERNELS[name], "float8", "scalar",
+                        params=SMALL[name])
+        assert r16.sqnr_db() > r8.sqnr_db()
+
+
+class TestVariantAgreement:
+    """Auto and manual builds compute the same kind of result."""
+
+    @pytest.mark.parametrize("name", ["gemm", "atax", "syrk", "fdtd2d"])
+    def test_auto_matches_scalar_bits(self, name):
+        """Vectorized lanes perform the same roundings as scalar code,
+        so outputs agree bit for bit.  (SYR2K is excluded: its two
+        interleaved reduction statements accumulate in a different
+        order once vectorized, which legally changes the rounding.)"""
+        params = SMALL[name]
+        scalar = run_kernel(KERNELS[name], "float16", "scalar", params=params)
+        auto = run_kernel(KERNELS[name], "float16", "auto", params=params)
+        for out in scalar.outputs:
+            assert np.array_equal(scalar.outputs[out], auto.outputs[out]), out
+
+    def test_syr2k_auto_close_to_scalar(self):
+        params = SMALL["syr2k"]
+        scalar = run_kernel(KERNELS["syr2k"], "float16", "scalar",
+                            params=params)
+        auto = run_kernel(KERNELS["syr2k"], "float16", "auto", params=params)
+        assert auto.sqnr_db() >= scalar.sqnr_db() - 6.0
+
+    @pytest.mark.parametrize("name", POLY)
+    def test_manual_close_to_scalar(self, name):
+        """Manual kernels use expanding (binary32) accumulation, so
+        results differ slightly -- but never by more than the scalar
+        build's own distance from the reference."""
+        params = SMALL[name]
+        manual = run_kernel(KERNELS[name], "float16", "manual", params=params)
+        scalar = run_kernel(KERNELS[name], "float16", "scalar", params=params)
+        assert manual.sqnr_db() >= scalar.sqnr_db() - 6.0
+
+    def test_svm_mixed_manual_matches_labels(self):
+        params = SMALL["svm_mixed"]
+        auto = run_kernel(KERNELS["svm_mixed"], "float16", "auto",
+                          params=params)
+        manual = run_kernel(KERNELS["svm_mixed"], "float16", "manual",
+                            params=params)
+        assert np.array_equal(auto.outputs["labels"], manual.outputs["labels"])
+
+
+class TestSvmDataset:
+    def test_ground_truth_matches_float64_scores(self):
+        model = make_svm_dataset({"nclasses": 4, "nfeatures": 8,
+                                  "nsamples": 16},
+                                 np.random.default_rng(0))
+        scores = model.samples @ model.weights.T + model.bias
+        assert np.array_equal(model.labels, np.argmax(scores, axis=1))
+
+    def test_float_kernel_classifies_perfectly(self):
+        run = run_kernel(KERNELS["svm"], "float", "scalar",
+                         params=SMALL["svm"])
+        assert run.classification_error() == 0.0
+
+    def test_deterministic_given_seed(self):
+        a = run_kernel(KERNELS["svm"], "float16", "scalar",
+                       params=SMALL["svm"], seed=3)
+        b = run_kernel(KERNELS["svm"], "float16", "scalar",
+                       params=SMALL["svm"], seed=3)
+        assert np.array_equal(a.outputs["scores"], b.outputs["scores"])
+        assert a.cycles == b.cycles
+
+
+class TestGoldenReferences:
+    def test_gemm_golden(self):
+        from repro.kernels.data import make_gemm_data
+        from repro.kernels.golden import gemm_ref
+
+        data = make_gemm_data({"n": 3}, np.random.default_rng(1))
+        ref = gemm_ref(data, {"n": 3})["C"].reshape(3, 3)
+        want = data["beta"] * data["C"] + data["alpha"] * data["A"] @ data["B"]
+        assert np.allclose(ref, want)
+
+    def test_syrk_golden_preserves_upper_triangle(self):
+        from repro.kernels.data import make_syrk_data
+        from repro.kernels.golden import syrk_ref
+
+        params = {"n": 4, "m": 4}
+        data = make_syrk_data(params, np.random.default_rng(2))
+        ref = syrk_ref(data, params)["C"].reshape(4, 4)
+        upper = np.triu_indices(4, k=1)
+        assert np.array_equal(ref[upper], data["C"][upper])
+
+    def test_fdtd_golden_single_step(self):
+        from repro.kernels.data import make_fdtd2d_data
+        from repro.kernels.golden import fdtd2d_ref
+
+        params = {"t_max": 1, "nx": 3, "ny": 3}
+        data = make_fdtd2d_data(params, np.random.default_rng(3))
+        ref = fdtd2d_ref(data, params)
+        # ey row 0 is the boundary source.
+        assert np.allclose(ref["ey"].reshape(3, 3)[0], data["fict"][0])

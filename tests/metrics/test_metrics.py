@@ -1,0 +1,76 @@
+"""SQNR and classification-error metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp import BINARY8, BINARY16
+from repro.fp.numpy_backend import quantize
+from repro.metrics import classification_error, sqnr_db
+
+
+class TestSqnr:
+    def test_exact_match_is_infinite(self):
+        assert sqnr_db([1.0, 2.0], [1.0, 2.0]) == math.inf
+
+    def test_known_value(self):
+        # signal power 1, noise power 0.01 -> 20 dB
+        assert sqnr_db([1.0], [0.9]) == pytest.approx(20.0)
+
+    def test_scales_with_noise(self):
+        ref = np.ones(100)
+        assert sqnr_db(ref, ref + 0.001) > sqnr_db(ref, ref + 0.1)
+
+    def test_zero_reference_with_error(self):
+        assert sqnr_db([0.0], [1.0]) == -math.inf
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            sqnr_db([1.0, 2.0], [1.0])
+
+    def test_flattens_shapes(self):
+        ref = np.ones((4, 4))
+        assert sqnr_db(ref, ref * 1.01) == pytest.approx(
+            sqnr_db(ref.ravel(), ref.ravel() * 1.01)
+        )
+
+    @given(st.integers(0, 2 ** 31))
+    @settings(max_examples=50, deadline=None)
+    def test_quantization_sqnr_tracks_precision(self, seed):
+        """binary16 quantization must beat binary8 quantization."""
+        rng = np.random.default_rng(seed)
+        ref = rng.uniform(0.5, 2.0, size=256)
+        q16 = sqnr_db(ref, quantize(ref, BINARY16))
+        q8 = sqnr_db(ref, quantize(ref, BINARY8))
+        assert q16 > q8
+
+    def test_binary16_quantization_around_68db(self):
+        """Uniform data quantized to p=11 bits: SQNR ~ 6.02*11 + margin.
+        (Table III's float16 values sit in the 37-60 dB range because
+        kernels accumulate error; raw quantization is the ceiling.)"""
+        rng = np.random.default_rng(0)
+        ref = rng.uniform(0.5, 1.0, size=4096)
+        q = sqnr_db(ref, quantize(ref, BINARY16))
+        assert 60.0 < q < 85.0
+
+
+class TestClassificationError:
+    def test_perfect(self):
+        assert classification_error([0, 1, 2], [0, 1, 2]) == 0.0
+
+    def test_all_wrong(self):
+        assert classification_error([0, 0], [1, 1]) == 1.0
+
+    def test_fraction(self):
+        assert classification_error([0, 1, 2, 3], [0, 1, 2, 0]) == 0.25
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            classification_error([0, 1], [0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classification_error([], [])

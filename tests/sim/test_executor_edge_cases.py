@@ -1,0 +1,180 @@
+"""Executor corner cases: FLEN=64, CSRs, moves, vector variants."""
+
+import pytest
+
+from repro.fp import BINARY8, BINARY16, BINARY32
+from repro.fp.convert import from_double, to_double
+from repro.fp.simd import join_lanes, split_lanes
+from repro.isa import assemble, decode, encode, spec_by_mnemonic
+from repro.sim import Machine, Memory, Simulator, execute
+from repro.sim.csr import IllegalCsr
+
+
+def run_asm(src, args=None, **kw):
+    sim = Simulator(assemble(src), **kw)
+    result = sim.run(0, args=args or {})
+    return sim, result
+
+
+class TestFmvSemantics:
+    def test_fmv_x_h_sign_extends(self):
+        """fmv.x.h sign-extends the 16-bit pattern into XLEN."""
+        neg = from_double(-1.0, BINARY16)  # 0xBC00, sign bit set
+        sim, _ = run_asm("fmv.x.h a0, a1\nret", args={11: neg},
+                         merged_regfile=False)
+        # fa1 was never written in split mode: move a1 through first.
+        sim = Simulator(assemble("fmv.h.x fa1, a1\nfmv.x.h a0, fa1\nret"),
+                        merged_regfile=False)
+        sim.run(0, args={11: neg})
+        assert sim.machine.read_x(10) == 0xFFFFBC00
+
+    def test_fmv_x_h_positive_zero_extends(self):
+        pos = from_double(1.0, BINARY16)
+        sim = Simulator(assemble("fmv.h.x fa1, a1\nfmv.x.h a0, fa1\nret"),
+                        merged_regfile=False)
+        sim.run(0, args={11: pos})
+        assert sim.machine.read_x(10) == pos
+
+
+class TestCsrBehaviour:
+    def test_fflags_write_and_clear(self):
+        src = """
+        main:
+            li t0, 0x1f
+            csrw fflags, t0
+            csrr a0, fflags
+            csrw fflags, zero
+            csrr a1, fflags
+            ret
+        """
+        sim, _ = run_asm(src)
+        assert sim.machine.read_x(10) == 0x1F
+        assert sim.machine.read_x(11) == 0
+
+    def test_frm_masked_to_3_bits(self):
+        sim, _ = run_asm("li t0, 0xff\ncsrw frm, t0\ncsrr a0, frm\nret")
+        assert sim.machine.read_x(10) == 0b111
+
+    def test_fcsr_composes_frm_and_fflags(self):
+        src = """
+        main:
+            li t0, 0x7f        # frm=3, fflags=0x1f
+            csrw fcsr, t0
+            csrr a0, frm
+            csrr a1, fflags
+            ret
+        """
+        sim, _ = run_asm(src)
+        assert sim.machine.read_x(10) == 0b11
+        assert sim.machine.read_x(11) == 0x1F
+
+    def test_csrrs_with_x0_does_not_write(self):
+        src = "csrw fflags, zero\ncsrr a0, fflags\nret"
+        sim, _ = run_asm(src)
+        assert sim.machine.read_x(10) == 0
+
+    def test_unknown_csr_raises(self):
+        with pytest.raises(IllegalCsr):
+            run_asm("csrr a0, 0x123\nret")
+
+    def test_counter_csrs_read_only(self):
+        with pytest.raises(IllegalCsr):
+            run_asm("csrw cycle, zero\nret")
+
+    def test_csr_immediates(self):
+        sim, _ = run_asm("csrrwi a0, fflags, 5\ncsrr a1, fflags\nret")
+        assert sim.machine.read_x(11) == 5
+
+
+class TestReplicatingVariants:
+    def test_vfmul_r_uses_lane0_of_rs2(self):
+        packed = join_lanes(
+            [from_double(2.0, BINARY16), from_double(3.0, BINARY16)],
+            BINARY16, 32,
+        )
+        scalar = join_lanes(
+            [from_double(10.0, BINARY16), from_double(99.0, BINARY16)],
+            BINARY16, 32,
+        )  # lane 1 (99.0) must be ignored
+        sim, _ = run_asm("vfmul.r.h a0, a0, a1\nret",
+                         args={10: packed, 11: scalar})
+        lanes = split_lanes(sim.machine.read_f(10), BINARY16, 32)
+        assert [to_double(b, BINARY16) for b in lanes] == [20.0, 30.0]
+
+    def test_vfdotpex_r_variant(self):
+        packed = join_lanes(
+            [from_double(1.0, BINARY16), from_double(2.0, BINARY16)],
+            BINARY16, 32,
+        )
+        scalar = from_double(4.0, BINARY16)
+        sim, _ = run_asm("vfdotpex.s.r.h a0, a1, a2\nret",
+                         args={10: 0, 11: packed, 12: scalar})
+        assert to_double(sim.machine.read_f(10, 32), BINARY32) == 12.0
+
+
+class TestFlen64:
+    """Table II's FLEN=64 row, executed (split register file)."""
+
+    def test_four_lane_f16_add(self):
+        machine = Machine(Memory(), merged_regfile=False, flen=64)
+        values_a = [1.0, 2.0, 3.0, 4.0]
+        values_b = [10.0, 20.0, 30.0, 40.0]
+        machine.fregs[1] = join_lanes(
+            [from_double(v, BINARY16) for v in values_a], BINARY16, 64)
+        machine.fregs[2] = join_lanes(
+            [from_double(v, BINARY16) for v in values_b], BINARY16, 64)
+        word = encode(spec_by_mnemonic("vfadd.h"), rd=3, rs1=1, rs2=2)
+        execute(machine, decode(word))
+        lanes = split_lanes(machine.fregs[3], BINARY16, 64)
+        assert [to_double(b, BINARY16) for b in lanes] == [11.0, 22.0, 33.0,
+                                                           44.0]
+
+    def test_eight_lane_f8_mul(self):
+        machine = Machine(Memory(), merged_regfile=False, flen=64)
+        machine.fregs[1] = join_lanes(
+            [from_double(float(i), BINARY8) for i in range(8)], BINARY8, 64)
+        machine.fregs[2] = join_lanes(
+            [from_double(2.0, BINARY8)] * 8, BINARY8, 64)
+        word = encode(spec_by_mnemonic("vfmul.b"), rd=3, rs1=1, rs2=2)
+        execute(machine, decode(word))
+        lanes = split_lanes(machine.fregs[3], BINARY8, 64)
+        assert [to_double(b, BINARY8) for b in lanes] == [
+            0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0
+        ]
+
+
+class TestDivSqrtTiming:
+    def test_fdiv_narrow_formats_finish_sooner(self):
+        def cycles_of(mnemonic):
+            sim = Simulator(assemble(f"{mnemonic} a0, a1, a2\nret"))
+            return sim.run(0).cycles
+
+        assert cycles_of("fdiv.b") < cycles_of("fdiv.h") < cycles_of("fdiv.s")
+
+    def test_int_div_is_iterative(self):
+        div = Simulator(assemble("div a0, a1, a2\nret")).run(0).cycles
+        add = Simulator(assemble("add a0, a1, a2\nret")).run(0).cycles
+        assert div > add + 20
+
+
+class TestFlen64Binary32Vectors:
+    """The Table II 'F -> 2 lanes at FLEN=64' row, executed."""
+
+    def test_two_lane_f32_add(self):
+        machine = Machine(Memory(), merged_regfile=False, flen=64)
+        machine.fregs[1] = join_lanes(
+            [from_double(1.5, BINARY32), from_double(2.5, BINARY32)],
+            BINARY32, 64)
+        machine.fregs[2] = join_lanes(
+            [from_double(10.0, BINARY32), from_double(20.0, BINARY32)],
+            BINARY32, 64)
+        word = encode(spec_by_mnemonic("vfadd.s"), rd=3, rs1=1, rs2=2)
+        execute(machine, decode(word))
+        lanes = split_lanes(machine.fregs[3], BINARY32, 64)
+        assert [to_double(b, BINARY32) for b in lanes] == [11.5, 22.5]
+
+    def test_f32_vectors_illegal_at_flen32(self):
+        machine = Machine(Memory(), merged_regfile=False, flen=32)
+        word = encode(spec_by_mnemonic("vfadd.s"), rd=3, rs1=1, rs2=2)
+        with pytest.raises(ValueError, match="no vector form"):
+            execute(machine, decode(word))

@@ -1,0 +1,75 @@
+"""Sparse memory: scalar/bulk access, page boundaries, latency knob."""
+
+import pytest
+
+from repro.sim.memory import LATENCY_LEVELS, Memory, MemoryError_
+
+
+class TestScalarAccess:
+    def test_read_uninitialized_is_zero(self):
+        assert Memory().read_u32(0x1234) == 0
+
+    def test_byte_roundtrip(self):
+        mem = Memory()
+        mem.write_u8(10, 0xAB)
+        assert mem.read_u8(10) == 0xAB
+
+    def test_little_endian_word(self):
+        mem = Memory()
+        mem.write_u32(0x100, 0x11223344)
+        assert mem.read_u8(0x100) == 0x44
+        assert mem.read_u8(0x103) == 0x11
+        assert mem.read_u16(0x100) == 0x3344
+
+    def test_write_masks_value(self):
+        mem = Memory()
+        mem.write_u8(0, 0x1FF)
+        assert mem.read_u8(0) == 0xFF
+
+    def test_misaligned_access(self):
+        mem = Memory()
+        mem.write_u32(0x101, 0xDEADBEEF)
+        assert mem.read_u32(0x101) == 0xDEADBEEF
+
+    def test_cross_page_access(self):
+        mem = Memory()
+        mem.write_u32(0xFFE, 0xCAFEBABE)  # straddles a 4 KiB page
+        assert mem.read_u32(0xFFE) == 0xCAFEBABE
+        assert mem.read_u16(0x1000) == 0xCAFE
+
+    def test_high_addresses(self):
+        mem = Memory()
+        mem.write_u32(0xFFFF_FFF0, 7)
+        assert mem.read_u32(0xFFFF_FFF0) == 7
+
+    def test_out_of_range_rejected(self):
+        mem = Memory()
+        with pytest.raises(MemoryError_):
+            mem.read_u32(0xFFFF_FFFE)
+        with pytest.raises(MemoryError_):
+            mem.write_u8(-1, 0)
+
+
+class TestBulkAccess:
+    def test_block_roundtrip(self):
+        mem = Memory()
+        data = bytes(range(256)) * 40  # > 2 pages
+        mem.write_block(0xF00, data)
+        assert mem.read_block(0xF00, len(data)) == data
+
+    def test_block_and_scalar_interleave(self):
+        mem = Memory()
+        mem.write_block(0, b"\x01\x02\x03\x04")
+        assert mem.read_u32(0) == 0x04030201
+
+
+class TestLatency:
+    def test_default_is_l1(self):
+        assert Memory().latency == 1
+
+    def test_levels_match_paper(self):
+        assert LATENCY_LEVELS == {"L1": 1, "L2": 10, "L3": 100}
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Memory(latency=0)

@@ -1,0 +1,89 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def asm_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(
+        "main:\n"
+        "    li a0, 20\n"
+        "    li a1, 22\n"
+        "    fadd.h a0, a0, a1\n"
+        "    add a0, a0, a1\n"
+        "    ret\n"
+    )
+    return str(path)
+
+
+class TestAsm:
+    def test_lists_words_and_symbols(self, asm_file, capsys):
+        assert main(["asm", asm_file]) == 0
+        out = capsys.readouterr().out
+        assert "fadd.h" in out
+        assert "# main = 0x0" in out
+
+
+class TestDis:
+    def test_disassembles_hex_words(self, capsys):
+        assert main(["dis", "0x00500093"]) == 0
+        assert "addi ra, zero, 5" in capsys.readouterr().out
+
+    def test_unknown_word_renders_as_data(self, capsys):
+        main(["dis", "0xffffffff"])
+        assert ".word" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_runs_program(self, asm_file, capsys):
+        assert main(["run", asm_file]) == 0
+        out = capsys.readouterr().out
+        assert "exit: halt" in out
+        assert "a0" in out
+
+    def test_initial_registers(self, tmp_path, capsys):
+        path = tmp_path / "add.s"
+        path.write_text("main: add a0, a0, a1\nret\n")
+        main(["run", str(path), "--reg", "a0=30", "--reg", "a1=12"])
+        assert "(42)" in capsys.readouterr().out
+
+    def test_breakdown_flag(self, asm_file, capsys):
+        main(["run", asm_file, "--breakdown"])
+        out = capsys.readouterr().out
+        assert "fp16" in out
+
+
+class TestKernel:
+    def test_runs_benchmark_kernel(self, capsys):
+        assert main(["kernel", "gemm", "--ftype", "float16",
+                     "--mode", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "SQNR" in out
+
+    def test_unknown_kernel(self, capsys):
+        assert main(["kernel", "nonesuch"]) == 1
+
+    def test_asm_flag_prints_assembly(self, capsys):
+        main(["kernel", "gemm", "--mode", "manual", "--asm"])
+        assert "vf" in capsys.readouterr().out
+
+
+class TestExperiments:
+    def test_table2(self, capsys):
+        assert main(["experiments", "table2"]) == 0
+        assert "FLEN=32" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["experiments", "fig5"]) == 0
+        assert "reduction" in capsys.readouterr().out
+
+
+class TestTune:
+    def test_case_study(self, capsys):
+        assert main(["tune"]) == 0
+        out = capsys.readouterr().out
+        assert "strict" in out and "relaxed" in out
+        assert "'accumulator': 'float'" in out

@@ -1,0 +1,119 @@
+"""The Section V-C case study must reproduce the paper's outcome."""
+
+import numpy as np
+import pytest
+
+from repro.tuning import (
+    evaluate_assignment,
+    make_gesture_case,
+    make_problem,
+    run_case_study,
+    tune_greedy,
+)
+
+
+@pytest.fixture(scope="module")
+def case():
+    return make_gesture_case()
+
+
+def uniform(data, acc):
+    return {
+        "inputs": data,
+        "weights": data,
+        "intermediate": data,
+        "accumulator": acc,
+    }
+
+
+class TestDatasetProperties:
+    def test_float_baseline_is_perfect(self, case):
+        assert evaluate_assignment(case, uniform("float", "float")) == 0.0
+
+    def test_float16_data_with_float_acc_is_perfect(self, case):
+        """The paper's strict tuned assignment has zero errors."""
+        assert evaluate_assignment(case, uniform("float16", "float")) == 0.0
+
+    def test_float16_accumulator_fails_on_dynamic_range(self, case):
+        """Partial sums overflow binary16: catastrophic errors."""
+        error = evaluate_assignment(case, uniform("float16", "float16"))
+        assert error > 0.5
+
+    def test_float16alt_accumulator_is_within_5_percent(self, case):
+        """The alternate format's binary32-like range absorbs the
+        partial-sum swings; only its precision costs a few samples."""
+        error = evaluate_assignment(case, uniform("float16", "float16alt"))
+        assert 0.0 < error <= 0.05
+
+    def test_float8_data_fails_both_constraints(self, case):
+        error = evaluate_assignment(case, uniform("float8", "float"))
+        assert error > 0.05
+
+    def test_partial_sums_exceed_binary16_range(self, case):
+        """The constructed common mode really does swing past 65504."""
+        running = np.cumsum(case.samples[:, None, :] * case.weights[None],
+                            axis=2)
+        assert np.abs(running).max() > 65504.0
+
+    def test_deterministic(self):
+        a = make_gesture_case(seed=7)
+        b = make_gesture_case(seed=7)
+        assert np.array_equal(a.samples, b.samples)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestCaseStudyOutcome:
+    """Paper Section V-C verbatim."""
+
+    @pytest.fixture(scope="class")
+    def results(self, case):
+        return run_case_study(case)
+
+    def test_strict_keeps_binary32_accumulator(self, results):
+        """'a float variable for the final accumulation and float16 for
+        other variables' under the no-errors constraint."""
+        strict = results["strict"]
+        assert strict.assignment == {"data": "float16",
+                                     "accumulator": "float"}
+        assert strict.qor == 0.0
+
+    def test_relaxed_moves_accumulator_to_float16alt(self, results):
+        """'By tolerating a minimum amount of classification errors
+        (around 5%), the tuning tools would assign the accumulation
+        variable to the float16alt type.'"""
+        relaxed = results["relaxed"]
+        assert relaxed.assignment == {"data": "float16",
+                                      "accumulator": "float16alt"}
+        assert 0.0 < relaxed.qor <= 0.05
+
+    def test_relaxed_is_cheaper(self, results):
+        assert results["relaxed"].cost < results["strict"].cost
+
+    def test_search_is_frugal(self, results):
+        """Dynamic tuning converges in a handful of evaluations."""
+        assert results["strict"].evaluations <= 12
+        assert results["relaxed"].evaluations <= 12
+
+
+class TestProblemConstruction:
+    def test_greedy_on_problem_object(self, case):
+        result = tune_greedy(make_problem(case, max_error=0.0))
+        assert result.assignment["accumulator"] == "float"
+
+    def test_stricter_constraints_cost_more(self, case):
+        strict = tune_greedy(make_problem(case, max_error=0.0))
+        loose = tune_greedy(make_problem(case, max_error=0.30))
+        assert loose.cost <= strict.cost
+
+
+class TestDeltaStrategyOnCaseStudy:
+    def test_delta_matches_greedy_outcome(self, case):
+        from repro.tuning import tune_delta
+
+        relaxed = tune_delta(make_problem(case, max_error=0.05))
+        assert relaxed.assignment == {"data": "float16",
+                                      "accumulator": "float16alt"}
+        # Delta debugging narrows in bulk first, so it needs no more
+        # evaluations than the greedy descent.
+        greedy = tune_greedy(make_problem(case, max_error=0.05))
+        assert relaxed.evaluations <= greedy.evaluations + 2

@@ -1,0 +1,140 @@
+"""Generic precision-tuner behaviour on synthetic problems."""
+
+import pytest
+
+from repro.tuning import (
+    TunableVariable,
+    TuningProblem,
+    default_cost,
+    tune_delta,
+    tune_greedy,
+)
+
+
+def _problem(accept_table, variables=None, accept=None):
+    """A problem whose QoR is looked up in a dict keyed by assignment."""
+    variables = variables or [
+        TunableVariable("a"),
+        TunableVariable("b"),
+    ]
+
+    def evaluate(assignment):
+        key = tuple(sorted(assignment.items()))
+        return accept_table[key]
+
+    return TuningProblem(
+        variables,
+        evaluate=evaluate,
+        accept=accept or (lambda q: q == 0.0),
+    )
+
+
+def _table(fn, names=("a", "b"), candidates=("float", "float16", "float8")):
+    """Enumerate all assignments, QoR by predicate fn(assignment)."""
+    import itertools
+
+    table = {}
+    for combo in itertools.product(candidates, repeat=len(names)):
+        assignment = dict(zip(names, combo))
+        table[tuple(sorted(assignment.items()))] = fn(assignment)
+    return table
+
+
+class TestGreedy:
+    def test_narrows_fully_when_everything_passes(self):
+        table = _table(lambda a: 0.0)
+        result = tune_greedy(_problem(table))
+        assert result.assignment == {"a": "float8", "b": "float8"}
+        assert result.cost == 16.0
+
+    def test_respects_per_variable_limits(self):
+        # b cannot go below float16.
+        def qor(a):
+            return 1.0 if a["b"] == "float8" else 0.0
+
+        result = tune_greedy(_problem(_table(qor)))
+        assert result.assignment == {"a": "float8", "b": "float16"}
+
+    def test_nothing_narrows(self):
+        def qor(a):
+            return 0.0 if all(v == "float" for v in a.values()) else 1.0
+
+        result = tune_greedy(_problem(_table(qor)))
+        assert result.assignment == {"a": "float", "b": "float"}
+
+    def test_widest_must_pass(self):
+        table = _table(lambda a: 1.0)
+        with pytest.raises(ValueError, match="widest"):
+            tune_greedy(_problem(table))
+
+    def test_interacting_variables(self):
+        """Only one of the two may be narrow; greedy keeps exactly one."""
+        def qor(a):
+            narrow = sum(v != "float" for v in a.values())
+            return 0.0 if narrow <= 1 else 1.0
+
+        result = tune_greedy(_problem(_table(qor)))
+        narrow = sum(v != "float" for v in result.assignment.values())
+        assert narrow == 1
+
+    def test_history_records_rejections(self):
+        def qor(a):
+            return 1.0 if a["a"] == "float8" else 0.0
+
+        result = tune_greedy(_problem(_table(qor)))
+        assert any(not ok for (_, _, ok) in result.history)
+
+    def test_cost_is_reported(self):
+        table = _table(lambda a: 0.0)
+        result = tune_greedy(_problem(table))
+        assert result.cost == default_cost(result.assignment)
+
+
+class TestDelta:
+    def test_narrows_fully_when_everything_passes(self):
+        table = _table(lambda a: 0.0)
+        result = tune_delta(_problem(table))
+        assert result.assignment == {"a": "float8", "b": "float8"}
+
+    def test_finds_single_blocking_variable(self):
+        def qor(a):
+            return 1.0 if a["b"] != "float" else 0.0
+
+        result = tune_delta(_problem(_table(qor)))
+        assert result.assignment == {"a": "float8", "b": "float"}
+
+    def test_matches_greedy_optimum_on_separable_problem(self):
+        def qor(a):
+            bad = {"a": "float8", "b": "float8"}
+            return 1.0 if all(a[k] == bad[k] for k in bad) else 0.0
+
+        greedy = tune_greedy(_problem(_table(qor)))
+        delta = tune_delta(_problem(_table(qor)))
+        assert default_cost(delta.assignment) <= default_cost(
+            greedy.assignment
+        ) + 8  # both land on one-f8/one-f16 class solutions
+
+
+class TestValidation:
+    def test_empty_variables_rejected(self):
+        with pytest.raises(ValueError):
+            TuningProblem([], evaluate=lambda a: 0.0, accept=lambda q: True)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            TuningProblem(
+                [TunableVariable("x"), TunableVariable("x")],
+                evaluate=lambda a: 0.0,
+                accept=lambda q: True,
+            )
+
+    def test_non_fp_candidate_rejected(self):
+        with pytest.raises(ValueError):
+            TunableVariable("x", ("int",))
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            TunableVariable("x", ())
+
+    def test_default_cost_counts_widths(self):
+        assert default_cost({"a": "float", "b": "float16"}) == 48.0
