@@ -12,6 +12,17 @@ Subpackages:
 * :mod:`repro.metrics`  -- SQNR and classification-accuracy metrics
 * :mod:`repro.tuning`   -- automatic precision tuning
 * :mod:`repro.harness`  -- per-figure/table experiment drivers
+* :mod:`repro.faults`   -- deterministic fault-injection campaigns
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+class ReproError(Exception):
+    """Base class of every error raised by this package.
+
+    Layer-specific errors (:class:`repro.sim.SimulationError`,
+    :class:`repro.harness.HarnessError`, :class:`repro.sim.IllegalCsr`,
+    :class:`repro.sim.memory.MemoryAccessError`, ...) all derive from
+    this, so callers can catch one type at any API boundary.
+    """

@@ -8,6 +8,8 @@ Installed as ``python -m repro``.  Subcommands:
 * ``kernel NAME``         -- run one benchmark configuration
 * ``experiments [NAME]``  -- regenerate paper tables/figures
 * ``tune``                -- run the precision-tuning case study
+* ``faults KERNEL``       -- run fault-injection campaigns and print a
+                             per-format resilience summary
 """
 
 from __future__ import annotations
@@ -15,6 +17,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+from . import ReproError
 
 
 def _cmd_asm(args: argparse.Namespace) -> int:
@@ -58,6 +62,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = sim.run(entry, args=regs, max_instructions=args.max_instructions)
     print(f"exit: {result.exit_reason}, {result.instret} instructions, "
           f"{result.cycles} cycles")
+    if result.trap is not None:
+        print(f"  trap: {result.trap}")
+        csr = sim.machine.csr
+        print(f"  mcause={csr.mcause:#x} mepc={csr.mepc:#010x} "
+              f"mtval={csr.mtval:#010x}")
+    elif result.exit_reason == "budget_exceeded":
+        print(f"  {result.detail}")
     for reg in range(10, 18):  # a0-a7
         value = sim.machine.read_x(reg)
         if value:
@@ -139,6 +150,86 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .faults import compare_formats
+    from .kernels import KERNELS
+
+    if args.kernel not in KERNELS:
+        print(f"unknown kernel {args.kernel!r}; choose from "
+              f"{sorted(KERNELS)}", file=sys.stderr)
+        return 1
+    ftypes = [t.strip() for t in args.ftypes.split(",") if t.strip()]
+    targets = tuple(t.strip() for t in args.targets.split(",") if t.strip())
+    try:
+        results = compare_formats(
+            args.kernel, ftypes=ftypes, mode=args.mode, runs=args.runs,
+            flips_per_run=args.flips, targets=targets, seed=args.seed,
+            mem_latency=args.latency, instruction_budget=args.budget,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"Fault resilience: {args.kernel} [{args.mode}], "
+          f"{args.runs} runs x {args.flips} flip(s), "
+          f"targets {','.join(targets)}, seed {args.seed}")
+    header = (f"  {'ftype':<12s} {'ok':>4s} {'trap':>5s} {'budget':>7s} "
+              f"{'error':>6s} {'masked':>7s} {'SDC':>6s} "
+              f"{'mean dSQNR':>11s} {'ref SQNR':>9s}")
+    print(header)
+    for ftype, campaign in results.items():
+        s = campaign.summary()
+        drop = s["mean_sqnr_drop_db"]
+        drop_text = f"{drop:8.1f} dB" if drop is not None else "       - "
+        print(f"  {ftype:<12s} {s['ok']:>4d} {s['trap']:>5d} "
+              f"{s['budget_exceeded']:>7d} {s['error']:>6d} "
+              f"{s['masked_rate']:>6.0%} {s['sdc_rate']:>6.0%} "
+              f"{drop_text} {s['reference_sqnr_db']:>6.1f} dB")
+    if args.trials:
+        for ftype, campaign in results.items():
+            print(f"\n{ftype} trials:")
+            for trial in campaign.trials:
+                tags = [trial.status]
+                if trial.masked:
+                    tags.append("masked")
+                if trial.sdc:
+                    tags.append("sdc")
+                flips = "; ".join(f.describe() for f in trial.flips)
+                line = f"  #{trial.trial:<3d} {'/'.join(tags):<22s} {flips}"
+                if trial.detail:
+                    line += f"  [{trial.detail}]"
+                print(line)
+    if args.json:
+        import json
+
+        payload = {
+            ftype: {
+                "summary": campaign.summary(),
+                "trials": [
+                    {
+                        "trial": t.trial,
+                        "seed": t.seed,
+                        "status": t.status,
+                        "masked": t.masked,
+                        "sdc": t.sdc,
+                        "sqnr_db": t.sqnr_db,
+                        "sqnr_drop_db": t.sqnr_drop_db,
+                        "classification_error": t.classification_error,
+                        "instret": t.instret,
+                        "flips": [f.describe() for f in t.flips],
+                        "detail": t.detail,
+                    }
+                    for t in campaign.trials
+                ],
+            }
+            for ftype, campaign in results.items()
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     from .tuning import make_gesture_case, run_case_study
 
@@ -195,6 +286,31 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["all", "table2", "table3", "fig1", "fig2",
                                 "fig3", "fig4", "fig5", "fig6"])
     p_exp.set_defaults(func=_cmd_experiments)
+
+    p_faults = sub.add_parser(
+        "faults", help="run fault-injection campaigns on one kernel")
+    p_faults.add_argument("kernel")
+    p_faults.add_argument("--ftypes", default="float16,float16alt,float8",
+                          help="comma-separated FP types to compare")
+    p_faults.add_argument("--mode", default="scalar",
+                          choices=["scalar", "auto", "manual"])
+    p_faults.add_argument("--runs", type=int, default=20,
+                          help="fault-injected reruns per type")
+    p_faults.add_argument("--flips", type=int, default=1,
+                          help="bit flips per run")
+    p_faults.add_argument("--targets", default="freg,mem",
+                          help="comma-separated surfaces: "
+                               "xreg,freg,mem,instr")
+    p_faults.add_argument("--seed", type=int, default=0)
+    p_faults.add_argument("--latency", type=int, default=1)
+    p_faults.add_argument("--budget", type=int, default=None,
+                          help="per-trial instruction watchdog "
+                               "(default: 4x the clean run)")
+    p_faults.add_argument("--trials", action="store_true",
+                          help="print every trial with its flip schedule")
+    p_faults.add_argument("--json", metavar="FILE",
+                          help="dump campaigns as JSON")
+    p_faults.set_defaults(func=_cmd_faults)
 
     p_tune = sub.add_parser("tune", help="precision-tuning case study")
     p_tune.add_argument("--seed", type=int, default=42)

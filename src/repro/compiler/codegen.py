@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from .. import ReproError
 from ..fp.convert import from_double
 from .astnodes import (
     Assign,
@@ -73,7 +74,7 @@ _REG_NAMES = [
 ]
 
 
-class CodegenError(Exception):
+class CodegenError(ReproError):
     """Resource exhaustion or an unsupported construct."""
 
 

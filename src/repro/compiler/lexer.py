@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List
 
+from .. import ReproError
 from .typesys import TYPE_KEYWORDS
 
 KEYWORDS = set(TYPE_KEYWORDS) | {"for", "while", "if", "else", "return"}
@@ -17,7 +18,7 @@ _OPERATORS = [
 ]
 
 
-class LexError(Exception):
+class LexError(ReproError):
     """A character sequence that is not part of the language."""
 
 

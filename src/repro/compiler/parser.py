@@ -5,6 +5,7 @@ from __future__ import annotations
 import copy
 from typing import List, Optional
 
+from .. import ReproError
 from .astnodes import (
     Assign,
     BinOp,
@@ -32,7 +33,7 @@ from .lexer import Token, tokenize
 from .typesys import TYPE_KEYWORDS, PtrType, Type, VOID
 
 
-class ParseError(Exception):
+class ParseError(ReproError):
     """A syntax error with source position."""
 
 

@@ -34,6 +34,7 @@ from .astnodes import (
     Var,
     While,
 )
+from .. import ReproError
 from .intrinsics import INTRINSICS
 from .typesys import (
     FLOAT,
@@ -56,7 +57,7 @@ _CMP_OPS = {"==", "!=", "<", "<=", ">", ">="}
 _LOGIC_OPS = {"&&", "||"}
 
 
-class SemanticError(Exception):
+class SemanticError(ReproError):
     """A type or scope error in the kernel source."""
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import ReproError
 from ..fp.formats import (
     BINARY8,
     BINARY16,
@@ -32,7 +33,7 @@ from ..fp.formats import (
 )
 
 
-class TypeError_(Exception):
+class TypeError_(ReproError):
     """A type-checking failure (named to avoid shadowing the builtin)."""
 
 

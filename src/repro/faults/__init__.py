@@ -1,0 +1,43 @@
+"""Deterministic fault-injection campaigns over the simulator.
+
+* :mod:`repro.faults.injector` -- seeded single/multi bit-flip plans
+  over registers, data memory and fetched instruction words, applied
+  through the simulator's per-instruction step hook;
+* :mod:`repro.faults.campaign` -- campaign driver that reruns a kernel
+  N times under fresh schedules and scores QoR degradation per FP
+  format (masked / silent-data-corruption / trap / runaway rates).
+"""
+
+from .campaign import (
+    SDC_THRESHOLD_DB,
+    CampaignResult,
+    TrialResult,
+    compare_formats,
+    derive_trial_seed,
+    fault_space_of,
+    run_campaign,
+)
+from .injector import (
+    TARGETS,
+    BitFlip,
+    FaultError,
+    FaultInjector,
+    FaultSpace,
+    make_plan,
+)
+
+__all__ = [
+    "SDC_THRESHOLD_DB",
+    "CampaignResult",
+    "TrialResult",
+    "compare_formats",
+    "derive_trial_seed",
+    "fault_space_of",
+    "run_campaign",
+    "TARGETS",
+    "BitFlip",
+    "FaultError",
+    "FaultInjector",
+    "FaultSpace",
+    "make_plan",
+]

@@ -1,0 +1,168 @@
+"""Deterministic bit-flip fault injection into architectural state.
+
+A fault campaign perturbs one run of a guest program with a small,
+seeded set of single-bit flips and observes the outcome: unchanged
+output, degraded quality, a trap, or a runaway.  Flips target the four
+architectural surfaces a soft error can hit on the modelled core:
+
+* ``'xreg'``  -- one bit of an integer register;
+* ``'freg'``  -- one bit of an FP register (the merged register file of
+  the paper's RISCY configuration routes this to the same storage as
+  ``'xreg'``; the split-regfile mode keeps them distinct);
+* ``'mem'``   -- one bit of a byte in the staged data arrays;
+* ``'instr'`` -- one bit of a fetched instruction word (applied to the
+  text image, with the simulator's decode cache invalidated so the
+  corrupted word is genuinely re-fetched).
+
+Every flip is scheduled at a retired-instruction index, so a plan is a
+pure function of ``(fault space, seed)`` and a campaign is bit-for-bit
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .. import ReproError
+
+#: The injectable architectural surfaces.
+TARGETS = ("xreg", "freg", "mem", "instr")
+
+
+class FaultError(ReproError):
+    """Misconfigured fault plan or campaign."""
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """One scheduled single-bit fault."""
+
+    at_instruction: int  #: inject before the Nth retired instruction
+    target: str  #: one of :data:`TARGETS`
+    index: int  #: register number, or byte address for mem/instr
+    bit: int  #: bit position (in the register, or within the byte)
+
+    def describe(self) -> str:
+        if self.target in ("xreg", "freg"):
+            reg = ("x" if self.target == "xreg" else "f") + str(self.index)
+            return f"@{self.at_instruction}: flip {reg}[{self.bit}]"
+        kind = "data" if self.target == "mem" else "text"
+        return (f"@{self.at_instruction}: flip {kind} byte "
+                f"{self.index:#x} bit {self.bit}")
+
+
+@dataclass(frozen=True)
+class FaultSpace:
+    """The addressable fault surface of one program run.
+
+    ``mem_ranges`` and ``text_range`` are ``(base, size)`` byte spans;
+    register flips draw from ``xregs``/``fregs`` (x0 is excluded by
+    default -- it is hardwired to zero).
+    """
+
+    n_instructions: int
+    xregs: Tuple[int, ...] = tuple(range(1, 32))
+    fregs: Tuple[int, ...] = tuple(range(32))
+    reg_width: int = 32
+    mem_ranges: Tuple[Tuple[int, int], ...] = ()
+    text_range: Optional[Tuple[int, int]] = None
+
+    def supports(self, target: str) -> bool:
+        if target == "mem":
+            return bool(self.mem_ranges)
+        if target == "instr":
+            return self.text_range is not None
+        return target in ("xreg", "freg")
+
+
+def make_plan(
+    space: FaultSpace,
+    seed: int,
+    n_flips: int = 1,
+    targets: Sequence[str] = ("freg", "mem"),
+) -> List[BitFlip]:
+    """Draw a deterministic flip schedule from ``(space, seed)``.
+
+    The same arguments always produce the identical schedule (plain
+    ``random.Random(seed)``, no global state), which is what makes
+    campaigns reproducible and trials independent.
+    """
+    for target in targets:
+        if target not in TARGETS:
+            raise FaultError(f"unknown fault target {target!r} "
+                             f"(pick from {TARGETS})")
+        if not space.supports(target):
+            raise FaultError(f"fault space has no surface for {target!r}")
+    if space.n_instructions < 1:
+        raise FaultError("fault space covers zero instructions")
+    rng = random.Random(seed)
+    flips = []
+    for _ in range(n_flips):
+        target = targets[rng.randrange(len(targets))]
+        at = rng.randrange(space.n_instructions)
+        if target == "xreg":
+            index = space.xregs[rng.randrange(len(space.xregs))]
+            bit = rng.randrange(space.reg_width)
+        elif target == "freg":
+            index = space.fregs[rng.randrange(len(space.fregs))]
+            bit = rng.randrange(space.reg_width)
+        elif target == "mem":
+            base, size = space.mem_ranges[rng.randrange(len(space.mem_ranges))]
+            index = base + rng.randrange(size)
+            bit = rng.randrange(8)
+        else:  # instr
+            base, size = space.text_range
+            index = base + rng.randrange(size)
+            bit = rng.randrange(8)
+        flips.append(BitFlip(at, target, index, bit))
+    flips.sort(key=lambda f: (f.at_instruction, f.target, f.index, f.bit))
+    return flips
+
+
+@dataclass
+class FaultInjector:
+    """A :data:`~repro.sim.simulator.StepHook` that applies a flip plan.
+
+    Pass an instance as ``step_hook`` to :meth:`Simulator.run` (the
+    harness's ``run_kernel(..., injector=...)`` does this).  ``applied``
+    records the flips actually delivered, in order -- a run that traps
+    early may not reach later flips.
+    """
+
+    flips: List[BitFlip] = field(default_factory=list)
+    applied: List[BitFlip] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.flips = sorted(self.flips, key=lambda f: f.at_instruction)
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+        self.applied = []
+
+    # ------------------------------------------------------------------
+    def __call__(self, sim, executed: int) -> None:
+        while (self._cursor < len(self.flips)
+               and self.flips[self._cursor].at_instruction <= executed):
+            flip = self.flips[self._cursor]
+            self._cursor += 1
+            self._apply(sim, flip)
+            self.applied.append(flip)
+
+    def _apply(self, sim, flip: BitFlip) -> None:
+        machine = sim.machine
+        if flip.target == "xreg":
+            machine.write_x(flip.index,
+                            machine.read_x(flip.index) ^ (1 << flip.bit))
+        elif flip.target == "freg":
+            machine.write_f(flip.index,
+                            machine.read_f(flip.index) ^ (1 << flip.bit))
+        elif flip.target in ("mem", "instr"):
+            byte = machine.memory.read_u8(flip.index)
+            machine.memory.write_u8(flip.index, byte ^ (1 << flip.bit))
+            if flip.target == "instr":
+                sim.invalidate_decode(flip.index)
+        else:  # pragma: no cover - plans are validated at build time
+            raise FaultError(f"unknown fault target {flip.target!r}")

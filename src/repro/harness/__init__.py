@@ -1,13 +1,27 @@
 """Experiment harness: per-figure/table drivers over the full stack."""
 
 from . import experiments
-from .runner import ARRAY_BASE, HarnessError, KernelRun, MODES, run_kernel
+from .runner import (
+    ARRAY_BASE,
+    MODES,
+    POINT_STATUSES,
+    HarnessError,
+    KernelExecutionError,
+    KernelRun,
+    SafeRunOutcome,
+    run_kernel,
+    run_kernel_safe,
+)
 
 __all__ = [
     "experiments",
     "ARRAY_BASE",
-    "HarnessError",
-    "KernelRun",
     "MODES",
+    "POINT_STATUSES",
+    "HarnessError",
+    "KernelExecutionError",
+    "KernelRun",
+    "SafeRunOutcome",
     "run_kernel",
+    "run_kernel_safe",
 ]

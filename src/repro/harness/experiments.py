@@ -3,6 +3,13 @@
 Each function returns plain data (lists of dicts) so the benchmark
 suite, the examples and EXPERIMENTS.md all consume the same numbers.
 Results are memoized per configuration: several figures share runs.
+
+Sweeps are crash-isolated: every point runs through
+:func:`~repro.harness.runner.run_kernel_safe` under an instruction
+budget, so a single trapping or runaway configuration cannot abort a
+figure.  Each row carries ``status`` ('ok', 'trap', 'budget_exceeded'
+or 'error') and ``detail``; failed points keep their metric fields as
+``None`` and are skipped by the per-figure averages.
 """
 
 from __future__ import annotations
@@ -12,27 +19,62 @@ from typing import Dict, List, Optional, Tuple
 from ..fp.formats import supported_vector_formats
 from ..kernels import BENCHMARK_NAMES, KERNELS, KernelSpec
 from ..sim.memory import LATENCY_LEVELS
-from .runner import KernelRun, run_kernel
+from .runner import (
+    KernelExecutionError,
+    KernelRun,
+    SafeRunOutcome,
+    run_kernel,
+    run_kernel_safe,
+)
 
 #: Lane counts per C type keyword at FLEN = 32.
 _LANES = {"float16": 2, "float16alt": 2, "float8": 4}
 
-_CACHE: Dict[Tuple, KernelRun] = {}
+#: Default per-point watchdog for figure sweeps.
+DEFAULT_POINT_BUDGET = 50_000_000
+
+_CACHE: Dict[Tuple, SafeRunOutcome] = {}
 
 
-def cached_run(name: str, ftype: str, mode: str, mem_latency: int = 1,
-               seed: int = 0) -> KernelRun:
-    """Memoized :func:`run_kernel` (figures share configurations)."""
-    key = (name, ftype, mode, mem_latency, seed)
+def safe_cached_run(
+    name: str, ftype: str, mode: str, mem_latency: int = 1, seed: int = 0,
+    instruction_budget: int = DEFAULT_POINT_BUDGET,
+) -> SafeRunOutcome:
+    """Memoized, crash-isolated :func:`run_kernel` for sweep points."""
+    key = (name, ftype, mode, mem_latency, seed, instruction_budget)
     if key not in _CACHE:
-        _CACHE[key] = run_kernel(
-            KERNELS[name], ftype, mode, mem_latency=mem_latency, seed=seed
+        _CACHE[key] = run_kernel_safe(
+            KERNELS[name], ftype, mode, mem_latency=mem_latency, seed=seed,
+            max_instructions=instruction_budget,
         )
     return _CACHE[key]
 
 
+def cached_run(name: str, ftype: str, mode: str, mem_latency: int = 1,
+               seed: int = 0) -> KernelRun:
+    """Memoized :func:`run_kernel` (figures share configurations).
+
+    Raises :class:`KernelExecutionError` if the point did not complete;
+    sweep drivers use :func:`safe_cached_run` instead.
+    """
+    outcome = safe_cached_run(name, ftype, mode, mem_latency, seed)
+    if not outcome.ok:
+        raise KernelExecutionError(
+            f"{name} [{ftype}, {mode}, latency={mem_latency}] ended with "
+            f"{outcome.status}: {outcome.detail}",
+            exit_reason=outcome.status, trap=outcome.trap,
+        )
+    return outcome.run
+
+
 def clear_cache() -> None:
     _CACHE.clear()
+
+
+def _point_row(outcome: SafeRunOutcome) -> Dict:
+    """The status fields every sweep row carries."""
+    return {"status": outcome.status,
+            "detail": outcome.detail if not outcome.ok else ""}
 
 
 # ----------------------------------------------------------------------
@@ -65,35 +107,51 @@ def fig1_speedup(
     benchmarks: Optional[List[str]] = None,
     ftypes: Tuple[str, ...] = ("float16", "float16alt", "float8"),
     seed: int = 0,
+    instruction_budget: int = DEFAULT_POINT_BUDGET,
 ) -> List[Dict]:
     """Speedup of each smallFloat type over float, auto vs manual.
 
     Returns one row per (benchmark, type, mode) with measured and ideal
     speedups, plus per-type/mode averages under benchmark ``"average"``.
+    Points that trap or exceed the instruction budget stay in the output
+    with their ``status``/``detail`` set and ``None`` metrics; the sweep
+    itself always completes.
     """
     benchmarks = benchmarks or list(BENCHMARK_NAMES)
     rows: List[Dict] = []
     sums: Dict[Tuple[str, str], List[float]] = {}
     for bench in benchmarks:
         spec = KERNELS[bench]
-        base = cached_run(bench, "float", "scalar", seed=seed)
+        base_outcome = safe_cached_run(bench, "float", "scalar", seed=seed,
+                                       instruction_budget=instruction_budget)
+        base = base_outcome.run if base_outcome.ok else None
         for ftype in ftypes:
             modes = ["auto"]
             if spec.manual_source_fn is not None:
                 modes.append("manual")
             for mode in modes:
-                run = cached_run(bench, ftype, mode, seed=seed)
-                speedup = base.cycles / run.cycles
-                rows.append({
-                    "benchmark": bench,
-                    "ftype": ftype,
-                    "mode": mode,
-                    "cycles": run.cycles,
-                    "base_cycles": base.cycles,
-                    "speedup": speedup,
-                    "ideal": ideal_speedup(base, _LANES[ftype]),
-                })
-                sums.setdefault((ftype, mode), []).append(speedup)
+                row = {"benchmark": bench, "ftype": ftype, "mode": mode,
+                       "cycles": None, "base_cycles": None,
+                       "speedup": None, "ideal": None}
+                if base is None:
+                    row.update(status=base_outcome.status,
+                               detail=f"baseline: {base_outcome.detail}")
+                    rows.append(row)
+                    continue
+                outcome = safe_cached_run(
+                    bench, ftype, mode, seed=seed,
+                    instruction_budget=instruction_budget)
+                row.update(_point_row(outcome))
+                if outcome.ok:
+                    speedup = base.cycles / outcome.run.cycles
+                    row.update({
+                        "cycles": outcome.run.cycles,
+                        "base_cycles": base.cycles,
+                        "speedup": speedup,
+                        "ideal": ideal_speedup(base, _LANES[ftype]),
+                    })
+                    sums.setdefault((ftype, mode), []).append(speedup)
+                rows.append(row)
     for (ftype, mode), values in sorted(sums.items()):
         rows.append({
             "benchmark": "average",
@@ -103,6 +161,8 @@ def fig1_speedup(
             "ideal": None,
             "cycles": None,
             "base_cycles": None,
+            "status": "ok",
+            "detail": "",
         })
     return rows
 
@@ -126,16 +186,23 @@ def fig2_latency_speedup(
     rows: List[Dict] = []
     for bench in benchmarks:
         for level, latency in LATENCY_LEVELS.items():
-            base = cached_run(bench, "float", "scalar", latency, seed)
+            base_outcome = safe_cached_run(bench, "float", "scalar",
+                                           latency, seed)
             for ftype in ftypes:
-                run = cached_run(bench, ftype, "manual", latency, seed)
-                rows.append({
-                    "benchmark": bench,
-                    "ftype": ftype,
-                    "level": level,
-                    "latency": latency,
-                    "speedup": base.cycles / run.cycles,
-                })
+                row = {"benchmark": bench, "ftype": ftype, "level": level,
+                       "latency": latency, "speedup": None}
+                if not base_outcome.ok:
+                    row.update(status=base_outcome.status,
+                               detail=f"baseline: {base_outcome.detail}")
+                    rows.append(row)
+                    continue
+                outcome = safe_cached_run(bench, ftype, "manual",
+                                          latency, seed)
+                row.update(_point_row(outcome))
+                if outcome.ok:
+                    row["speedup"] = (base_outcome.run.cycles
+                                      / outcome.run.cycles)
+                rows.append(row)
     return rows
 
 
@@ -151,7 +218,7 @@ def fig2_latency_gains(rows: Optional[List[Dict]] = None) -> Dict[str, Dict[str,
     for ftype in ftypes:
         per_level: Dict[str, List[float]] = {}
         for row in rows:
-            if row["ftype"] == ftype:
+            if row["ftype"] == ftype and row["speedup"] is not None:
                 per_level.setdefault(row["level"], []).append(row["speedup"])
         avg = {lvl: sum(v) / len(v) for lvl, v in per_level.items()}
         gains[ftype] = {
@@ -176,17 +243,26 @@ def fig3_energy(
     rows: List[Dict] = []
     for bench in benchmarks:
         for level, latency in LATENCY_LEVELS.items():
-            base = cached_run(bench, "float", "scalar", latency, seed)
+            base_outcome = safe_cached_run(bench, "float", "scalar",
+                                           latency, seed)
             for ftype in ftypes:
-                run = cached_run(bench, ftype, "manual", latency, seed)
-                rows.append({
-                    "benchmark": bench,
-                    "ftype": ftype,
-                    "level": level,
-                    "latency": latency,
-                    "energy_pj": run.energy.total,
-                    "normalized": run.energy.total / base.energy.total,
-                })
+                row = {"benchmark": bench, "ftype": ftype, "level": level,
+                       "latency": latency, "energy_pj": None,
+                       "normalized": None}
+                if not base_outcome.ok:
+                    row.update(status=base_outcome.status,
+                               detail=f"baseline: {base_outcome.detail}")
+                    rows.append(row)
+                    continue
+                outcome = safe_cached_run(bench, ftype, "manual",
+                                          latency, seed)
+                row.update(_point_row(outcome))
+                if outcome.ok:
+                    run = outcome.run
+                    row["energy_pj"] = run.energy.total
+                    row["normalized"] = (run.energy.total
+                                         / base_outcome.run.energy.total)
+                rows.append(row)
     return rows
 
 
@@ -205,6 +281,7 @@ def fig3_average_savings(rows: Optional[List[Dict]] = None) -> Dict[str, Dict[st
                 1.0 - r["normalized"]
                 for r in rows
                 if r["ftype"] == ftype and r["level"] == level
+                and r["normalized"] is not None
             ]
             out[ftype][level] = sum(values) / len(values)
     return out
@@ -231,12 +308,12 @@ def table3_sqnr(
     rows: List[Dict] = []
     for bench in benchmarks:
         for ftype in ftypes:
-            run = cached_run(bench, ftype, "scalar", seed=seed)
-            rows.append({
-                "benchmark": bench,
-                "ftype": ftype,
-                "sqnr_db": run.sqnr_db(),
-            })
+            outcome = safe_cached_run(bench, ftype, "scalar", seed=seed)
+            row = {"benchmark": bench, "ftype": ftype, "sqnr_db": None}
+            row.update(_point_row(outcome))
+            if outcome.ok:
+                row["sqnr_db"] = outcome.run.sqnr_db()
+            rows.append(row)
     return rows
 
 

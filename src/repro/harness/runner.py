@@ -8,10 +8,11 @@ get back cycles, instruction mix, energy and quantified output quality.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import ReproError
 from ..compiler import compile_source
 from ..compiler.typesys import FLOAT_BY_SUFFIX, TYPE_KEYWORDS, FloatType
 from ..energy import EnergyModel, EnergyReport
@@ -21,6 +22,7 @@ from ..fp.numpy_backend import from_bits, to_bits
 from ..kernels import ArgSpec, KernelSpec
 from ..metrics import classification_error, sqnr_db
 from ..sim import Simulator, Trace
+from ..sim.traps import TrapInfo
 
 #: Arrays are staged above the assembler's data section.
 ARRAY_BASE = 0x0020_0000
@@ -29,9 +31,22 @@ _ARG_REGS = list(range(10, 18))
 #: The vectorization modes of the paper's build matrix.
 MODES = ("scalar", "auto", "manual")
 
+#: Per-point statuses a crash-isolated sweep can record.
+POINT_STATUSES = ("ok", "trap", "budget_exceeded", "error")
 
-class HarnessError(Exception):
+
+class HarnessError(ReproError):
     """Misconfigured benchmark run."""
+
+
+class KernelExecutionError(HarnessError):
+    """A guest kernel ended abnormally (trap or exhausted budget)."""
+
+    def __init__(self, message: str, exit_reason: str,
+                 trap: Optional[TrapInfo] = None):
+        super().__init__(message)
+        self.exit_reason = exit_reason
+        self.trap = trap
 
 
 def _format_of(keyword: str) -> FloatFormat:
@@ -60,6 +75,15 @@ class KernelRun:
     outputs: Dict[str, np.ndarray]
     golden: Dict[str, np.ndarray]
     asm: str
+    #: How the simulation ended ('halt' normally; 'trap' or
+    #: 'budget_exceeded' only when ``run_kernel(..., trap_ok=True)``).
+    exit_reason: str = "halt"
+    trap: Optional[TrapInfo] = None
+    #: Staged-array layout, name -> (address, size in bytes).  Fault
+    #: campaigns use this to aim data-memory flips at live arrays.
+    arrays: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: (base, size) of the loaded text section, for instruction flips.
+    text_range: Optional[Tuple[int, int]] = None
 
     @property
     def cycles(self) -> int:
@@ -94,12 +118,21 @@ def run_kernel(
     seed: int = 0,
     max_instructions: int = 50_000_000,
     energy_model: Optional[EnergyModel] = None,
+    injector: Optional[Callable] = None,
+    trap_ok: bool = False,
 ) -> KernelRun:
     """Run one (benchmark, type, vectorization, latency) configuration.
 
     ``mode``: ``scalar`` (no vectorization), ``auto`` (compiler pass) or
     ``manual`` (the hand-vectorized source; requires the spec to provide
     one and ``ftype`` to be a smallFloat type).
+
+    ``injector`` is an optional per-instruction step hook (typically a
+    :class:`repro.faults.FaultInjector`) threaded into the simulator.
+    An abnormal guest exit (trap, exhausted instruction budget) raises
+    :class:`KernelExecutionError` unless ``trap_ok`` is set, in which
+    case the partial outputs are read back and returned as usual with
+    ``exit_reason``/``trap`` recording what happened.
     """
     if mode not in MODES:
         raise HarnessError(f"unknown mode {mode!r} (pick from {MODES})")
@@ -151,7 +184,14 @@ def run_kernel(
         else:
             raise HarnessError(f"unknown arg kind {arg.kind!r}")
 
-    result = sim.run(spec.entry, args=regs, max_instructions=max_instructions)
+    result = sim.run(spec.entry, args=regs, max_instructions=max_instructions,
+                     step_hook=injector)
+    if not result.ok and not trap_ok:
+        raise KernelExecutionError(
+            f"{spec.name} [{ftype}, {mode}] ended with "
+            f"{result.exit_reason}: {result.detail}",
+            exit_reason=result.exit_reason, trap=result.trap,
+        )
 
     # ------------------------------------------------------------------
     # Read outputs and score
@@ -170,6 +210,10 @@ def run_kernel(
     golden = spec.golden(data, run_params)
     model = energy_model or EnergyModel()
     energy = model.estimate(result.trace, mem_latency)
+    arrays = {
+        name: (addr, count * (4 if fmt is None else fmt.width // 8))
+        for name, (addr, count, fmt) in array_at.items()
+    }
     return KernelRun(
         spec_name=spec.name,
         ftype=ftype,
@@ -180,4 +224,58 @@ def run_kernel(
         outputs=outputs,
         golden=golden,
         asm=kernel.asm,
+        exit_reason=result.exit_reason,
+        trap=result.trap,
+        arrays=arrays,
+        text_range=(kernel.program.text_base,
+                    4 * len(kernel.program.words)),
     )
+
+
+# ----------------------------------------------------------------------
+# Crash-isolated execution
+# ----------------------------------------------------------------------
+@dataclass
+class SafeRunOutcome:
+    """Result of one crash-isolated kernel run.
+
+    ``status`` is one of :data:`POINT_STATUSES`; ``run`` is populated
+    for 'ok' always, and best-effort for 'trap'/'budget_exceeded' (the
+    partial outputs were still readable).  ``detail`` carries the trap
+    diagnostic or host-error message for abnormal outcomes.
+    """
+
+    status: str
+    run: Optional[KernelRun] = None
+    trap: Optional[TrapInfo] = None
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def run_kernel_safe(spec: KernelSpec, *args, **kwargs) -> SafeRunOutcome:
+    """:func:`run_kernel`, isolated: never raises on guest misbehaviour.
+
+    Any trap, exhausted instruction budget, or host-side error inside
+    one point of a sweep is folded into the returned status, so a
+    multi-point experiment always completes.  Accepts every
+    :func:`run_kernel` keyword, notably ``max_instructions`` (the
+    per-point watchdog budget) and ``injector``.
+    """
+    kwargs["trap_ok"] = True
+    try:
+        run = run_kernel(spec, *args, **kwargs)
+    except ReproError as exc:
+        return SafeRunOutcome(status="error", detail=f"{exc}")
+    except Exception as exc:  # host bug: contain it, but say so loudly
+        return SafeRunOutcome(
+            status="error", detail=f"{type(exc).__name__}: {exc}")
+    if run.exit_reason in ("halt", "ecall", "ebreak"):
+        return SafeRunOutcome(status="ok", run=run)
+    if run.exit_reason == "trap":
+        return SafeRunOutcome(status="trap", run=run, trap=run.trap,
+                              detail=str(run.trap) if run.trap else "trap")
+    return SafeRunOutcome(status="budget_exceeded", run=run,
+                          detail="instruction budget exceeded")

@@ -31,6 +31,12 @@ _CSR_NAMES = {
     "fflags": 0x001,
     "frm": 0x002,
     "fcsr": 0x003,
+    "mstatus": 0x300,
+    "mtvec": 0x305,
+    "mscratch": 0x340,
+    "mepc": 0x341,
+    "mcause": 0x342,
+    "mtval": 0x343,
     "cycle": 0xC00,
     "instret": 0xC02,
     "cycleh": 0xC80,

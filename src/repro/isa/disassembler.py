@@ -13,6 +13,12 @@ _CSR_NAMES = {
     0x001: "fflags",
     0x002: "frm",
     0x003: "fcsr",
+    0x300: "mstatus",
+    0x305: "mtvec",
+    0x340: "mscratch",
+    0x341: "mepc",
+    0x342: "mcause",
+    0x343: "mtval",
     0xC00: "cycle",
     0xC02: "instret",
     0xC80: "cycleh",

@@ -3,8 +3,9 @@
 from .csr import CsrFile, IllegalCsr
 from .executor import EbreakTrap, EcallTrap, execute
 from .machine import Machine
-from .memory import LATENCY_LEVELS, Memory
+from .memory import LATENCY_LEVELS, Memory, MemoryAccessError, MemoryError_
 from .simulator import (
+    EXIT_REASONS,
     HALT_ADDRESS,
     STACK_TOP,
     RunResult,
@@ -13,6 +14,15 @@ from .simulator import (
 )
 from .timing import TimingConfig, TimingModel
 from .tracer import CATEGORIES, Trace, classify
+from .traps import (
+    CAUSE_ILLEGAL_INSTRUCTION,
+    CAUSE_INSTRUCTION_ACCESS_FAULT,
+    CAUSE_LOAD_ACCESS_FAULT,
+    CAUSE_NAMES,
+    CAUSE_STORE_ACCESS_FAULT,
+    ArchitecturalTrap,
+    TrapInfo,
+)
 
 __all__ = [
     "CsrFile",
@@ -23,6 +33,9 @@ __all__ = [
     "Machine",
     "LATENCY_LEVELS",
     "Memory",
+    "MemoryAccessError",
+    "MemoryError_",
+    "EXIT_REASONS",
     "HALT_ADDRESS",
     "STACK_TOP",
     "RunResult",
@@ -33,4 +46,11 @@ __all__ = [
     "CATEGORIES",
     "Trace",
     "classify",
+    "CAUSE_ILLEGAL_INSTRUCTION",
+    "CAUSE_INSTRUCTION_ACCESS_FAULT",
+    "CAUSE_LOAD_ACCESS_FAULT",
+    "CAUSE_STORE_ACCESS_FAULT",
+    "CAUSE_NAMES",
+    "ArchitecturalTrap",
+    "TrapInfo",
 ]

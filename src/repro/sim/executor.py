@@ -17,6 +17,7 @@ from ..fp.formats import FORMATS_BY_SUFFIX, FloatFormat
 from ..fp.rounding import RoundingMode
 from ..isa.instructions import Instr
 from .machine import MASK32, Machine
+from .traps import CAUSE_ILLEGAL_INSTRUCTION, ArchitecturalTrap
 
 
 class EcallTrap(Exception):
@@ -43,8 +44,10 @@ def execute(machine: Machine, instr: Instr) -> Optional[int]:
     try:
         fn = _HANDLERS[instr.kind]
     except KeyError:
-        raise NotImplementedError(
-            f"no semantics for {instr.mnemonic} (kind {instr.kind!r})"
+        raise ArchitecturalTrap(
+            CAUSE_ILLEGAL_INSTRUCTION, tval=instr.word,
+            detail=f"no semantics for {instr.mnemonic} "
+                   f"(kind {instr.kind!r})",
         ) from None
     return fn(machine, instr)
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict
 
+from .. import ReproError
+
 _PAGE_BITS = 12
 _PAGE_SIZE = 1 << _PAGE_BITS
 _PAGE_MASK = _PAGE_SIZE - 1
@@ -18,8 +20,24 @@ _PAGE_MASK = _PAGE_SIZE - 1
 LATENCY_LEVELS = {"L1": 1, "L2": 10, "L3": 100}
 
 
-class MemoryError_(Exception):
-    """Access outside the 32-bit physical address space."""
+class MemoryAccessError(ReproError):
+    """Access outside the 32-bit physical address space.
+
+    Carries the faulting address, size and access kind (``'load'`` or
+    ``'store'``) so the simulator can map it to the right mcause code
+    and fill ``mtval``.
+    """
+
+    def __init__(self, message: str, addr: int = 0, size: int = 0,
+                 access: str = "load"):
+        super().__init__(message)
+        self.addr = addr
+        self.size = size
+        self.access = access
+
+
+#: Deprecated alias of :class:`MemoryAccessError` (pre-1.1 name).
+MemoryError_ = MemoryAccessError
 
 
 class Memory:
@@ -40,9 +58,12 @@ class Memory:
         return page
 
     @staticmethod
-    def _check(addr: int, size: int) -> None:
+    def _check(addr: int, size: int, access: str = "load") -> None:
         if addr < 0 or addr + size > (1 << 32):
-            raise MemoryError_(f"access at {addr:#x} (+{size}) out of range")
+            raise MemoryAccessError(
+                f"{access} at {addr:#x} (+{size}) out of range",
+                addr=addr, size=size, access=access,
+            )
 
     # ------------------------------------------------------------------
     # Scalar accesses
@@ -58,7 +79,7 @@ class Memory:
 
     def write(self, addr: int, value: int, size: int) -> None:
         """Write ``size`` bytes little-endian (value is masked)."""
-        self._check(addr, size)
+        self._check(addr, size, access="store")
         data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
         if (addr & _PAGE_MASK) + size <= _PAGE_SIZE:
             page = self._page(addr)
@@ -100,7 +121,7 @@ class Memory:
         return bytes(out)
 
     def write_block(self, addr: int, data: bytes) -> None:
-        self._check(addr, len(data))
+        self._check(addr, len(data), access="store")
         offset = 0
         while offset < len(data):
             off = (addr + offset) & _PAGE_MASK

@@ -5,22 +5,41 @@ runs from an entry symbol to a sentinel return address, and produces a
 :class:`~repro.sim.tracer.Trace` with cycle and instruction-mix
 statistics.  Decoded instructions are cached per address, and compressed
 parcels are expanded on fetch (RISCY does the same in its decoder).
+
+Guest misbehaviour never escapes :meth:`Simulator.run` as a host
+exception: undecodable words, unimplemented CSR accesses and
+out-of-range loads/stores all take the architectural trap path
+(:mod:`repro.sim.traps`), latching ``mcause``/``mepc``/``mtval`` and
+returning a :class:`RunResult` with ``exit_reason='trap'``.  Runaway
+programs end with ``exit_reason='budget_exceeded'`` instead of an
+exception, so sweep drivers can record the outcome and move on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
+from .. import ReproError
 from ..isa.assembler import Program
-from ..isa.compressed import expand
+from ..isa.compressed import IllegalCompressed, expand
+from ..isa.disassembler import disassemble, format_instr
 from ..isa.encoding import is_compressed
-from ..isa.instructions import Instr, decode
+from ..isa.instructions import Instr, UnknownInstruction, decode
+from .csr import IllegalCsr
 from .executor import EbreakTrap, EcallTrap, execute
 from .machine import MASK32, Machine
-from .memory import Memory
+from .memory import Memory, MemoryAccessError
 from .timing import TimingConfig, TimingModel
 from .tracer import Trace
+from .traps import (
+    CAUSE_ILLEGAL_INSTRUCTION,
+    CAUSE_INSTRUCTION_ACCESS_FAULT,
+    CAUSE_LOAD_ACCESS_FAULT,
+    CAUSE_STORE_ACCESS_FAULT,
+    ArchitecturalTrap,
+    TrapInfo,
+)
 
 #: The sentinel return address that terminates a run (aligned, outside
 #: any mapped program region).
@@ -29,9 +48,15 @@ HALT_ADDRESS = 0xFFFF_FF00
 #: Default stack top (grows downward, far from text and data).
 STACK_TOP = 0x00F0_0000
 
+#: Exit reasons a finished run can report.
+EXIT_REASONS = ("halt", "ecall", "ebreak", "trap", "budget_exceeded")
 
-class SimulationError(Exception):
-    """Runaway or faulting simulation."""
+#: Hook called before each instruction: ``hook(simulator, executed)``.
+StepHook = Callable[["Simulator", int], None]
+
+
+class SimulationError(ReproError):
+    """Host-side misuse of the simulator (e.g. no program loaded)."""
 
 
 @dataclass
@@ -39,8 +64,10 @@ class RunResult:
     """Outcome of one :meth:`Simulator.run` call."""
 
     trace: Trace
-    exit_reason: str  # 'halt', 'ecall', 'ebreak'
+    exit_reason: str  # one of :data:`EXIT_REASONS`
     machine: Machine
+    trap: Optional[TrapInfo] = None  #: populated when exit_reason='trap'
+    detail: str = ""  #: extra context for abnormal exits
 
     @property
     def cycles(self) -> int:
@@ -50,6 +77,11 @@ class RunResult:
     def instret(self) -> int:
         return self.trace.instret
 
+    @property
+    def ok(self) -> bool:
+        """True when the guest ran to a voluntary exit."""
+        return self.exit_reason in ("halt", "ecall", "ebreak")
+
 
 class Simulator:
     """An RV32IMFC + smallFloat instruction-set simulator."""
@@ -57,14 +89,29 @@ class Simulator:
     def __init__(
         self,
         program: Program = None,
-        mem_latency: int = 1,
+        mem_latency: Optional[int] = None,
         merged_regfile: bool = True,
         flen: int = 32,
         timing: TimingConfig = None,
     ):
+        # Copy the caller's TimingConfig: the simulator owns its timing
+        # state and must not mutate (or alias) an object it was handed.
+        if timing is not None:
+            timing_config = TimingConfig(
+                mem_latency=timing.mem_latency,
+                branch_taken_penalty=timing.branch_taken_penalty,
+                jump_penalty=timing.jump_penalty,
+                int_div_cycles=timing.int_div_cycles,
+                fdiv_cycles=dict(timing.fdiv_cycles),
+                fsqrt_cycles=dict(timing.fsqrt_cycles),
+            )
+        else:
+            timing_config = TimingConfig()
+        if mem_latency is None:
+            mem_latency = timing_config.mem_latency
+        else:
+            timing_config.mem_latency = mem_latency
         memory = Memory(latency=mem_latency)
-        timing_config = timing or TimingConfig()
-        timing_config.mem_latency = mem_latency
         self.machine = Machine(memory, merged_regfile=merged_regfile, flen=flen)
         self.timing = TimingModel(timing_config)
         self.program: Optional[Program] = None
@@ -89,6 +136,19 @@ class Simulator:
             raise SimulationError("no program loaded")
         return self.program.address_of(entry)
 
+    def invalidate_decode(self, addr: Optional[int] = None) -> None:
+        """Drop cached decodes (one address, or all of them).
+
+        Fault injectors that corrupt fetched instruction words call this
+        so the next fetch re-decodes the modified memory.  Both possible
+        parcel start addresses covering ``addr`` are dropped.
+        """
+        if addr is None:
+            self._decode_cache.clear()
+            return
+        for start in (addr & ~1, (addr & ~1) - 2):
+            self._decode_cache.pop(start, None)
+
     # ------------------------------------------------------------------
     def _fetch(self, pc: int) -> Tuple[Instr, int]:
         cached = self._decode_cache.get(pc)
@@ -106,12 +166,32 @@ class Simulator:
         return instr, size
 
     # ------------------------------------------------------------------
+    def _take_trap(self, cause: int, tval: int, detail: str,
+                   instr: Optional[Instr] = None) -> TrapInfo:
+        """Latch trap CSRs and build the diagnostic record."""
+        machine = self.machine
+        machine.csr.set_trap(cause, machine.pc, tval)
+        text: Optional[str] = None
+        if instr is not None:
+            text = format_instr(instr, machine.pc)
+        elif cause == CAUSE_ILLEGAL_INSTRUCTION and tval:
+            text = disassemble(tval, machine.pc)
+        return TrapInfo(
+            cause=cause,
+            mepc=machine.pc,
+            mtval=tval & MASK32,
+            instruction=text,
+            detail=detail,
+        )
+
+    # ------------------------------------------------------------------
     def run(
         self,
         entry: Union[str, int] = 0,
         args: Dict[int, int] = None,
         max_instructions: int = 50_000_000,
         trace: Trace = None,
+        step_hook: Optional[StepHook] = None,
     ) -> RunResult:
         """Run from ``entry`` until the sentinel return address.
 
@@ -119,6 +199,16 @@ class Simulator:
         harness passes pointers and sizes in a0-a7 this way).  The run
         behaves like a call: ``ra`` is pointed at :data:`HALT_ADDRESS`
         so a final ``ret`` ends the simulation.
+
+        ``step_hook(sim, executed)`` is invoked before every fetch --
+        the fault-injection subsystem uses it to flip architectural bits
+        at a scheduled instruction index.
+
+        The returned :class:`RunResult` always reflects how the run
+        ended; guest faults surface as ``exit_reason='trap'`` with a
+        populated :class:`~repro.sim.traps.TrapInfo`, never as a host
+        exception, and exceeding ``max_instructions`` reports
+        ``exit_reason='budget_exceeded'``.
         """
         machine = self.machine
         machine.pc = self.address_of(entry)
@@ -132,14 +222,35 @@ class Simulator:
         machine.csr.instret_source = lambda: stats.instret
 
         exit_reason = "halt"
+        detail = ""
+        trap_info: Optional[TrapInfo] = None
         executed = 0
         while machine.pc != HALT_ADDRESS:
             if executed >= max_instructions:
-                raise SimulationError(
-                    f"exceeded {max_instructions} instructions at "
-                    f"pc={machine.pc:#x}"
-                )
-            instr, size = self._fetch(machine.pc)
+                exit_reason = "budget_exceeded"
+                detail = (f"exceeded {max_instructions} instructions at "
+                          f"pc={machine.pc:#x}")
+                break
+            if step_hook is not None:
+                step_hook(self, executed)
+                if machine.pc == HALT_ADDRESS:  # hook redirected to halt
+                    break
+
+            # Fetch + decode: undecodable or unfetchable words trap.
+            try:
+                instr, size = self._fetch(machine.pc)
+            except (UnknownInstruction, IllegalCompressed) as exc:
+                word = self._raw_parcel(machine.pc)
+                trap_info = self._take_trap(
+                    CAUSE_ILLEGAL_INSTRUCTION, word, str(exc))
+                exit_reason = "trap"
+                break
+            except MemoryAccessError as exc:
+                trap_info = self._take_trap(
+                    CAUSE_INSTRUCTION_ACCESS_FAULT, exc.addr, str(exc))
+                exit_reason = "trap"
+                break
+
             fallthrough = (machine.pc + size) & MASK32
             try:
                 next_pc = execute(machine, instr)
@@ -151,10 +262,50 @@ class Simulator:
                 stats.record(instr, 1)
                 exit_reason = "ebreak"
                 break
+            except ArchitecturalTrap as exc:
+                trap_info = self._take_trap(
+                    exc.cause, exc.tval, exc.detail, instr=instr)
+                exit_reason = "trap"
+                break
+            except IllegalCsr as exc:
+                trap_info = self._take_trap(
+                    CAUSE_ILLEGAL_INSTRUCTION, instr.word, str(exc),
+                    instr=instr)
+                exit_reason = "trap"
+                break
+            except MemoryAccessError as exc:
+                cause = (CAUSE_STORE_ACCESS_FAULT if exc.access == "store"
+                         else CAUSE_LOAD_ACCESS_FAULT)
+                trap_info = self._take_trap(cause, exc.addr, str(exc),
+                                            instr=instr)
+                exit_reason = "trap"
+                break
+            except ValueError as exc:
+                # Reserved rounding modes and format/FLEN mismatches are
+                # illegal instructions architecturally.
+                trap_info = self._take_trap(
+                    CAUSE_ILLEGAL_INSTRUCTION, instr.word, str(exc),
+                    instr=instr)
+                exit_reason = "trap"
+                break
             # Any redirect counts as taken (even a branch to pc+4: the
             # pipeline still flushes).
             taken = next_pc is not None
             stats.record(instr, self.timing.cycles(instr, taken=taken), taken)
             machine.pc = next_pc if next_pc is not None else fallthrough
             executed += 1
-        return RunResult(trace=stats, exit_reason=exit_reason, machine=machine)
+        if trap_info is not None:
+            detail = str(trap_info)
+        return RunResult(trace=stats, exit_reason=exit_reason,
+                         machine=machine, trap=trap_info, detail=detail)
+
+    # ------------------------------------------------------------------
+    def _raw_parcel(self, pc: int) -> int:
+        """Best-effort read of the faulting instruction word for mtval."""
+        try:
+            parcel = self.machine.memory.read_u16(pc)
+            if is_compressed(parcel):
+                return parcel
+            return self.machine.memory.read_u32(pc)
+        except MemoryAccessError:
+            return 0

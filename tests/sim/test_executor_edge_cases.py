@@ -73,13 +73,23 @@ class TestCsrBehaviour:
         sim, _ = run_asm(src)
         assert sim.machine.read_x(10) == 0
 
-    def test_unknown_csr_raises(self):
+    def test_unknown_csr_traps(self):
+        """An unimplemented CSR is an illegal-instruction trap, not a
+        host exception (the CsrFile itself still raises IllegalCsr)."""
+        from repro.sim import CAUSE_ILLEGAL_INSTRUCTION, CsrFile
+
         with pytest.raises(IllegalCsr):
-            run_asm("csrr a0, 0x123\nret")
+            CsrFile().read(0x123)
+        _, result = run_asm("csrr a0, 0x123\nret")
+        assert result.exit_reason == "trap"
+        assert result.trap.cause == CAUSE_ILLEGAL_INSTRUCTION
 
     def test_counter_csrs_read_only(self):
-        with pytest.raises(IllegalCsr):
-            run_asm("csrw cycle, zero\nret")
+        from repro.sim import CAUSE_ILLEGAL_INSTRUCTION
+
+        _, result = run_asm("csrw cycle, zero\nret")
+        assert result.exit_reason == "trap"
+        assert result.trap.cause == CAUSE_ILLEGAL_INSTRUCTION
 
     def test_csr_immediates(self):
         sim, _ = run_asm("csrrwi a0, fflags, 5\ncsrr a1, fflags\nret")

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.sim.memory import LATENCY_LEVELS, Memory, MemoryError_
+from repro.sim.memory import (LATENCY_LEVELS, Memory, MemoryAccessError,
+                              MemoryError_)
 
 
 class TestScalarAccess:
@@ -44,10 +45,20 @@ class TestScalarAccess:
 
     def test_out_of_range_rejected(self):
         mem = Memory()
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemoryAccessError) as info:
             mem.read_u32(0xFFFF_FFFE)
-        with pytest.raises(MemoryError_):
+        assert info.value.access == "load"
+        assert info.value.addr == 0xFFFF_FFFE
+        with pytest.raises(MemoryAccessError) as info:
             mem.write_u8(-1, 0)
+        assert info.value.access == "store"
+
+    def test_deprecated_alias(self):
+        """MemoryError_ remains catchable and is the same class."""
+        assert MemoryError_ is MemoryAccessError
+        from repro import ReproError
+
+        assert issubclass(MemoryAccessError, ReproError)
 
 
 class TestBulkAccess:

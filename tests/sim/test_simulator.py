@@ -102,8 +102,46 @@ class TestBasicExecution:
         assert result.exit_reason == "ecall"
 
     def test_runaway_guard(self):
+        """Exhausting the budget ends the run instead of raising."""
+        result = Simulator(assemble("spin: j spin")).run(
+            0, max_instructions=100)
+        assert result.exit_reason == "budget_exceeded"
+        assert "100 instructions" in result.detail
+
+    def test_run_without_program_raises(self):
         with pytest.raises(SimulationError):
-            Simulator(assemble("spin: j spin")).run(0, max_instructions=100)
+            Simulator().run("main")
+
+
+class TestTimingConfigOwnership:
+    def test_caller_config_not_mutated(self):
+        """Regression: Simulator used to write mem_latency into the
+        caller's TimingConfig object."""
+        from repro.sim import TimingConfig
+
+        shared = TimingConfig(mem_latency=7)
+        sim = Simulator(assemble("ret"), mem_latency=3, timing=shared)
+        assert shared.mem_latency == 7  # caller's object untouched
+        assert sim.timing.config.mem_latency == 3
+        assert sim.machine.memory.latency == 3
+
+    def test_latency_dicts_not_aliased(self):
+        from repro.sim import TimingConfig
+
+        shared = TimingConfig()
+        sim = Simulator(assemble("ret"), timing=shared)
+        sim.timing.config.fdiv_cycles["s"] = 99
+        assert shared.fdiv_cycles["s"] != 99
+
+    def test_timing_config_supplies_mem_latency(self):
+        """With no explicit mem_latency, the TimingConfig's value wins
+        for both the cycle model and the memory."""
+        from repro.sim import TimingConfig
+
+        sim = Simulator(assemble("ret"),
+                        timing=TimingConfig(mem_latency=10))
+        assert sim.timing.config.mem_latency == 10
+        assert sim.machine.memory.latency == 10
 
 
 class TestDivisionSemantics:
