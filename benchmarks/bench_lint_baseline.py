@@ -1,0 +1,37 @@
+"""Static-lint baseline: every kernel, every valid build configuration.
+
+Regenerates ``results/lint_baseline.json``.  The committed snapshot is
+the reviewable record of what the analyzer reports on the compiler's
+own output: narrow-accumulation warnings on sub-32-bit reduction loops
+(the paper's motivation for the expanding ``fmacex``/``vfdotpex``
+operations) and missed-vectorization notes on scalar smallFloat loops.
+Anything beyond those two classes -- a use-before-def, a format
+mismatch -- would mean a codegen regression.
+"""
+
+from conftest import save_result
+
+from repro.analysis.baseline import compute_baseline
+
+
+def test_lint_baseline(benchmark):
+    payload = benchmark(compute_baseline)
+    save_result("lint_baseline", payload)
+
+    print(f"\nLint baseline -- {payload['config_count']} configurations")
+    print(f"  by check:    {payload['totals_by_check']}")
+    print(f"  by severity: {payload['totals_by_severity']}")
+
+    # Compiled output must never trip the correctness checks.
+    assert payload["totals_by_severity"].get("error", 0) == 0
+    for check in ("use-before-def", "format-mismatch", "redundant-convert",
+                  "uninitialized-load"):
+        assert payload["totals_by_check"].get(check, 0) == 0, check
+    # The paper-level diagnostics must fire: smallFloat reduction loops
+    # accumulate narrow unless they use the expanding operations.
+    assert payload["totals_by_check"]["narrow-accumulation"] > 0
+    # Specifically, a float8 dot-product-shaped kernel names the
+    # expanding SIMD dot product as the fix.
+    atax = payload["configs"]["atax/float8/auto"]
+    assert any(f.get("suggestion") == "vfdotpex.s.b"
+               for f in atax["findings"])

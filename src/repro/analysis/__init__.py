@@ -1,0 +1,76 @@
+"""Static analysis over assembled programs: CFG, dataflow and lints.
+
+The subsystem has three layers:
+
+* :mod:`repro.analysis.cfg` -- basic blocks, call edges, dominators and
+  natural loops over an assembled :class:`~repro.isa.assembler.Program`;
+* :mod:`repro.analysis.dataflow` -- a generic worklist framework with
+  reaching definitions, liveness, maybe-uninitialized registers and
+  smallFloat format tracking built on it;
+* :mod:`repro.analysis.lints` -- the checks themselves, from classic
+  use-before-def up to the smallFloat-specific format-mismatch and
+  narrow-accumulation diagnostics, exposed as ``repro lint`` on the
+  command line and run automatically by the compiler pipeline.
+
+:mod:`repro.analysis.validate` closes the loop: it replays static
+findings against a dynamic :class:`~repro.sim.tracer.Trace` to report
+which flagged instructions the program actually executes.
+"""
+
+from .cfg import CFG, BasicBlock, Loop, Site, build_cfg
+from .dataflow import (
+    DataflowAnalysis,
+    FormatTracking,
+    Liveness,
+    MaybeUninitialized,
+    ReachingDefs,
+    operand_formats,
+    regs_read,
+    regs_written,
+    result_format,
+)
+from .lints import (
+    CHECKS,
+    SEVERITIES,
+    LintConfig,
+    LintFinding,
+    LintResult,
+    lint_program,
+    parse_suppressions,
+    severity_at_least,
+)
+from .validate import (
+    ValidatedFinding,
+    ValidationReport,
+    validate_findings,
+    validate_result,
+)
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "Loop",
+    "Site",
+    "build_cfg",
+    "DataflowAnalysis",
+    "FormatTracking",
+    "Liveness",
+    "MaybeUninitialized",
+    "ReachingDefs",
+    "operand_formats",
+    "regs_read",
+    "regs_written",
+    "result_format",
+    "CHECKS",
+    "SEVERITIES",
+    "LintConfig",
+    "LintFinding",
+    "LintResult",
+    "lint_program",
+    "parse_suppressions",
+    "severity_at_least",
+    "ValidatedFinding",
+    "ValidationReport",
+    "validate_findings",
+    "validate_result",
+]

@@ -1,0 +1,662 @@
+"""The SmallFloat-aware static lint pass.
+
+Eight checks built on the CFG and dataflow layers.  Each one encodes a
+failure mode the paper's format-per-operation design space makes easy
+to hit:
+
+``use-before-def``
+    A register is read on some path before anything writes it.
+``format-mismatch``
+    An f-register written in one smallFloat format is consumed by an
+    operation of a different format without an intervening conversion
+    (``fcvt``/``vfcpk``).  ``binary16`` vs ``binary16alt`` counts: the
+    two formats share their 16-bit encoding width, so nothing at run
+    time will catch the confusion.
+``narrow-accumulation``
+    A reduction loop accumulates in a sub-32-bit format.  MiniFloat-NN
+    / ExSdotp-style expanding operations (``fmacex.s.*``,
+    ``vfdotpex.s.*``) exist precisely so products are summed in
+    binary32; the check names the exact replacement.
+``dead-write``
+    A computed value is never read.
+``redundant-convert``
+    A format round-trip ``a -> b -> a`` (lossless when the intermediate
+    is wider -- pure waste -- and silently destructive when narrower).
+``uninitialized-load``
+    A load from ``.space``-reserved data bytes that no store in the
+    program initializes.
+``missed-vectorization``
+    Loops doing scalar smallFloat arithmetic that packed-SIMD ``Xfvec``
+    could process 2-4 elements at a time, cross-checked against the
+    auto-vectorizer's :class:`VectorizeReport` when one is available.
+``unreachable-code``
+    Basic blocks no entry point reaches.
+
+Findings carry the assembly source line (threaded through
+:class:`Program.lines`), the instruction address (used by the dynamic
+trace-validation mode) and, where applicable, a concrete suggestion.
+
+Suppression: a source line ending in ``# lint: ignore`` suppresses all
+findings on that line; ``# lint: ignore[check-a,check-b]`` suppresses
+just the named checks.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from ..isa.assembler import Program
+from ..isa.disassembler import format_instr
+from ..isa.registers import xreg_name
+from .cfg import CFG, Site, build_cfg
+from .dataflow import (
+    CALLEE_SAVED,
+    FormatMap,
+    FormatTracking,
+    Liveness,
+    MaybeUninitialized,
+    ReachingDefs,
+    operand_formats,
+    regs_read,
+    regs_written,
+)
+
+#: Severity levels, least to most severe.
+SEVERITIES = ("note", "warning", "error")
+
+#: Every check name, for configuration and documentation.
+CHECKS = (
+    "use-before-def",
+    "format-mismatch",
+    "narrow-accumulation",
+    "dead-write",
+    "redundant-convert",
+    "uninitialized-load",
+    "missed-vectorization",
+    "unreachable-code",
+)
+
+_WIDTH = {"s": 32, "h": 16, "ah": 16, "b": 8}
+_FMT_NAME = {"s": "binary32", "h": "binary16", "ah": "binary16alt",
+             "b": "binary8"}
+_NARROW = ("h", "ah", "b")
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([\w,\s-]*)\])?")
+
+
+def severity_at_least(severity: str, floor: str) -> bool:
+    return SEVERITIES.index(severity) >= SEVERITIES.index(floor)
+
+
+@dataclass
+class LintFinding:
+    """One diagnostic produced by the lint pass."""
+
+    check: str
+    severity: str  # one of :data:`SEVERITIES`
+    message: str
+    addr: Optional[int] = None  #: instruction address (trace validation)
+    line: Optional[int] = None  #: 1-based assembly source line
+    instr: Optional[str] = None  #: disassembled instruction text
+    function: Optional[str] = None
+    suggestion: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "check": self.check,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.addr is not None:
+            out["addr"] = self.addr
+        if self.line is not None:
+            out["line"] = self.line
+        if self.instr is not None:
+            out["instr"] = self.instr
+        if self.function is not None:
+            out["function"] = self.function
+        if self.suggestion is not None:
+            out["suggestion"] = self.suggestion
+        return out
+
+    def render(self) -> str:
+        location = f"line {self.line}" if self.line is not None else (
+            f"{self.addr:#x}" if self.addr is not None else "program")
+        text = f"{location}: {self.severity}: [{self.check}] {self.message}"
+        if self.instr:
+            text += f"  <{self.instr}>"
+        if self.suggestion:
+            text += f"  (suggestion: {self.suggestion})"
+        return text
+
+
+@dataclass
+class LintConfig:
+    """Which checks run and which findings surface."""
+
+    disabled: Set[str] = field(default_factory=set)
+    min_severity: str = "note"
+
+    def wants(self, check: str) -> bool:
+        return check not in self.disabled
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[LintFinding]
+    cfg: CFG
+    elapsed: float = 0.0
+
+    def by_check(self, check: str) -> List[LintFinding]:
+        return [f for f in self.findings if f.check == check]
+
+    def errors(self) -> List[LintFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    def warnings(self) -> List[LintFinding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def max_severity(self) -> Optional[str]:
+        worst = None
+        for finding in self.findings:
+            if worst is None or severity_at_least(finding.severity, worst):
+                worst = finding.severity
+        return worst
+
+    def to_payload(self) -> Dict[str, object]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.check] = counts.get(finding.check, 0) + 1
+        return {
+            "findings": [f.to_dict() for f in self.findings],
+            "counts": counts,
+            "blocks": len(self.cfg.blocks),
+            "entries": [hex(e) for e in self.cfg.entries],
+        }
+
+    def render_text(self) -> str:
+        if not self.findings:
+            return "no findings"
+        return "\n".join(f.render() for f in self.findings)
+
+
+# ----------------------------------------------------------------------
+# Shared per-run context
+# ----------------------------------------------------------------------
+class _Context:
+    """Analyses solved once and shared by every check."""
+
+    def __init__(self, cfg: CFG, vector_report=None):
+        self.cfg = cfg
+        self.vector_report = vector_report
+        self.reachable = cfg.reachable()
+        self.loops = cfg.natural_loops()
+        rdefs_solution = ReachingDefs().solve(cfg)
+        fmt_solution = FormatTracking().solve(cfg)
+        uninit_solution = MaybeUninitialized().solve(cfg)
+        self.live_solution = Liveness().solve(cfg)
+        # Per-site snapshots (programs here are small; materialize all).
+        self.defs_at: Dict[int, Dict[int, FrozenSet[int]]] = {}
+        self.fmts_at: Dict[int, FormatMap] = {}
+        self.uninit_at: Dict[int, FrozenSet[int]] = {}
+        self.site_at: Dict[int, Site] = {}
+        for start, block in cfg.blocks.items():
+            for site in block.sites:
+                self.site_at[site.addr] = site
+            ReachingDefs.at_each_site(
+                block, rdefs_solution[start][0],
+                lambda site, defs: self.defs_at.__setitem__(
+                    site.addr, dict(defs)))
+            FormatTracking.at_each_site(
+                block, fmt_solution[start][0],
+                lambda site, fmts: self.fmts_at.__setitem__(
+                    site.addr, dict(fmts)))
+            MaybeUninitialized.at_each_site(
+                block, uninit_solution[start][0],
+                lambda site, regs: self.uninit_at.__setitem__(
+                    site.addr, regs))
+
+    def describe(self, site: Site) -> Tuple[Optional[int], Optional[str],
+                                            Optional[str]]:
+        text = None
+        if site.instr is not None:
+            text = format_instr(site.instr, site.addr)
+        return site.line, text, self.cfg.function_of(site.addr)
+
+    def finding(self, check: str, severity: str, message: str, site: Site,
+                suggestion: Optional[str] = None) -> LintFinding:
+        line, text, function = self.describe(site)
+        return LintFinding(check=check, severity=severity, message=message,
+                           addr=site.addr, line=line, instr=text,
+                           function=function, suggestion=suggestion)
+
+
+# ----------------------------------------------------------------------
+# Checks
+# ----------------------------------------------------------------------
+_STORE_KINDS = {"sb", "sh", "sw", "fsw"}
+_LOAD_KINDS = {"lb", "lbu", "lh", "lhu", "lw", "flw"}
+
+
+def _check_use_before_def(ctx: _Context) -> List[LintFinding]:
+    findings = []
+    seen: Set[Tuple[int, int]] = set()
+    for start in ctx.cfg.order:
+        if start not in ctx.reachable:
+            continue
+        for site in ctx.cfg.blocks[start].sites:
+            if site.instr is None:
+                continue
+            maybe = ctx.uninit_at.get(site.addr, frozenset())
+            for reg in regs_read(site.instr):
+                if reg not in maybe or (site.addr, reg) in seen:
+                    continue
+                # A store of a callee-saved register in the entry block
+                # is the standard prologue spill; not a bug.
+                if site.kind in _STORE_KINDS and reg in CALLEE_SAVED \
+                        and reg == site.instr.rs2:
+                    continue
+                seen.add((site.addr, reg))
+                severity = "warning" if reg in CALLEE_SAVED else "error"
+                findings.append(ctx.finding(
+                    "use-before-def", severity,
+                    f"register {xreg_name(reg)} may be read before it is "
+                    f"written on a path from the function entry",
+                    site))
+    return findings
+
+
+_SIGN_KINDS = {"fsgnj", "fsgnjn", "fsgnjx", "vfsgnj", "vfsgnjn", "vfsgnjx"}
+
+
+def _check_format_mismatch(ctx: _Context) -> List[LintFinding]:
+    findings = []
+    for start in ctx.cfg.order:
+        if start not in ctx.reachable:
+            continue
+        for site in ctx.cfg.blocks[start].sites:
+            if site.instr is None:
+                continue
+            expected = operand_formats(site.instr)
+            if not expected:
+                continue
+            fmts = ctx.fmts_at.get(site.addr, {})
+            for reg, (elem_exp, vec_exp) in expected.items():
+                actual = fmts.get(reg)
+                if actual is None:
+                    continue  # unknown provenance: no evidence
+                elem_act, vec_act = actual
+                if elem_act != elem_exp:
+                    severity = ("warning" if site.kind in _SIGN_KINDS
+                                else "error")
+                    findings.append(ctx.finding(
+                        "format-mismatch", severity,
+                        f"register {xreg_name(reg)} holds a "
+                        f"{_FMT_NAME[elem_act]} (.{elem_act}) value but "
+                        f"{site.mnemonic} consumes it as "
+                        f"{_FMT_NAME[elem_exp]} (.{elem_exp}) with no "
+                        f"conversion in between",
+                        site,
+                        suggestion=f"fcvt.{elem_exp}.{elem_act} "
+                                   f"{xreg_name(reg)}, {xreg_name(reg)}"))
+                elif vec_exp and not vec_act:
+                    findings.append(ctx.finding(
+                        "format-mismatch", "warning",
+                        f"scalar .{elem_act} value in {xreg_name(reg)} is "
+                        f"consumed as a packed vector by {site.mnemonic}; "
+                        f"lanes above 0 are stale",
+                        site,
+                        suggestion=f"vfcpka.{elem_exp}.s or the replicating "
+                                   f".r variant"))
+    return findings
+
+
+_ACC_SCALAR = {"fadd", "fmadd"}
+_ACC_VECTOR = {"vfadd", "vfmac"}
+
+
+def _check_narrow_accumulation(ctx: _Context) -> List[LintFinding]:
+    findings = []
+    seen: Set[int] = set()
+    loop_blocks: Set[int] = set()
+    for loop in ctx.loops:
+        loop_blocks |= loop.body
+    for start in sorted(loop_blocks):
+        if start not in ctx.reachable or start not in ctx.cfg.blocks:
+            continue
+        for site in ctx.cfg.blocks[start].sites:
+            instr = site.instr
+            if instr is None or site.addr in seen:
+                continue
+            fmt = instr.spec.fp_fmt
+            if fmt not in _NARROW:
+                continue
+            kind = instr.spec.kind
+            accumulates = (
+                (kind == "fadd" and instr.rd in (instr.rs1, instr.rs2))
+                or (kind == "fmadd" and instr.rd == instr.rs3)
+                or (kind == "vfadd" and instr.rd in (instr.rs1, instr.rs2))
+                or kind == "vfmac"
+            )
+            if not accumulates:
+                continue
+            seen.add(site.addr)
+            # Vector context (a packed product feeds the accumulation, or
+            # the accumulation itself is packed) points at the expanding
+            # SIMD dot product; scalar context at fmacex.
+            vector_context = bool(instr.spec.vec)
+            if not vector_context and kind == "fadd":
+                other = instr.rs2 if instr.rd == instr.rs1 else instr.rs1
+                for def_addr in ctx.defs_at.get(site.addr, {}).get(
+                        other, frozenset()):
+                    def_site = ctx.site_at.get(def_addr)
+                    if def_site is not None and def_site.instr is not None \
+                            and def_site.instr.spec.vec:
+                        vector_context = True
+                        break
+            suggestion = (f"vfdotpex.s.{fmt}" if vector_context
+                          else f"fmacex.s.{fmt}")
+            findings.append(ctx.finding(
+                "narrow-accumulation", "warning",
+                f"loop accumulates in {_FMT_NAME[fmt]} (.{fmt}); summing "
+                f"products in a {_WIDTH[fmt]}-bit format silently loses "
+                f"precision -- the expanding {suggestion} accumulates in "
+                f"binary32 instead",
+                site, suggestion=suggestion))
+    return findings
+
+
+def _check_dead_write(ctx: _Context) -> List[LintFinding]:
+    findings = []
+    for start in ctx.cfg.order:
+        if start not in ctx.reachable:
+            continue
+        block = ctx.cfg.blocks[start]
+        live_out = ctx.live_solution[start][0]
+        dead: List[Tuple[Site, int]] = []
+
+        def visit(site: Site, live_after: FrozenSet[int]) -> None:
+            if site.instr is None or site.instr.spec.cf is not None:
+                return
+            for reg in regs_written(site.instr):
+                if reg not in live_after:
+                    dead.append((site, reg))
+
+        Liveness.at_each_site(block, live_out, visit)
+        for site, reg in reversed(dead):
+            findings.append(ctx.finding(
+                "dead-write", "warning",
+                f"value written to {xreg_name(reg)} by {site.mnemonic} is "
+                f"never read",
+                site))
+    return findings
+
+
+def _check_redundant_convert(ctx: _Context) -> List[LintFinding]:
+    findings = []
+    for start in ctx.cfg.order:
+        if start not in ctx.reachable:
+            continue
+        for site in ctx.cfg.blocks[start].sites:
+            instr = site.instr
+            if instr is None or instr.spec.kind not in ("fcvt_f2f",
+                                                        "vfcvt_f2f"):
+                continue
+            dst = instr.spec.fp_fmt
+            src = instr.spec.src_fmt
+            defs = ctx.defs_at.get(site.addr, {}).get(instr.rs1, frozenset())
+            if not defs:
+                continue
+            round_trip = True
+            for def_addr in defs:
+                def_site = ctx.site_at.get(def_addr)
+                def_instr = def_site.instr if def_site else None
+                if def_instr is None or \
+                        def_instr.spec.kind not in ("fcvt_f2f",
+                                                    "vfcvt_f2f") or \
+                        def_instr.spec.src_fmt != dst or \
+                        def_instr.spec.fp_fmt != src:
+                    round_trip = False
+                    break
+            if not round_trip:
+                continue
+            lossless = _WIDTH[src] >= _WIDTH[dst]
+            flavor = ("a lossless round-trip: the second conversion is "
+                      "pure overhead" if lossless else
+                      "a LOSSY round-trip: the value was already rounded "
+                      f"to {_FMT_NAME[src]}")
+            findings.append(ctx.finding(
+                "redundant-convert", "warning",
+                f"fcvt .{dst} -> .{src} -> .{dst} is {flavor}",
+                site,
+                suggestion="keep the original register alive instead of "
+                           "converting back"))
+    return findings
+
+
+def _block_constants(block) -> Dict[int, Dict[int, int]]:
+    """Block-local constant propagation: site addr -> reg -> value.
+
+    Tracks only ``lui``/``addi`` chains -- exactly the ``la``/``li``
+    expansion shapes the assembler emits for address formation.
+    """
+    consts: Dict[int, int] = {}
+    at: Dict[int, Dict[int, int]] = {}
+    for site in block.sites:
+        at[site.addr] = dict(consts)
+        instr = site.instr
+        if instr is None:
+            consts.clear()
+            continue
+        kind = instr.spec.kind
+        if kind == "lui":
+            consts[instr.rd] = (instr.imm << 12) & 0xFFFFFFFF
+        elif kind == "addi":
+            if instr.rs1 == 0:
+                consts[instr.rd] = instr.imm & 0xFFFFFFFF
+            elif instr.rs1 in consts:
+                consts[instr.rd] = (consts[instr.rs1] + instr.imm) \
+                    & 0xFFFFFFFF
+            else:
+                consts.pop(instr.rd, None)
+        else:
+            for reg in regs_written(instr):
+                consts.pop(reg, None)
+    return at
+
+
+def _check_uninitialized_load(ctx: _Context) -> List[LintFinding]:
+    program = ctx.cfg.program
+    if not program.reserved:
+        return []
+    ranges = [(base, base + size) for base, size in program.reserved]
+
+    def reserved_range(addr: int) -> Optional[Tuple[int, int]]:
+        for lo, hi in ranges:
+            if lo <= addr < hi:
+                return (lo, hi)
+        return None
+
+    # First sweep: every statically resolvable store target.
+    stored_into: Set[Tuple[int, int]] = set()
+    loads: List[Tuple[Site, int, Tuple[int, int]]] = []
+    for start in ctx.cfg.order:
+        if start not in ctx.reachable:
+            continue
+        block = ctx.cfg.blocks[start]
+        consts = _block_constants(block)
+        for site in block.sites:
+            instr = site.instr
+            if instr is None:
+                continue
+            base = consts.get(site.addr, {}).get(instr.rs1)
+            if base is None:
+                continue
+            addr = (base + instr.imm) & 0xFFFFFFFF
+            hit = reserved_range(addr)
+            if hit is None:
+                continue
+            if instr.spec.kind in _STORE_KINDS:
+                stored_into.add(hit)
+            elif instr.spec.kind in _LOAD_KINDS:
+                loads.append((site, addr, hit))
+    findings = []
+    symbol_of = {addr: name for name, addr in program.symbols.items()}
+    for site, addr, hit in loads:
+        if hit in stored_into:
+            continue
+        label = symbol_of.get(hit[0])
+        where = f"{addr:#x}" + (f" ({label})" if label else "")
+        findings.append(ctx.finding(
+            "uninitialized-load", "warning",
+            f"load from {where}: the bytes were reserved with .space and "
+            f"no store in the program initializes them (reads as zero)",
+            site))
+    return findings
+
+
+_SCALAR_FP_ARITH = {"fadd", "fsub", "fmul", "fdiv", "fsqrt", "fmin", "fmax",
+                    "fmadd", "fmsub", "fnmadd", "fnmsub"}
+
+
+def _check_missed_vectorization(ctx: _Context) -> List[LintFinding]:
+    findings = []
+    report = ctx.vector_report
+    if report is not None:
+        if getattr(report, "rejected_loops", 0):
+            findings.append(LintFinding(
+                check="missed-vectorization", severity="note",
+                message=(f"the auto-vectorizer rejected "
+                         f"{report.rejected_loops} loop(s); rewriting them "
+                         f"as stride-1 straight-line bodies would let the "
+                         f"pass emit packed Xfvec code"),
+            ))
+        # With a report in hand, the remaining scalar smallFloat loops
+        # are the pass's own epilogues -- flagging them would be noise.
+        return findings
+    flagged: Set[int] = set()
+    for loop in ctx.loops:
+        scalar_site: Optional[Site] = None
+        scalar_fmt: Optional[str] = None
+        has_vector = False
+        for start in sorted(loop.body):
+            block = ctx.cfg.blocks.get(start)
+            if block is None:
+                continue
+            for site in block.sites:
+                if site.instr is None:
+                    continue
+                spec = site.instr.spec
+                if spec.vec:
+                    has_vector = True
+                elif spec.kind in _SCALAR_FP_ARITH and \
+                        spec.fp_fmt in _NARROW and scalar_site is None:
+                    scalar_site = site
+                    scalar_fmt = spec.fp_fmt
+        if scalar_site is not None and not has_vector \
+                and scalar_site.addr not in flagged:
+            flagged.add(scalar_site.addr)
+            lanes = 32 // _WIDTH[scalar_fmt]
+            findings.append(ctx.finding(
+                "missed-vectorization", "note",
+                f"loop performs scalar {_FMT_NAME[scalar_fmt]} arithmetic; "
+                f"packed-SIMD Xfvec processes {lanes} .{scalar_fmt} "
+                f"elements per instruction on this 32-bit datapath",
+                scalar_site,
+                suggestion=f"vfadd.{scalar_fmt}/vfmul.{scalar_fmt}/"
+                           f"vfmac.{scalar_fmt} (or compile with "
+                           f"vectorize_loops=True)"))
+    return findings
+
+
+def _check_unreachable(ctx: _Context) -> List[LintFinding]:
+    findings = []
+    for block in ctx.cfg.unreachable_blocks():
+        first = block.sites[0]
+        count = len(block.sites)
+        findings.append(ctx.finding(
+            "unreachable-code", "note",
+            f"basic block at {block.start:#x} ({count} instruction"
+            f"{'s' if count != 1 else ''}) is unreachable from every entry "
+            f"point",
+            first))
+    return findings
+
+
+_CHECK_FNS = {
+    "use-before-def": _check_use_before_def,
+    "format-mismatch": _check_format_mismatch,
+    "narrow-accumulation": _check_narrow_accumulation,
+    "dead-write": _check_dead_write,
+    "redundant-convert": _check_redundant_convert,
+    "uninitialized-load": _check_uninitialized_load,
+    "missed-vectorization": _check_missed_vectorization,
+    "unreachable-code": _check_unreachable,
+}
+
+
+# ----------------------------------------------------------------------
+# Suppressions and the driver
+# ----------------------------------------------------------------------
+def parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """``# lint: ignore[...]`` markers per 1-based source line."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        if match.group(1) is None:
+            out[line_no] = None  # suppress everything on the line
+        else:
+            names = {part.strip() for part in match.group(1).split(",")
+                     if part.strip()}
+            out[line_no] = names
+    return out
+
+
+def _suppressed(finding: LintFinding,
+                suppressions: Dict[int, Optional[Set[str]]]) -> bool:
+    if finding.line is None or finding.line not in suppressions:
+        return False
+    names = suppressions[finding.line]
+    return names is None or finding.check in names
+
+
+def lint_program(
+    program: Program,
+    entries: Optional[Sequence[Union[str, int]]] = None,
+    vector_report=None,
+    source: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+) -> LintResult:
+    """Run every enabled check over an assembled program.
+
+    ``entries`` are the program's entry symbols (inferred when omitted);
+    ``vector_report`` is the compiler's :class:`VectorizeReport` when
+    the program came from :func:`compile_source`; ``source`` is the
+    assembly text, used only for ``# lint: ignore`` suppressions.
+    """
+    started = time.monotonic()
+    config = config or LintConfig()
+    cfg = build_cfg(program, entries=entries)
+    ctx = _Context(cfg, vector_report=vector_report)
+    suppressions = parse_suppressions(source) if source else {}
+    findings: List[LintFinding] = []
+    for check in CHECKS:
+        if not config.wants(check):
+            continue
+        for finding in _CHECK_FNS[check](ctx):
+            if _suppressed(finding, suppressions):
+                continue
+            if severity_at_least(finding.severity, config.min_severity):
+                findings.append(finding)
+    order = {check: index for index, check in enumerate(CHECKS)}
+    findings.sort(key=lambda f: (-SEVERITIES.index(f.severity),
+                                 f.line or 0, order.get(f.check, 99)))
+    return LintResult(findings=findings, cfg=cfg,
+                      elapsed=time.monotonic() - started)

@@ -1,0 +1,120 @@
+"""Dynamic validation of static lint findings against an execution trace.
+
+Static analysis over-approximates: a flagged instruction may sit on a
+path the program never takes.  This module replays a
+:class:`LintResult` against the per-address execution counts a
+:class:`~repro.sim.tracer.Trace` collects (``Trace.pc_counts``) and
+classifies each finding:
+
+``confirmed``
+    The flagged instruction executed at least once, so the static
+    verdict describes code the program actually runs.
+``not-executed``
+    The instruction never retired on this input -- possibly dead in
+    practice, possibly just not exercised.
+``vindicated``
+    Specific to ``unreachable-code``: the block indeed never executed,
+    i.e. the dynamic run agrees with the static claim.
+``no-location``
+    The finding has no instruction address (program-level findings such
+    as the vectorizer-report summary).
+
+Confirmation is evidence of *reachability*, not of the defect itself --
+a confirmed ``use-before-def`` means the read really happens; whether
+the stale value matters is the programmer's call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..sim.tracer import Trace
+from .lints import LintFinding, LintResult
+
+#: Verdict classes, for consumers that enumerate them.
+VERDICTS = ("confirmed", "not-executed", "vindicated", "no-location")
+
+
+@dataclass
+class ValidatedFinding:
+    """One static finding paired with its dynamic verdict."""
+
+    finding: LintFinding
+    verdict: str  # one of :data:`VERDICTS`
+    executions: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        out = self.finding.to_dict()
+        out["verdict"] = self.verdict
+        out["executions"] = self.executions
+        return out
+
+
+@dataclass
+class ValidationReport:
+    """All findings of one lint run, validated against one trace."""
+
+    results: List[ValidatedFinding]
+
+    def confirmed(self) -> List[ValidatedFinding]:
+        return [r for r in self.results
+                if r.verdict in ("confirmed", "vindicated")]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {v: 0 for v in VERDICTS}
+        for result in self.results:
+            out[result.verdict] += 1
+        return out
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "results": [r.to_dict() for r in self.results],
+            "counts": {k: v for k, v in self.counts().items() if v},
+        }
+
+    def render_text(self) -> str:
+        if not self.results:
+            return "no findings to validate"
+        lines = []
+        for result in self.results:
+            lines.append(f"[{result.verdict}] "
+                         f"(executed {result.executions}x) "
+                         f"{result.finding.render()}")
+        counts = ", ".join(f"{v}: {n}" for v, n in self.counts().items()
+                           if n)
+        lines.append(f"-- {counts}")
+        return "\n".join(lines)
+
+
+def validate_findings(findings: List[LintFinding],
+                      trace: Trace) -> ValidationReport:
+    """Classify each finding by the trace's execution counts."""
+    results = []
+    for finding in findings:
+        if finding.addr is None:
+            results.append(ValidatedFinding(finding, "no-location"))
+            continue
+        executions = trace.executed(finding.addr)
+        if finding.check == "unreachable-code":
+            # The dynamic run agreeing (never executed) vindicates the
+            # static claim; an execution would confirm reachability and
+            # thus contradict it.
+            results.append(ValidatedFinding(
+                finding, "vindicated" if executions == 0 else "confirmed",
+                executions))
+            continue
+        verdict = "confirmed" if executions > 0 else "not-executed"
+        results.append(ValidatedFinding(finding, verdict, executions))
+    return ValidationReport(results=results)
+
+
+def validate_result(result: LintResult, trace: Trace,
+                    min_severity: Optional[str] = None) -> ValidationReport:
+    """Convenience wrapper taking a whole :class:`LintResult`."""
+    findings = result.findings
+    if min_severity is not None:
+        from .lints import severity_at_least
+        findings = [f for f in findings
+                    if severity_at_least(f.severity, min_severity)]
+    return validate_findings(findings, trace)

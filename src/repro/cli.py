@@ -6,6 +6,8 @@ Installed as ``python -m repro``.  Subcommands:
 * ``dis WORD [WORD...]``  -- disassemble instruction words
 * ``run FILE``            -- assemble and simulate a program
 * ``kernel NAME``         -- run one benchmark configuration
+* ``lint FILE``           -- static-analyze an assembly file (or a
+                             built-in kernel with ``--kernel``)
 * ``experiments [NAME]``  -- regenerate paper tables/figures
 * ``tune``                -- run the precision-tuning case study
 * ``faults KERNEL``       -- run fault-injection campaigns and print a
@@ -101,6 +103,92 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
     if args.asm:
         print(run.asm)
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .analysis import (LintConfig, lint_program, severity_at_least,
+                           validate_findings)
+
+    # ------------------------------------------------------------------
+    # Obtain a program (an assembly file, or a built-in kernel build).
+    # ------------------------------------------------------------------
+    source = None
+    vector_report = None
+    trace = None
+    if args.kernel is not None:
+        from .compiler import compile_source
+        from .kernels import KERNELS
+
+        if args.kernel not in KERNELS:
+            print(f"unknown kernel {args.kernel!r}; choose from "
+                  f"{sorted(KERNELS)}", file=sys.stderr)
+            return 2
+        spec = KERNELS[args.kernel]
+        if args.mode == "manual":
+            if spec.manual_source_fn is None:
+                print(f"{args.kernel} has no manual-vectorized form",
+                      file=sys.stderr)
+                return 2
+            kernel = compile_source(spec.manual_source_fn(args.ftype),
+                                    lint=False)
+        else:
+            kernel = compile_source(spec.source_fn(args.ftype),
+                                    vectorize_loops=(args.mode == "auto"),
+                                    lint=False)
+        program = kernel.program
+        source = kernel.asm
+        vector_report = kernel.vector_report
+        if args.validate:
+            from .harness import run_kernel
+
+            run = run_kernel(spec, args.ftype, args.mode)
+            trace = run.trace
+    elif args.file is not None:
+        from .isa import assemble
+
+        with open(args.file) as handle:
+            source = handle.read()
+        program = assemble(source)
+        if args.validate:
+            from .sim import Simulator
+
+            sim = Simulator(program)
+            entry = args.entry if args.entry in program.symbols else 0
+            trace = sim.run(entry).trace
+    else:
+        print("lint: give an assembly FILE or --kernel NAME",
+              file=sys.stderr)
+        return 2
+
+    # ------------------------------------------------------------------
+    # Lint (and optionally validate against the dynamic trace).
+    # ------------------------------------------------------------------
+    config = LintConfig(disabled=set(args.disable or []),
+                        min_severity=args.min_severity)
+    entries = [args.entry] if args.kernel is None and args.entry and \
+        args.entry in program.symbols else None
+    result = lint_program(program, entries=entries,
+                          vector_report=vector_report, source=source,
+                          config=config)
+    report = validate_findings(result.findings, trace) \
+        if trace is not None else None
+
+    if args.json:
+        payload = result.to_payload()
+        payload["elapsed_ms"] = round(result.elapsed * 1e3, 3)
+        if report is not None:
+            payload["validation"] = report.to_payload()
+        print(_json.dumps(payload, indent=2))
+    elif report is not None:
+        print(report.render_text())
+    else:
+        print(result.render_text())
+
+    failing = [f for f in result.findings
+               if severity_at_least(f.severity, args.fail_on)]
+    return 1 if failing else 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -279,6 +367,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_kernel.add_argument("--asm", action="store_true",
                           help="print the generated assembly")
     p_kernel.set_defaults(func=_cmd_kernel)
+
+    p_lint = sub.add_parser(
+        "lint", help="static-analyze an assembly file or built-in kernel")
+    p_lint.add_argument("file", nargs="?", default=None,
+                        help="assembly file (omit when using --kernel)")
+    p_lint.add_argument("--kernel", default=None,
+                        help="lint a built-in benchmark kernel instead")
+    p_lint.add_argument("--ftype", default="float16",
+                        choices=["float", "float16", "float16alt", "float8"])
+    p_lint.add_argument("--mode", default="scalar",
+                        choices=["scalar", "auto", "manual"])
+    p_lint.add_argument("--entry", default="main",
+                        help="entry symbol (file mode; default: infer)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit findings as JSON")
+    p_lint.add_argument("--min-severity", default="note",
+                        choices=["note", "warning", "error"],
+                        help="hide findings below this severity")
+    p_lint.add_argument("--fail-on", default="error",
+                        choices=["note", "warning", "error"],
+                        help="exit non-zero when findings reach this "
+                             "severity (default: error)")
+    p_lint.add_argument("--disable", action="append", metavar="CHECK",
+                        help="disable one check (repeatable)")
+    p_lint.add_argument("--validate", action="store_true",
+                        help="run the program and classify each finding "
+                             "against the dynamic trace")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_exp = sub.add_parser("experiments",
                            help="regenerate paper tables/figures")

@@ -32,10 +32,21 @@ class CompiledKernel:
     program: Program
     module: Module
     vector_report: Optional[VectorizeReport] = None
+    #: Static-analysis result over the assembled output (populated when
+    #: compiling with ``lint=True``, the default).  Typed loosely to
+    #: keep the compiler importable without the analysis package.
+    lint_result: Optional[object] = None
 
     def entry(self, name: str) -> int:
         """Address of a compiled function."""
         return self.program.address_of(name)
+
+    @property
+    def lint_findings(self) -> list:
+        """Lint findings from compilation ([] when linting was off)."""
+        if self.lint_result is None:
+            return []
+        return list(self.lint_result.findings)
 
 
 def compile_source(
@@ -43,8 +54,15 @@ def compile_source(
     vectorize_loops: bool = False,
     text_base: int = TEXT_BASE,
     data_base: int = DATA_BASE,
+    lint: bool = True,
 ) -> CompiledKernel:
-    """Compile kernel source down to an assembled program."""
+    """Compile kernel source down to an assembled program.
+
+    With ``lint=True`` (the default) the static analyzer runs over the
+    assembled output and its findings ride along on
+    :attr:`CompiledKernel.lint_result`; compiled code should be clean,
+    so anything it reports points at a codegen regression.
+    """
     module = parse(source)
     analyze(module)
     fold_constants(module)
@@ -53,5 +71,12 @@ def compile_source(
         report = vectorize(module)
     asm = "\n".join(generate(fn) for fn in module.functions)
     program = assemble(asm, text_base=text_base, data_base=data_base)
+    lint_result = None
+    if lint:
+        # Imported here: the analysis package depends on repro.isa only,
+        # but keeping the compiler core import-light is still worthwhile.
+        from ..analysis.lints import lint_program
+
+        lint_result = lint_program(program, vector_report=report, source=asm)
     return CompiledKernel(asm=asm, program=program, module=module,
-                          vector_report=report)
+                          vector_report=report, lint_result=lint_result)

@@ -84,6 +84,18 @@ class KernelRun:
     arrays: Dict[str, Tuple[int, int]] = field(default_factory=dict)
     #: (base, size) of the loaded text section, for instruction flips.
     text_range: Optional[Tuple[int, int]] = None
+    #: Static-analysis result from compilation (a
+    #: :class:`repro.analysis.LintResult`); ``None`` if linting was off.
+    lint: Optional[object] = None
+
+    def lint_findings(self, min_severity: str = "note") -> list:
+        """Lint findings at or above ``min_severity``."""
+        if self.lint is None:
+            return []
+        from ..analysis.lints import severity_at_least
+
+        return [f for f in self.lint.findings
+                if severity_at_least(f.severity, min_severity)]
 
     @property
     def cycles(self) -> int:
@@ -229,6 +241,7 @@ def run_kernel(
         arrays=arrays,
         text_range=(kernel.program.text_base,
                     4 * len(kernel.program.words)),
+        lint=kernel.lint_result,
     )
 
 

@@ -51,13 +51,23 @@ class AssemblerError(Exception):
 
 @dataclass
 class Program:
-    """Assembled machine code plus its symbol table."""
+    """Assembled machine code plus its symbol table.
+
+    ``lines[i]`` is the 1-based source line that produced ``words[i]``
+    (pseudo-instruction expansions share their source line), so
+    downstream tooling -- the static analyzer in particular -- can
+    report findings against the assembly text.  ``reserved`` records
+    the ``(address, size)`` ranges allocated by ``.space``: bytes that
+    exist but were never given an initial value.
+    """
 
     words: List[int] = field(default_factory=list)
     text_base: int = TEXT_BASE
     data: bytearray = field(default_factory=bytearray)
     data_base: int = DATA_BASE
     symbols: Dict[str, int] = field(default_factory=dict)
+    lines: List[int] = field(default_factory=list)
+    reserved: List[Tuple[int, int]] = field(default_factory=list)
 
     @property
     def text_size(self) -> int:
@@ -68,6 +78,13 @@ class Program:
             return self.symbols[symbol]
         except KeyError:
             raise KeyError(f"undefined symbol {symbol!r}") from None
+
+    def line_of(self, addr: int) -> Optional[int]:
+        """Source line of the instruction at ``addr`` (None if unknown)."""
+        index = (addr - self.text_base) // 4
+        if 0 <= index < len(self.lines):
+            return self.lines[index]
+        return None
 
 
 # ----------------------------------------------------------------------
@@ -154,9 +171,16 @@ class Assembler:
                 continue
 
             if line.startswith("."):
-                section, text_addr = self._directive(
-                    line, line_no, section, text_addr, data, program
-                )
+                try:
+                    section, text_addr = self._directive(
+                        line, line_no, section, text_addr, data, program
+                    )
+                except AssemblerError:
+                    raise
+                except ValueError as exc:
+                    raise AssemblerError(
+                        f"line {line_no}: {exc}: {line!r}"
+                    ) from None
                 continue
 
             if section != "text":
@@ -171,6 +195,7 @@ class Assembler:
         # Pass two: resolve labels and encode.
         for item in pending:
             program.words.append(self._finalize(item, program))
+            program.lines.append(item.line_no)
         program.data = data
         return program
 
@@ -194,7 +219,9 @@ class Assembler:
         if name == ".space":
             if section != "data":
                 raise AssemblerError(f"line {line_no}: .space outside .data")
-            data.extend(b"\x00" * _parse_int(arg))
+            size = _parse_int(arg)
+            program.reserved.append((self.data_base + len(data), size))
+            data.extend(b"\x00" * size)
             return section, text_addr
         if name in (".word", ".half", ".byte"):
             if section != "data":
@@ -221,6 +248,12 @@ class Assembler:
         except UnknownInstruction:
             raise AssemblerError(
                 f"line {line_no}: unknown instruction {mnemonic!r}"
+            ) from None
+        except IndexError:
+            # A pseudo-instruction indexed past its operand list.
+            raise AssemblerError(
+                f"line {line_no}: {mnemonic} is missing operands "
+                f"(got {len(operands)}): {line!r}"
             ) from None
         except (ValueError, KeyError) as exc:
             raise AssemblerError(f"line {line_no}: {exc}: {line!r}") from None
@@ -368,7 +401,13 @@ class Assembler:
         fields = dict(item.fields)
         if item.reloc:
             mode, symbol = item.reloc
-            target = program.address_of(symbol)
+            try:
+                target = program.address_of(symbol)
+            except KeyError:
+                raise AssemblerError(
+                    f"line {item.line_no}: undefined symbol {symbol!r}: "
+                    f"{item.source!r}"
+                ) from None
             if mode in ("branch", "jump"):
                 fields["imm"] = target - item.addr
             elif mode == "%hi":

@@ -63,6 +63,12 @@ class InstrSpec:
         rm_fixed: Pinned rm value (the Xf16alt selection trick).
         vec: True for packed-SIMD (Xfvec) operations.
         repl: True for ``.r`` replicating-scalar vector variants.
+        cf: Control-flow class, for CFG construction (``None`` for
+            straight-line instructions): ``"branch"`` (conditional,
+            PC-relative), ``"jump"`` (``jal``: unconditional,
+            PC-relative, linking when rd != x0), ``"ijump"``
+            (``jalr``: unconditional, indirect) or ``"halt"``
+            (``ecall``/``ebreak``, which end a run in this model).
     """
 
     mnemonic: str
@@ -81,6 +87,11 @@ class InstrSpec:
     rm_fixed: Optional[int] = None
     vec: bool = False
     repl: bool = False
+    cf: Optional[str] = None
+
+    @property
+    def is_control_flow(self) -> bool:
+        return self.cf is not None
 
     # ------------------------------------------------------------------
     # Match pattern for the decoder
@@ -298,14 +309,16 @@ def _i(mn, f3, kind):
 
 register(InstrSpec("lui", "U", OP_LUI, syntax=("rd", "uimm20"), kind="lui"))
 register(InstrSpec("auipc", "U", OP_AUIPC, syntax=("rd", "uimm20"), kind="auipc"))
-register(InstrSpec("jal", "J", OP_JAL, syntax=("rd", "jlabel"), kind="jal"))
+register(InstrSpec("jal", "J", OP_JAL, syntax=("rd", "jlabel"), kind="jal",
+                   cf="jump"))
 register(InstrSpec("jalr", "I", OP_JALR, funct3=0, syntax=("rd", "rs1", "imm"),
-                   kind="jalr"))
+                   kind="jalr", cf="ijump"))
 
 for _mn, _f3 in [("beq", 0), ("bne", 1), ("blt", 4), ("bge", 5),
                  ("bltu", 6), ("bgeu", 7)]:
     register(InstrSpec(_mn, "B", OP_BRANCH, funct3=_f3,
-                       syntax=("rs1", "rs2", "blabel"), kind=_mn))
+                       syntax=("rs1", "rs2", "blabel"), kind=_mn,
+                       cf="branch"))
 
 for _mn, _f3 in [("lb", 0), ("lh", 1), ("lw", 2), ("lbu", 4), ("lhu", 5)]:
     register(InstrSpec(_mn, "I", OP_LOAD, funct3=_f3, syntax=("rd", "mem"),
@@ -341,9 +354,9 @@ _r("and", 7, 0b0000000, "and")
 
 register(InstrSpec("fence", "I", OP_MISC_MEM, funct3=0, syntax=(), kind="fence"))
 register(InstrSpec("ecall", "SYS", OP_SYSTEM, funct3=0, funct12=0, syntax=(),
-                   kind="ecall"))
+                   kind="ecall", cf="halt"))
 register(InstrSpec("ebreak", "SYS", OP_SYSTEM, funct3=0, funct12=1, syntax=(),
-                   kind="ebreak"))
+                   kind="ebreak", cf="halt"))
 
 # ----------------------------------------------------------------------
 # M extension

@@ -3,7 +3,7 @@
 from .csr import CsrFile, IllegalCsr
 from .executor import EbreakTrap, EcallTrap, execute
 from .machine import Machine
-from .memory import LATENCY_LEVELS, Memory, MemoryAccessError, MemoryError_
+from .memory import LATENCY_LEVELS, Memory, MemoryAccessError
 from .simulator import (
     EXIT_REASONS,
     HALT_ADDRESS,
@@ -54,3 +54,13 @@ __all__ = [
     "ArchitecturalTrap",
     "TrapInfo",
 ]
+
+
+def __getattr__(name: str):
+    # The deprecated pre-1.1 MemoryError_ alias is resolved lazily so
+    # that merely importing repro.sim does not warn; accessing it does.
+    if name == "MemoryError_":
+        from . import memory
+
+        return memory.MemoryError_
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

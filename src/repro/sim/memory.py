@@ -36,8 +36,19 @@ class MemoryAccessError(ReproError):
         self.access = access
 
 
-#: Deprecated alias of :class:`MemoryAccessError` (pre-1.1 name).
-MemoryError_ = MemoryAccessError
+def __getattr__(name: str):
+    # Deprecated alias of :class:`MemoryAccessError` (pre-1.1 name),
+    # kept importable but warning on access.
+    if name == "MemoryError_":
+        import warnings
+
+        warnings.warn(
+            "MemoryError_ is deprecated; use MemoryAccessError",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return MemoryAccessError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class Memory:

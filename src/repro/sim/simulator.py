@@ -252,14 +252,15 @@ class Simulator:
                 break
 
             fallthrough = (machine.pc + size) & MASK32
+            pc_before = machine.pc
             try:
                 next_pc = execute(machine, instr)
             except EcallTrap:
-                stats.record(instr, 1)
+                stats.record(instr, 1, pc=pc_before)
                 exit_reason = "ecall"
                 break
             except EbreakTrap:
-                stats.record(instr, 1)
+                stats.record(instr, 1, pc=pc_before)
                 exit_reason = "ebreak"
                 break
             except ArchitecturalTrap as exc:
@@ -291,7 +292,8 @@ class Simulator:
             # Any redirect counts as taken (even a branch to pc+4: the
             # pipeline still flushes).
             taken = next_pc is not None
-            stats.record(instr, self.timing.cycles(instr, taken=taken), taken)
+            stats.record(instr, self.timing.cycles(instr, taken=taken), taken,
+                         pc=pc_before)
             machine.pc = next_pc if next_pc is not None else fallthrough
             executed += 1
         if trap_info is not None:

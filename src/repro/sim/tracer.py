@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from ..isa.instructions import Instr
 
@@ -91,8 +91,13 @@ class Trace:
     by_category: Counter = field(default_factory=Counter)
     mem_accesses: int = 0
     branches_taken: int = 0
+    #: Execution count per instruction address.  Fed by the simulator;
+    #: the static analyzer's trace-validation mode uses it to confirm
+    #: that a statically flagged instruction is dynamically reachable.
+    pc_counts: Counter = field(default_factory=Counter)
 
-    def record(self, instr: Instr, cycles: int, taken: bool = False) -> None:
+    def record(self, instr: Instr, cycles: int, taken: bool = False,
+               pc: Optional[int] = None) -> None:
         self.instret += 1
         self.cycles += cycles
         self.by_mnemonic[instr.mnemonic] += 1
@@ -102,6 +107,12 @@ class Trace:
             self.mem_accesses += 1
         if taken:
             self.branches_taken += 1
+        if pc is not None:
+            self.pc_counts[pc] += 1
+
+    def executed(self, pc: int) -> int:
+        """How many times the instruction at ``pc`` retired."""
+        return self.pc_counts.get(pc, 0)
 
     def breakdown(self) -> Dict[str, int]:
         """Instruction counts per category, in canonical order."""

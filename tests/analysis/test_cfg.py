@@ -1,0 +1,158 @@
+"""CFG construction: blocks, edges, entries, dominators, loops."""
+
+from repro.analysis import build_cfg
+from repro.isa.assembler import assemble
+
+
+def cfg_of(source, **kwargs):
+    return build_cfg(assemble(source), **kwargs)
+
+
+SIMPLE_LOOP = """\
+count:
+    li t0, 0
+loop:
+    addi t0, t0, 1
+    blt t0, a0, loop
+    mv a0, t0
+    ret
+"""
+
+
+def test_basic_blocks_and_edges():
+    cfg = cfg_of(SIMPLE_LOOP)
+    # li | addi+blt | mv+ret
+    assert len(cfg.blocks) == 3
+    b0, b1, b2 = (cfg.blocks[s] for s in cfg.order)
+    assert b0.succs == [b1.start]
+    assert sorted(b1.succs) == sorted([b1.start, b2.start])
+    assert b1.terminator == "branch"
+    assert b2.terminator == "return"
+    assert b2.succs == []
+    assert b1.start in b1.preds  # self loop
+
+
+def test_entry_inference_excludes_branch_targets():
+    cfg = cfg_of(SIMPLE_LOOP)
+    program = cfg.program
+    # 'count' is a function label (never branched to) -> entry;
+    # 'loop' is a branch target -> not an entry.
+    assert program.address_of("count") in cfg.entries
+    assert program.address_of("loop") not in cfg.entries
+
+
+def test_explicit_entries():
+    cfg = cfg_of(SIMPLE_LOOP, entries=["loop"])
+    assert cfg.entries == [cfg.program.address_of("loop")]
+
+
+def test_call_edges_and_function_of():
+    cfg = cfg_of("""\
+main:
+    jal ra, helper
+    ret
+helper:
+    addi a0, a0, 1
+    ret
+""")
+    program = cfg.program
+    helper = program.address_of("helper")
+    assert cfg.calls == [(program.address_of("main"), helper)]
+    # The call instruction falls through to the ret after it.
+    main_block = cfg.block_at(program.address_of("main"))
+    assert main_block.terminator == "call"
+    assert main_block.succs == [main_block.end]
+    assert cfg.function_of(helper + 4) == "helper"
+    assert cfg.function_of(program.address_of("main")) == "main"
+
+
+def test_unreachable_block_detection():
+    cfg = cfg_of("""\
+main:
+    ret
+    addi t0, t0, 1
+    ret
+""")
+    dead = cfg.unreachable_blocks()
+    assert len(dead) == 1
+    assert dead[0].start == cfg.program.text_base + 4
+
+
+def test_jump_terminator_and_jr():
+    cfg = cfg_of("""\
+main:
+    j skip
+    addi t0, t0, 1
+skip:
+    jr t1
+""")
+    b0 = cfg.block_at(cfg.program.text_base)
+    assert b0.terminator == "jump"
+    assert b0.succs == [cfg.program.address_of("skip")]
+    last = cfg.block_at(cfg.program.address_of("skip"))
+    assert last.terminator == "indirect-jump"
+    assert last.succs == []
+
+
+def test_dominators_and_natural_loops():
+    cfg = cfg_of(SIMPLE_LOOP)
+    entry = cfg.program.text_base
+    loop_head = cfg.program.address_of("loop")
+    doms = cfg.dominators()
+    assert entry in doms[loop_head]
+    loops = cfg.natural_loops()
+    assert len(loops) == 1
+    assert loops[0].header == loop_head
+    assert loop_head in loops[0]
+    assert loops[0].back_edge == (loop_head, loop_head)
+
+
+def test_nested_loops():
+    cfg = cfg_of("""\
+main:
+    li t0, 0
+outer:
+    li t1, 0
+inner:
+    addi t1, t1, 1
+    blt t1, a1, inner
+    addi t0, t0, 1
+    blt t0, a0, outer
+    ret
+""")
+    loops = cfg.natural_loops()
+    assert len(loops) == 2
+    inner = min(loops, key=lambda l: len(l.body))
+    outer = max(loops, key=lambda l: len(l.body))
+    assert inner.header == cfg.program.address_of("inner")
+    assert outer.header == cfg.program.address_of("outer")
+    assert inner.body < outer.body
+
+
+def test_sites_carry_source_lines():
+    cfg = cfg_of(SIMPLE_LOOP)
+    lines = [site.line for site in cfg.sites()]
+    # li expands from line 2; the loop body starts at line 4.
+    assert lines[0] == 2
+    assert lines[1] == 4
+
+
+def test_block_of_interior_address():
+    cfg = cfg_of(SIMPLE_LOOP)
+    loop_start = cfg.program.address_of("loop")
+    assert cfg.block_of(loop_start + 4).start == loop_start
+    assert cfg.block_of(0xDEAD0000) is None
+
+
+def test_end_of_text_terminator():
+    cfg = cfg_of("main:\n    addi t0, t0, 1\n")
+    block = cfg.block_at(cfg.program.text_base)
+    assert block.terminator == "end-of-text"
+    assert block.succs == []
+
+
+def test_halt_terminator():
+    cfg = cfg_of("main:\n    ecall\n    addi t0, t0, 1\n")
+    block = cfg.block_at(cfg.program.text_base)
+    assert block.terminator == "halt"
+    assert block.succs == []

@@ -1,0 +1,248 @@
+"""Dataflow analyses: reaching defs, liveness, uninit, format tracking."""
+
+from repro.analysis import (
+    FormatTracking,
+    Liveness,
+    MaybeUninitialized,
+    ReachingDefs,
+    build_cfg,
+    operand_formats,
+    regs_read,
+    regs_written,
+    result_format,
+)
+from repro.isa.assembler import assemble
+from repro.isa.instructions import decode, encode, spec_by_mnemonic
+from repro.isa.registers import parse_xreg
+
+
+def cfg_of(source):
+    return build_cfg(assemble(source))
+
+
+def instr_of(mnemonic, **fields):
+    return decode(encode(spec_by_mnemonic(mnemonic), **fields))
+
+
+# ----------------------------------------------------------------------
+# def/use extraction
+# ----------------------------------------------------------------------
+def test_regs_written_basic():
+    assert regs_written(instr_of("add", rd=5, rs1=1, rs2=2)) == [5]
+    assert regs_written(instr_of("sw", rs1=2, rs2=8, imm=0)) == []
+    # Writes to x0 are architectural no-ops.
+    assert regs_written(instr_of("addi", rd=0, rs1=0, imm=1)) == []
+
+
+def test_regs_read_basic():
+    assert regs_read(instr_of("add", rd=5, rs1=6, rs2=7)) == [6, 7]
+    assert regs_read(instr_of("lw", rd=5, rs1=8, imm=4)) == [8]
+    assert regs_read(instr_of("sw", rs1=2, rs2=9, imm=0)) == [2, 9]
+    # x0 never counts as a read.
+    assert regs_read(instr_of("addi", rd=5, rs1=0, imm=1)) == []
+
+
+def test_fused_multiply_add_reads_three_sources():
+    instr = instr_of("fmadd.s", rd=10, rs1=11, rs2=12, rs3=13)
+    assert regs_read(instr) == [11, 12, 13]
+    assert regs_written(instr) == [10]
+
+
+def test_accumulating_kinds_read_their_destination():
+    for mnemonic in ("fmacex.s.h", "vfmac.h", "vfdotpex.s.h",
+                     "vfcpka.h.s", "vfcpkb.b.s"):
+        instr = instr_of(mnemonic, rd=14, rs1=15, rs2=16)
+        assert 14 in regs_read(instr), mnemonic
+    # A plain multiply does not.
+    assert 14 not in regs_read(instr_of("fmul.s", rd=14, rs1=15, rs2=16))
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions
+# ----------------------------------------------------------------------
+def test_reaching_defs_merge_at_join():
+    cfg = cfg_of("""\
+main:
+    beq a0, zero, other
+    li t0, 1
+    j join
+other:
+    li t0, 2
+join:
+    mv a1, t0
+    ret
+""")
+    solution = ReachingDefs().solve(cfg)
+    join = cfg.program.address_of("join")
+    reaching = solution[join][0][parse_xreg("t0")]
+    assert len(reaching) == 2  # both li sites reach the join
+
+
+def test_reaching_defs_kill_on_redefinition():
+    cfg = cfg_of("""\
+main:
+    li t0, 1
+    li t0, 2
+    mv a0, t0
+    ret
+""")
+    solution = ReachingDefs().solve(cfg)
+    block = cfg.block_at(cfg.program.text_base)
+    seen = {}
+    ReachingDefs.at_each_site(
+        block, solution[block.start][0],
+        lambda site, defs: seen.setdefault(site.addr, dict(defs)))
+    mv_addr = block.sites[2].addr
+    assert seen[mv_addr][parse_xreg("t0")] == \
+        frozenset({block.sites[1].addr})
+
+
+# ----------------------------------------------------------------------
+# Liveness
+# ----------------------------------------------------------------------
+def test_liveness_through_loop():
+    cfg = cfg_of("""\
+main:
+    li t0, 0
+loop:
+    addi t0, t0, 1
+    blt t0, a0, loop
+    ret
+""")
+    solution = Liveness().solve(cfg)
+    loop = cfg.program.address_of("loop")
+    live_in = solution[loop][1]  # value after backward transfer
+    assert parse_xreg("t0") in live_in
+    assert parse_xreg("a0") in live_in
+
+
+def test_liveness_dead_after_last_use():
+    cfg = cfg_of("""\
+main:
+    mv a0, t0
+    li t0, 9
+    ret
+""")
+    block = cfg.block_at(cfg.program.text_base)
+    solution = Liveness().solve(cfg)
+    live_after = {}
+    Liveness.at_each_site(
+        block, solution[block.start][0],
+        lambda site, live: live_after.setdefault(site.addr, live))
+    # After the final li, t0 is not in the return-live set.
+    assert parse_xreg("t0") not in live_after[block.sites[1].addr]
+
+
+def test_call_makes_arguments_live():
+    cfg = cfg_of("""\
+main:
+    li a0, 1
+    jal ra, helper
+    ret
+helper:
+    ret
+""")
+    solution = Liveness().solve(cfg)
+    entry = cfg.program.text_base
+    block = cfg.block_at(entry)
+    live_after = {}
+    Liveness.at_each_site(
+        block, solution[entry][0],
+        lambda site, live: live_after.setdefault(site.addr, live))
+    # Between li a0 and the call, a0 must be live (argument register).
+    assert 10 in live_after[block.sites[0].addr]
+
+
+# ----------------------------------------------------------------------
+# Maybe-uninitialized
+# ----------------------------------------------------------------------
+def test_uninitialized_at_entry_excludes_abi_registers():
+    cfg = cfg_of("main:\n    ret\n")
+    solution = MaybeUninitialized().solve(cfg)
+    maybe = solution[cfg.program.text_base][0]
+    for reg in (0, 1, 2, 10, 17):  # zero, ra, sp, a0, a7
+        assert reg not in maybe
+    assert parse_xreg("t0") in maybe
+    assert parse_xreg("s2") in maybe
+
+
+def test_write_on_one_path_stays_maybe_uninitialized():
+    cfg = cfg_of("""\
+main:
+    beq a0, zero, skip
+    li t0, 1
+skip:
+    mv a1, t0
+    ret
+""")
+    solution = MaybeUninitialized().solve(cfg)
+    skip = cfg.program.address_of("skip")
+    assert parse_xreg("t0") in solution[skip][0]
+
+
+# ----------------------------------------------------------------------
+# Format tracking
+# ----------------------------------------------------------------------
+def test_result_format_rules():
+    assert result_format(instr_of("fadd.h", rd=1, rs1=2, rs2=3)) == \
+        ("h", False)
+    assert result_format(instr_of("vfadd.b", rd=1, rs1=2, rs2=3)) == \
+        ("b", True)
+    # Expanding operations produce binary32 scalars.
+    assert result_format(instr_of("vfdotpex.s.b", rd=1, rs1=2, rs2=3)) == \
+        ("s", False)
+    assert result_format(instr_of("fmacex.s.h", rd=1, rs1=2, rs2=3)) == \
+        ("s", False)
+    # Loads and integer ops carry no format evidence.
+    assert result_format(instr_of("lw", rd=1, rs1=2, imm=0)) is None
+    assert result_format(instr_of("flw", rd=1, rs1=2, imm=0)) is None
+    assert result_format(instr_of("add", rd=1, rs1=2, rs2=3)) is None
+    # Comparisons write integers.
+    assert result_format(instr_of("feq.h", rd=1, rs1=2, rs2=3)) is None
+
+
+def test_operand_format_expectations():
+    expected = operand_formats(instr_of("fadd.h", rd=1, rs1=2, rs2=3))
+    assert expected == {2: ("h", False), 3: ("h", False)}
+    # Conversions read the *source* format.
+    expected = operand_formats(instr_of("fcvt.s.b", rd=1, rs1=2))
+    assert expected == {2: ("b", False)}
+    # The expanding dot product reads packed sources and a scalar
+    # binary32 accumulator.
+    expected = operand_formats(instr_of("vfdotpex.s.b", rd=1, rs1=2, rs2=3))
+    assert expected[2] == ("b", True)
+    assert expected[1] == ("s", False)
+
+
+def test_format_tracking_through_conversion():
+    cfg = cfg_of("""\
+main:
+    fcvt.b.s t1, a0
+    fadd.b t2, t1, t1
+    ret
+""")
+    solution = FormatTracking().solve(cfg)
+    block = cfg.block_at(cfg.program.text_base)
+    fmts = {}
+    FormatTracking.at_each_site(
+        block, solution[block.start][0],
+        lambda site, m: fmts.setdefault(site.addr, dict(m)))
+    fadd_addr = block.sites[1].addr
+    assert fmts[fadd_addr][parse_xreg("t1")] == ("b", False)
+
+
+def test_format_meet_conflicting_paths_is_unknown():
+    cfg = cfg_of("""\
+main:
+    beq a0, zero, other
+    fcvt.h.s t1, a1
+    j join
+other:
+    fcvt.b.s t1, a1
+join:
+    fadd.h t2, t1, t1
+    ret
+""")
+    solution = FormatTracking().solve(cfg)
+    join = cfg.program.address_of("join")
+    assert solution[join][0][parse_xreg("t1")] is None

@@ -67,7 +67,7 @@ class TestLabelsAndBranches:
         assert decode(prog[1]).rd == 0
 
     def test_undefined_label(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(AssemblerError, match=r"line 1: undefined symbol"):
             assemble("j nowhere")
 
     def test_duplicate_label(self):

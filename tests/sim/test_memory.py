@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.sim.memory import (LATENCY_LEVELS, Memory, MemoryAccessError,
-                              MemoryError_)
+from repro.sim.memory import LATENCY_LEVELS, Memory, MemoryAccessError
 
 
 class TestScalarAccess:
@@ -54,11 +53,28 @@ class TestScalarAccess:
         assert info.value.access == "store"
 
     def test_deprecated_alias(self):
-        """MemoryError_ remains catchable and is the same class."""
-        assert MemoryError_ is MemoryAccessError
+        """MemoryError_ remains catchable, same class, and warns."""
+        import repro.sim
+        import repro.sim.memory
+
+        with pytest.warns(DeprecationWarning, match="MemoryError_"):
+            alias = repro.sim.memory.MemoryError_
+        assert alias is MemoryAccessError
+        with pytest.warns(DeprecationWarning, match="MemoryError_"):
+            alias = repro.sim.MemoryError_
+        assert alias is MemoryAccessError
         from repro import ReproError
 
         assert issubclass(MemoryAccessError, ReproError)
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.sim
+        import repro.sim.memory
+
+        with pytest.raises(AttributeError):
+            repro.sim.memory.NoSuchThing
+        with pytest.raises(AttributeError):
+            repro.sim.NoSuchThing
 
 
 class TestBulkAccess:

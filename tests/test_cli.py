@@ -71,6 +71,78 @@ class TestKernel:
         assert "vf" in capsys.readouterr().out
 
 
+class TestLint:
+    @pytest.fixture()
+    def broken_file(self, tmp_path):
+        path = tmp_path / "broken.s"
+        path.write_text(
+            "kernel:\n"
+            "    fadd.h t1, t2, t3\n"
+            "    fcvt.b.h t4, t1\n"
+            "    fadd.h t5, t4, t1\n"
+            "    sw t5, 0(a0)\n"
+            "    ret\n"
+        )
+        return str(path)
+
+    def test_file_with_errors_exits_nonzero(self, broken_file, capsys):
+        assert main(["lint", broken_file]) == 1
+        out = capsys.readouterr().out
+        assert "use-before-def" in out
+        assert "format-mismatch" in out
+        assert "line 2" in out and "line 4" in out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.s"
+        path.write_text("kernel:\n    add a0, a0, a1\n    ret\n")
+        assert main(["lint", str(path)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_fail_on_warning_tightens_exit(self, tmp_path):
+        path = tmp_path / "warn.s"
+        path.write_text("kernel:\n    li t0, 7\n    ret\n")  # dead write
+        assert main(["lint", str(path)]) == 0
+        assert main(["lint", str(path), "--fail-on", "warning"]) == 1
+
+    def test_json_output(self, broken_file, capsys):
+        import json
+
+        main(["lint", broken_file, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["use-before-def"] >= 1
+        assert any(f["check"] == "format-mismatch"
+                   for f in payload["findings"])
+        assert "elapsed_ms" in payload
+
+    def test_min_severity_hides_notes(self, tmp_path, capsys):
+        path = tmp_path / "dead.s"
+        path.write_text("kernel:\n    ret\n    addi t0, t0, 1\n    ret\n")
+        main(["lint", str(path), "--min-severity", "warning"])
+        assert "unreachable-code" not in capsys.readouterr().out
+
+    def test_disable_check(self, broken_file, capsys):
+        main(["lint", broken_file, "--disable", "use-before-def"])
+        assert "use-before-def" not in capsys.readouterr().out
+
+    def test_kernel_mode_names_expanding_op(self, capsys):
+        assert main(["lint", "--kernel", "atax", "--ftype", "float8",
+                     "--mode", "auto"]) == 0
+        assert "vfdotpex.s.b" in capsys.readouterr().out
+
+    def test_kernel_mode_validate(self, capsys):
+        main(["lint", "--kernel", "atax", "--ftype", "float8",
+              "--mode", "auto", "--validate"])
+        out = capsys.readouterr().out
+        assert "[confirmed]" in out
+        assert "executed" in out
+
+    def test_unknown_kernel(self, capsys):
+        assert main(["lint", "--kernel", "nonesuch"]) == 2
+
+    def test_no_input_given(self, capsys):
+        assert main(["lint"]) == 2
+
+
 class TestExperiments:
     def test_table2(self, capsys):
         assert main(["experiments", "table2"]) == 0
