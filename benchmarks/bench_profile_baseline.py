@@ -1,0 +1,33 @@
+"""Profile baseline: cycle attribution over a fixed sweep matrix.
+
+Regenerates ``results/profile_baseline.json``.  The committed snapshot
+is the reviewable record of where each configuration's cycles go: the
+hottest loop and its share, stall-cause totals and per-format flop
+counts.  A compiler or timing-model change that moves cycles between
+loops or stall causes shows up here as a baseline diff rather than
+silent drift.
+"""
+
+from conftest import save_result
+
+from repro.profile.baseline import compute_profile_baseline
+
+
+def test_profile_baseline(benchmark):
+    payload = benchmark(compute_profile_baseline)
+    save_result("profile_baseline", payload)
+
+    print(f"\nProfile baseline -- {payload['config_count']} configurations")
+    for key, summary in payload["configs"].items():
+        hot = summary["hot_loop"]
+        share = f"{hot['share']:.0%} in {hot['name']}" if hot else "no loops"
+        print(f"  {key:<24s} {summary['cycles']:>8d} cycles, {share}")
+
+    for key, summary in payload["configs"].items():
+        # Every cycle is accounted: one issue slot + attributed stalls.
+        assert summary["instret"] + sum(summary["stalls"].values()) \
+            == summary["cycles"], key
+        # The paper's kernels spend their time in loops: the hottest
+        # one must hold the majority of the run.
+        assert summary["hot_loop"] is not None, key
+        assert summary["hot_loop"]["share"] > 0.5, key

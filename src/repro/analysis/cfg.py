@@ -209,6 +209,66 @@ class CFG:
                               body=body))
         return loops
 
+    # ------------------------------------------------------------------
+    # Attribution helpers (the profiler's PC -> block -> loop mapping)
+    # ------------------------------------------------------------------
+    def pc_block_map(self) -> Dict[int, int]:
+        """Instruction address -> start of its containing block.
+
+        A dictionary (rather than the linear :meth:`block_of` scan) so
+        per-retired-instruction consumers -- the cycle-attribution
+        profiler foremost -- pay one hash lookup per step.
+        """
+        mapping: Dict[int, int] = {}
+        for start in self.order:
+            for site in self.blocks[start].sites:
+                mapping[site.addr] = start
+        return mapping
+
+    def merged_loops(self) -> List[Loop]:
+        """Natural loops with same-header bodies unioned.
+
+        A loop with two back edges (e.g. a ``continue`` inside it)
+        yields two overlapping natural loops; for attribution purposes
+        they are one loop.  The representative back edge kept is the
+        first in :meth:`back_edges` order.
+        """
+        by_header: Dict[int, Loop] = {}
+        for loop in self.natural_loops():
+            kept = by_header.get(loop.header)
+            if kept is None:
+                by_header[loop.header] = Loop(
+                    header=loop.header, back_edge=loop.back_edge,
+                    body=set(loop.body))
+            else:
+                kept.body |= loop.body
+        return [by_header[h] for h in sorted(by_header)]
+
+    def loop_attribution(self) -> Tuple[Dict[int, Optional[int]],
+                                        Dict[int, int]]:
+        """Innermost-loop header and nesting depth per block.
+
+        Returns ``(innermost, depth)``: ``innermost[block]`` is the
+        header of the smallest merged loop whose body contains the
+        block (``None`` outside any loop), and ``depth[block]`` counts
+        the distinct loops containing it.  This is how profile cycles
+        roll up to loop-level hot spots without double counting -- each
+        block's cycles are *self* cycles of exactly one loop.
+        """
+        loops = self.merged_loops()
+        innermost: Dict[int, Optional[int]] = {}
+        depth: Dict[int, int] = {}
+        for start in self.order:
+            containing = [lp for lp in loops if start in lp.body]
+            depth[start] = len(containing)
+            if containing:
+                innermost[start] = min(
+                    containing, key=lambda lp: (len(lp.body), lp.header)
+                ).header
+            else:
+                innermost[start] = None
+        return innermost, depth
+
 
 # ----------------------------------------------------------------------
 # Construction

@@ -8,6 +8,10 @@ Installed as ``python -m repro``.  Subcommands:
 * ``kernel NAME``         -- run one benchmark configuration
 * ``lint FILE``           -- static-analyze an assembly file (or a
                              built-in kernel with ``--kernel``)
+* ``profile KERNEL``      -- cycle-attribution profile of one kernel
+                             run: hot loops/blocks, stall causes, and
+                             optional JSON / Chrome-trace / annotated
+                             disassembly exports
 * ``experiments [NAME]``  -- regenerate paper tables/figures
 * ``tune``                -- run the precision-tuning case study
 * ``faults KERNEL``       -- run fault-injection campaigns and print a
@@ -91,7 +95,8 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
               f"{sorted(KERNELS)}", file=sys.stderr)
         return 1
     run = run_kernel(KERNELS[args.name], args.ftype, args.mode,
-                     mem_latency=args.latency, seed=args.seed)
+                     mem_latency=args.latency, seed=args.seed,
+                     profile=args.profile)
     print(f"{args.name} [{args.ftype}, {args.mode}, latency={args.latency}]")
     print(f"  cycles:  {run.cycles}")
     print(f"  instret: {run.instret}")
@@ -102,6 +107,52 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
     print(f"  SQNR:    {run.sqnr_db():.1f} dB")
     if args.asm:
         print(run.asm)
+    if run.profile is not None:
+        from .profile import render_text
+
+        print()
+        print(render_text(run.profile))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .harness import run_kernel
+    from .kernels import KERNELS
+    from .profile import (ProfileConfig, annotate_disassembly, render_text,
+                          to_chrome_trace)
+
+    if args.name not in KERNELS:
+        print(f"unknown kernel {args.name!r}; choose from "
+              f"{sorted(KERNELS)}", file=sys.stderr)
+        return 1
+    # 'vector' reads naturally on the command line; it is the
+    # compiler's auto-vectorized build.
+    mode = "auto" if args.mode == "vector" else args.mode
+    config = ProfileConfig(timeline=not args.no_timeline,
+                           max_timeline_events=args.max_timeline_events)
+    run = run_kernel(KERNELS[args.name], args.ftype, mode,
+                     mem_latency=args.latency, seed=args.seed,
+                     profile=config)
+    profile = run.profile
+
+    if args.json:
+        print(_json.dumps(profile.to_payload(), indent=2))
+    else:
+        print(render_text(profile, top=args.top))
+    if args.annotate:
+        # Re-assembling run.asm reproduces the program's exact layout,
+        # so the profile's addresses line up with the listing.
+        from .isa import assemble
+
+        print(annotate_disassembly(profile, assemble(run.asm)))
+    if args.trace:
+        with open(args.trace, "w") as handle:
+            _json.dump(to_chrome_trace(profile), handle)
+        print(f"wrote Chrome trace to {args.trace} "
+              "(load in chrome://tracing or ui.perfetto.dev)",
+              file=sys.stderr)
     return 0
 
 
@@ -195,6 +246,15 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from .harness import experiments as E
 
     name = args.name
+    if args.profile_dir:
+        rows = E.profile_sweep(args.profile_dir)
+        written = sum(1 for row in rows if row["file"])
+        print(f"wrote {written}/{len(rows)} profiles to {args.profile_dir}")
+        for row in rows:
+            if not row["file"]:
+                print(f"  skipped {row['benchmark']}/{row['ftype']}/"
+                      f"{row['mode']}: {row['status']} ({row['detail']})")
+        return 0
     if name in ("table2", "all"):
         print("Table II (lanes per format):")
         for flen, row in E.table2_vector_formats().items():
@@ -366,7 +426,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_kernel.add_argument("--seed", type=int, default=0)
     p_kernel.add_argument("--asm", action="store_true",
                           help="print the generated assembly")
+    p_kernel.add_argument("--profile", action="store_true",
+                          help="also collect and print a cycle-"
+                               "attribution profile")
     p_kernel.set_defaults(func=_cmd_kernel)
+
+    p_profile = sub.add_parser(
+        "profile", help="cycle-attribution profile of one kernel run")
+    p_profile.add_argument("name", metavar="KERNEL")
+    p_profile.add_argument("--ftype", default="float16",
+                           choices=["float", "float16", "float16alt",
+                                    "float8"])
+    p_profile.add_argument("--mode", default="auto",
+                           choices=["scalar", "auto", "manual", "vector"],
+                           help="build to profile ('vector' is an alias "
+                                "for the auto-vectorized build)")
+    p_profile.add_argument("--latency", type=int, default=1,
+                           help="data-memory latency in cycles (1/10/100)")
+    p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.add_argument("--top", type=int, default=10,
+                           help="rows per hot-spot table")
+    p_profile.add_argument("--json", action="store_true",
+                           help="emit the schema-versioned JSON payload "
+                                "instead of the text report")
+    p_profile.add_argument("--annotate", action="store_true",
+                           help="print the disassembly with per-"
+                                "instruction cycles in the margin")
+    p_profile.add_argument("--trace", metavar="FILE",
+                           help="write a Chrome trace_event timeline "
+                                "(chrome://tracing, Perfetto)")
+    p_profile.add_argument("--no-timeline", action="store_true",
+                           help="skip timeline capture (smaller, faster)")
+    p_profile.add_argument("--max-timeline-events", type=int,
+                           default=100_000,
+                           help="cap on captured block/stall events")
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_lint = sub.add_parser(
         "lint", help="static-analyze an assembly file or built-in kernel")
@@ -401,6 +495,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("name", nargs="?", default="all",
                        choices=["all", "table2", "table3", "fig1", "fig2",
                                 "fig3", "fig4", "fig5", "fig6"])
+    p_exp.add_argument("--profile-dir", metavar="DIR", default=None,
+                       help="instead of figures, write one cycle-"
+                            "attribution profile JSON per sweep point "
+                            "into DIR")
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_faults = sub.add_parser(

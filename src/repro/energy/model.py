@@ -28,7 +28,7 @@ normalized to the binary32 baseline).  Key ratios preserved:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from ..isa.instructions import InstrSpec, spec_by_mnemonic
 from ..sim.tracer import Trace
@@ -154,7 +154,7 @@ class EnergyReport:
 class EnergyModel:
     """Combines a :class:`Trace` with the energy table."""
 
-    def __init__(self, table: EnergyTable = None,
+    def __init__(self, table: Optional[EnergyTable] = None,
                  background_pj: float = BACKGROUND_PJ_PER_CYCLE):
         self.table = table or EnergyTable()
         self.background_pj = background_pj
@@ -183,7 +183,15 @@ class EnergyModel:
     def _op_energy(self, mnemonic: str) -> float:
         cached = self._cache.get(mnemonic)
         if cached is None:
-            cached = self.table.op_energy(spec_by_mnemonic(mnemonic))
+            if mnemonic.startswith("c."):
+                # Traces record RVC instructions under their canonical
+                # compressed mnemonics; charge the expanded operation.
+                from ..isa.compressed import compressed_base_spec
+
+                spec = compressed_base_spec(mnemonic)
+            else:
+                spec = spec_by_mnemonic(mnemonic)
+            cached = self.table.op_energy(spec)
             self._cache[mnemonic] = cached
         return cached
 

@@ -414,3 +414,53 @@ def fig6_mixed_precision(seed: int = 0) -> List[Dict]:
     add("mixed(manual)",
         cached_run("svm_mixed", "float16", "manual", seed=seed))
     return rows
+
+
+# ----------------------------------------------------------------------
+# Profiled sweeps -- one cycle-attribution payload per sweep point
+# ----------------------------------------------------------------------
+def profile_sweep(
+    out_dir: str,
+    benchmarks: Optional[List[str]] = None,
+    ftypes: Tuple[str, ...] = ("float16", "float8"),
+    modes: Tuple[str, ...] = ("scalar", "auto"),
+    mem_latency: int = 1,
+    seed: int = 0,
+) -> List[Dict]:
+    """Profile a sweep matrix, one JSON payload per point.
+
+    Writes ``<bench>_<ftype>_<mode>.profile.json`` (the schema of
+    ``repro profile --json``; see ``docs/profiling.md``) plus an
+    ``index.json`` of summary rows into ``out_dir``, and returns the
+    rows.  Points that fail keep their ``status``/``detail`` and write
+    no payload -- the sweep itself always completes.
+    """
+    import json
+    import os
+
+    os.makedirs(out_dir, exist_ok=True)
+    benchmarks = benchmarks or list(BENCHMARK_NAMES)
+    rows: List[Dict] = []
+    for bench in benchmarks:
+        for ftype in ftypes:
+            for mode in modes:
+                row = {"benchmark": bench, "ftype": ftype, "mode": mode,
+                       "mem_latency": mem_latency, "cycles": None,
+                       "file": None, "status": "ok", "detail": ""}
+                try:
+                    run = run_kernel(KERNELS[bench], ftype, mode,
+                                     mem_latency=mem_latency, seed=seed,
+                                     profile=True)
+                except KernelExecutionError as exc:
+                    row.update(status=exc.exit_reason, detail=str(exc))
+                    rows.append(row)
+                    continue
+                payload = run.profile.to_payload()
+                name = f"{bench}_{ftype}_{mode}.profile.json"
+                with open(os.path.join(out_dir, name), "w") as handle:
+                    json.dump(payload, handle, indent=2)
+                row.update(cycles=run.cycles, file=name)
+                rows.append(row)
+    with open(os.path.join(out_dir, "index.json"), "w") as handle:
+        json.dump(rows, handle, indent=2)
+    return rows

@@ -8,7 +8,7 @@ get back cycles, instruction mix, energy and quantified output quality.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -23,6 +23,9 @@ from ..kernels import ArgSpec, KernelSpec
 from ..metrics import classification_error, sqnr_db
 from ..sim import Simulator, Trace
 from ..sim.traps import TrapInfo
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..profile import Profile, ProfileConfig
 
 #: Arrays are staged above the assembler's data section.
 ARRAY_BASE = 0x0020_0000
@@ -87,6 +90,10 @@ class KernelRun:
     #: Static-analysis result from compilation (a
     #: :class:`repro.analysis.LintResult`); ``None`` if linting was off.
     lint: Optional[object] = None
+    #: Aggregated cycle-attribution profile (a
+    #: :class:`repro.profile.Profile`); ``None`` unless the run was
+    #: made with ``run_kernel(..., profile=...)``.
+    profile: Optional["Profile"] = None
 
     def lint_findings(self, min_severity: str = "note") -> list:
         """Lint findings at or above ``min_severity``."""
@@ -132,6 +139,7 @@ def run_kernel(
     energy_model: Optional[EnergyModel] = None,
     injector: Optional[Callable] = None,
     trap_ok: bool = False,
+    profile: Union[bool, "ProfileConfig", None] = None,
 ) -> KernelRun:
     """Run one (benchmark, type, vectorization, latency) configuration.
 
@@ -145,6 +153,12 @@ def run_kernel(
     :class:`KernelExecutionError` unless ``trap_ok`` is set, in which
     case the partial outputs are read back and returned as usual with
     ``exit_reason``/``trap`` recording what happened.
+
+    ``profile`` turns on cycle-attribution profiling: pass ``True`` for
+    the defaults or a :class:`repro.profile.ProfileConfig` to tune the
+    timeline capture.  The aggregated :class:`repro.profile.Profile`
+    lands on ``KernelRun.profile``.  When off (the default) the
+    simulator takes its pre-existing fast path, bit-for-bit.
     """
     if mode not in MODES:
         raise HarnessError(f"unknown mode {mode!r} (pick from {MODES})")
@@ -163,6 +177,16 @@ def run_kernel(
         kernel = compile_source(source, vectorize_loops=(mode == "auto"))
 
     sim = Simulator(kernel.program, mem_latency=mem_latency)
+
+    collector = None
+    if profile:
+        from ..profile import ProfileCollector, ProfileConfig
+
+        config = profile if isinstance(profile, ProfileConfig) else None
+        collector = ProfileCollector(
+            kernel.program, config=config,
+            context={"kernel": spec.name, "ftype": ftype, "mode": mode,
+                     "mem_latency": mem_latency, "seed": seed})
 
     # ------------------------------------------------------------------
     # Stage arguments
@@ -197,7 +221,7 @@ def run_kernel(
             raise HarnessError(f"unknown arg kind {arg.kind!r}")
 
     result = sim.run(spec.entry, args=regs, max_instructions=max_instructions,
-                     step_hook=injector)
+                     step_hook=injector, profile=collector)
     if not result.ok and not trap_ok:
         raise KernelExecutionError(
             f"{spec.name} [{ftype}, {mode}] ended with "
@@ -242,6 +266,7 @@ def run_kernel(
         text_range=(kernel.program.text_base,
                     4 * len(kernel.program.words)),
         lint=kernel.lint_result,
+        profile=collector.finish() if collector is not None else None,
     )
 
 

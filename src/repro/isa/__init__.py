@@ -6,7 +6,8 @@ Importing this package registers the complete instruction table
 
 from . import smallfloat  # noqa: F401  (registers the FP instruction table)
 from .assembler import Assembler, AssemblerError, Program, assemble
-from .compressed import IllegalCompressed, expand
+from .compressed import (IllegalCompressed, compressed_base_spec,
+                         expand, expand_with_mnemonic)
 from .disassembler import disassemble, format_instr
 from .instructions import (
     Instr,
@@ -32,6 +33,8 @@ __all__ = [
     "assemble",
     "IllegalCompressed",
     "expand",
+    "expand_with_mnemonic",
+    "compressed_base_spec",
     "disassemble",
     "format_instr",
     "Instr",

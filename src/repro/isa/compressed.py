@@ -9,12 +9,85 @@ instructions.  Includes the RV32FC ``c.flw``/``c.fsw`` forms.
 
 from __future__ import annotations
 
+from dataclasses import replace
+from typing import Dict, Tuple
+
 from .encoding import sign_extend
-from .instructions import encode, spec_by_mnemonic
+from .instructions import InstrSpec, UnknownInstruction, encode, spec_by_mnemonic
 
 
 class IllegalCompressed(Exception):
     """Raised for reserved or illegal 16-bit encodings."""
+
+
+#: Canonical compressed mnemonic -> the base mnemonic it expands to.
+#: Every RVC instruction this module accepts maps to exactly one 32-bit
+#: form, so category/energy lookups on a ``c.*`` mnemonic can always
+#: fall back through the expanded spec.
+C_BASE_MNEMONICS: Dict[str, str] = {
+    "c.addi4spn": "addi",
+    "c.lw": "lw",
+    "c.flw": "flw",
+    "c.sw": "sw",
+    "c.fsw": "fsw",
+    "c.nop": "addi",
+    "c.addi": "addi",
+    "c.jal": "jal",
+    "c.li": "addi",
+    "c.addi16sp": "addi",
+    "c.lui": "lui",
+    "c.srli": "srli",
+    "c.srai": "srai",
+    "c.andi": "andi",
+    "c.sub": "sub",
+    "c.xor": "xor",
+    "c.or": "or",
+    "c.and": "and",
+    "c.j": "jal",
+    "c.beqz": "beq",
+    "c.bnez": "bne",
+    "c.slli": "slli",
+    "c.lwsp": "lw",
+    "c.flwsp": "flw",
+    "c.jr": "jalr",
+    "c.mv": "add",
+    "c.ebreak": "ebreak",
+    "c.jalr": "jalr",
+    "c.add": "add",
+    "c.swsp": "sw",
+    "c.fswsp": "fsw",
+}
+
+_ALIAS_SPECS: Dict[str, InstrSpec] = {}
+
+
+def compressed_base_spec(mnemonic: str) -> InstrSpec:
+    """The expanded 32-bit spec behind a canonical ``c.*`` mnemonic.
+
+    Classifiers (the tracer's category tables, the energy model) use
+    this to fall back through the expansion when they meet a compressed
+    mnemonic.  Raises :class:`UnknownInstruction` for names that are
+    not canonical RVC mnemonics.
+    """
+    base = C_BASE_MNEMONICS.get(mnemonic)
+    if base is None:
+        raise UnknownInstruction(f"unknown compressed mnemonic {mnemonic!r}")
+    return spec_by_mnemonic(base)
+
+
+def compressed_alias_spec(mnemonic: str, base: InstrSpec) -> InstrSpec:
+    """A clone of ``base`` renamed to the compressed mnemonic.
+
+    All semantic metadata (``kind``, ``fp_fmt``, ``cf``, ...) is the
+    expanded instruction's, so every consumer that dispatches on those
+    fields treats the compressed form exactly like its expansion; only
+    the mnemonic -- what traces and disassembly show -- differs.
+    """
+    spec = _ALIAS_SPECS.get(mnemonic)
+    if spec is None:
+        spec = replace(base, mnemonic=mnemonic)
+        _ALIAS_SPECS[mnemonic] = spec
+    return spec
 
 
 def _bit(word: int, pos: int) -> int:
@@ -34,6 +107,18 @@ def expand(parcel: int) -> int:
 
     Raises :class:`IllegalCompressed` on reserved encodings (including
     the all-zero illegal instruction).
+    """
+    return expand_with_mnemonic(parcel)[1]
+
+
+def expand_with_mnemonic(parcel: int) -> Tuple[str, int]:
+    """:func:`expand`, also naming the parcel's canonical ``c.*`` form.
+
+    Returns ``(mnemonic, word)`` -- e.g. ``("c.lw", <expanded lw>)`` --
+    so callers that care about the fetched stream (the simulator's
+    tracer, the profiler's annotated disassembly) can report compressed
+    instructions faithfully instead of silently renaming them to their
+    expansions.
     """
     parcel &= 0xFFFF
     if parcel == 0:
@@ -58,7 +143,7 @@ def _rs1_prime(parcel: int) -> int:
     return _bits(parcel, 9, 7) + 8
 
 
-def _quadrant0(parcel: int, funct3: int) -> int:
+def _quadrant0(parcel: int, funct3: int) -> Tuple[str, int]:
     if funct3 == 0b000:  # c.addi4spn
         imm = (
             (_bits(parcel, 12, 11) << 4)
@@ -68,7 +153,7 @@ def _quadrant0(parcel: int, funct3: int) -> int:
         )
         if imm == 0:
             raise IllegalCompressed("c.addi4spn with zero immediate")
-        return _enc("addi", rd=_rd_prime(parcel), rs1=2, imm=imm)
+        return "c.addi4spn", _enc("addi", rd=_rd_prime(parcel), rs1=2, imm=imm)
     if funct3 in (0b010, 0b011):  # c.lw / c.flw
         imm = (
             (_bits(parcel, 12, 10) << 3)
@@ -76,8 +161,8 @@ def _quadrant0(parcel: int, funct3: int) -> int:
             | (_bit(parcel, 5) << 6)
         )
         mnemonic = "lw" if funct3 == 0b010 else "flw"
-        return _enc(mnemonic, rd=_rd_prime(parcel), rs1=_rs1_prime(parcel),
-                    imm=imm)
+        return f"c.{mnemonic}", _enc(
+            mnemonic, rd=_rd_prime(parcel), rs1=_rs1_prime(parcel), imm=imm)
     if funct3 in (0b110, 0b111):  # c.sw / c.fsw
         imm = (
             (_bits(parcel, 12, 10) << 3)
@@ -85,8 +170,8 @@ def _quadrant0(parcel: int, funct3: int) -> int:
             | (_bit(parcel, 5) << 6)
         )
         mnemonic = "sw" if funct3 == 0b110 else "fsw"
-        return _enc(mnemonic, rs1=_rs1_prime(parcel), rs2=_rd_prime(parcel),
-                    imm=imm)
+        return f"c.{mnemonic}", _enc(
+            mnemonic, rs1=_rs1_prime(parcel), rs2=_rd_prime(parcel), imm=imm)
     raise IllegalCompressed(f"reserved quadrant-0 encoding {parcel:#06x}")
 
 
@@ -119,14 +204,15 @@ def _cb_imm(parcel: int) -> int:
     return sign_extend(value, 9)
 
 
-def _quadrant1(parcel: int, funct3: int) -> int:
+def _quadrant1(parcel: int, funct3: int) -> Tuple[str, int]:
     rd = _bits(parcel, 11, 7)
     if funct3 == 0b000:  # c.nop / c.addi
-        return _enc("addi", rd=rd, rs1=rd, imm=_imm6(parcel))
+        name = "c.nop" if rd == 0 else "c.addi"
+        return name, _enc("addi", rd=rd, rs1=rd, imm=_imm6(parcel))
     if funct3 == 0b001:  # c.jal (RV32)
-        return _enc("jal", rd=1, imm=_cj_imm(parcel))
+        return "c.jal", _enc("jal", rd=1, imm=_cj_imm(parcel))
     if funct3 == 0b010:  # c.li
-        return _enc("addi", rd=rd, rs1=0, imm=_imm6(parcel))
+        return "c.li", _enc("addi", rd=rd, rs1=0, imm=_imm6(parcel))
     if funct3 == 0b011:
         if rd == 2:  # c.addi16sp
             imm = sign_extend(
@@ -139,40 +225,44 @@ def _quadrant1(parcel: int, funct3: int) -> int:
             )
             if imm == 0:
                 raise IllegalCompressed("c.addi16sp with zero immediate")
-            return _enc("addi", rd=2, rs1=2, imm=imm)
+            return "c.addi16sp", _enc("addi", rd=2, rs1=2, imm=imm)
         imm = _imm6(parcel)
         if imm == 0:
             raise IllegalCompressed("c.lui with zero immediate")
-        return _enc("lui", rd=rd, imm=imm & 0xFFFFF)
+        return "c.lui", _enc("lui", rd=rd, imm=imm & 0xFFFFF)
     if funct3 == 0b100:
         sub = _bits(parcel, 11, 10)
         rdp = _rs1_prime(parcel)
         if sub == 0b00:  # c.srli
-            return _enc("srli", rd=rdp, rs1=rdp, imm=_bits(parcel, 6, 2))
+            return "c.srli", _enc("srli", rd=rdp, rs1=rdp,
+                                  imm=_bits(parcel, 6, 2))
         if sub == 0b01:  # c.srai
-            return _enc("srai", rd=rdp, rs1=rdp, imm=_bits(parcel, 6, 2))
+            return "c.srai", _enc("srai", rd=rdp, rs1=rdp,
+                                  imm=_bits(parcel, 6, 2))
         if sub == 0b10:  # c.andi
-            return _enc("andi", rd=rdp, rs1=rdp, imm=_imm6(parcel))
+            return "c.andi", _enc("andi", rd=rdp, rs1=rdp, imm=_imm6(parcel))
         rs2p = _rd_prime(parcel)
         op = _bits(parcel, 6, 5)
         if _bit(parcel, 12):
             raise IllegalCompressed("reserved quadrant-1 ALU encoding")
         mnemonic = ["sub", "xor", "or", "and"][op]
-        return _enc(mnemonic, rd=rdp, rs1=rdp, rs2=rs2p)
+        return f"c.{mnemonic}", _enc(mnemonic, rd=rdp, rs1=rdp, rs2=rs2p)
     if funct3 == 0b101:  # c.j
-        return _enc("jal", rd=0, imm=_cj_imm(parcel))
+        return "c.j", _enc("jal", rd=0, imm=_cj_imm(parcel))
     if funct3 == 0b110:  # c.beqz
-        return _enc("beq", rs1=_rs1_prime(parcel), rs2=0, imm=_cb_imm(parcel))
+        return "c.beqz", _enc("beq", rs1=_rs1_prime(parcel), rs2=0,
+                              imm=_cb_imm(parcel))
     if funct3 == 0b111:  # c.bnez
-        return _enc("bne", rs1=_rs1_prime(parcel), rs2=0, imm=_cb_imm(parcel))
+        return "c.bnez", _enc("bne", rs1=_rs1_prime(parcel), rs2=0,
+                              imm=_cb_imm(parcel))
     raise IllegalCompressed(f"reserved quadrant-1 encoding {parcel:#06x}")
 
 
-def _quadrant2(parcel: int, funct3: int) -> int:
+def _quadrant2(parcel: int, funct3: int) -> Tuple[str, int]:
     rd = _bits(parcel, 11, 7)
     rs2 = _bits(parcel, 6, 2)
     if funct3 == 0b000:  # c.slli
-        return _enc("slli", rd=rd, rs1=rd, imm=_bits(parcel, 6, 2))
+        return "c.slli", _enc("slli", rd=rd, rs1=rd, imm=_bits(parcel, 6, 2))
     if funct3 in (0b010, 0b011):  # c.lwsp / c.flwsp
         if funct3 == 0b010 and rd == 0:
             raise IllegalCompressed("c.lwsp with rd=x0")
@@ -181,22 +271,24 @@ def _quadrant2(parcel: int, funct3: int) -> int:
             | (_bits(parcel, 6, 4) << 2)
             | (_bits(parcel, 3, 2) << 6)
         )
-        mnemonic = "lw" if funct3 == 0b010 else "flw"
-        return _enc(mnemonic, rd=rd, rs1=2, imm=imm)
+        if funct3 == 0b010:
+            return "c.lwsp", _enc("lw", rd=rd, rs1=2, imm=imm)
+        return "c.flwsp", _enc("flw", rd=rd, rs1=2, imm=imm)
     if funct3 == 0b100:
         if not _bit(parcel, 12):
             if rs2 == 0:  # c.jr
                 if rd == 0:
                     raise IllegalCompressed("c.jr with rs1=x0")
-                return _enc("jalr", rd=0, rs1=rd, imm=0)
-            return _enc("add", rd=rd, rs1=0, rs2=rs2)  # c.mv
+                return "c.jr", _enc("jalr", rd=0, rs1=rd, imm=0)
+            return "c.mv", _enc("add", rd=rd, rs1=0, rs2=rs2)
         if rd == 0 and rs2 == 0:  # c.ebreak
-            return _enc("ebreak")
+            return "c.ebreak", _enc("ebreak")
         if rs2 == 0:  # c.jalr
-            return _enc("jalr", rd=1, rs1=rd, imm=0)
-        return _enc("add", rd=rd, rs1=rd, rs2=rs2)  # c.add
+            return "c.jalr", _enc("jalr", rd=1, rs1=rd, imm=0)
+        return "c.add", _enc("add", rd=rd, rs1=rd, rs2=rs2)
     if funct3 in (0b110, 0b111):  # c.swsp / c.fswsp
         imm = (_bits(parcel, 12, 9) << 2) | (_bits(parcel, 8, 7) << 6)
-        mnemonic = "sw" if funct3 == 0b110 else "fsw"
-        return _enc(mnemonic, rs1=2, rs2=rs2, imm=imm)
+        if funct3 == 0b110:
+            return "c.swsp", _enc("sw", rs1=2, rs2=rs2, imm=imm)
+        return "c.fswsp", _enc("fsw", rs1=2, rs2=rs2, imm=imm)
     raise IllegalCompressed(f"reserved quadrant-2 encoding {parcel:#06x}")

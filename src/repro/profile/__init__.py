@@ -1,0 +1,64 @@
+"""Cycle-attribution profiling and trace-export observability.
+
+The paper's figures are *aggregate* numbers -- total cycles, total
+instruction mixes.  This subsystem answers the question underneath
+them: **where do the cycles go?**  It has three layers:
+
+* :mod:`repro.profile.collector` -- a sampling-free, per-PC collector
+  hooked into the simulator's execute loop.  Each retired instruction
+  reports its :class:`~repro.sim.timing.CycleBreakdown` (base cycle
+  plus a stall attributed to memory latency, control flow, integer
+  divide or FP divide/sqrt), so every cycle of a run lands on exactly
+  one program counter and one stall cause.  The hook is guarded:
+  unprofiled runs take the pre-existing fast path untouched.
+* :mod:`repro.profile.aggregate` -- maps the per-PC counters onto the
+  :mod:`repro.analysis` CFG (basic blocks, merged natural loops, call
+  entries) to build block-, loop- and function-level hot-spot tables,
+  per-block FP-format operation counts and a roofline-style
+  flops-per-byte summary per float format.
+* :mod:`repro.profile.export` -- renderers over the aggregate: a text
+  hot-spot report, a schema-versioned JSON payload, annotated
+  disassembly (cycles in the margin), and a Chrome ``trace_event``
+  timeline loadable in ``chrome://tracing`` / Perfetto.
+
+Entry points: ``run_kernel(..., profile=True)`` on the harness, the
+``repro profile`` CLI subcommand, and ``repro experiments
+--profile-dir`` to emit one profile per sweep point.
+"""
+
+from .aggregate import (
+    BlockStat,
+    FunctionStat,
+    LoopStat,
+    Profile,
+    RooflineStat,
+    build_profile,
+)
+from .baseline import compute_profile_baseline
+from .collector import ProfileCollector, ProfileConfig
+from .export import (
+    PROFILE_SCHEMA_VERSION,
+    ProfilePayloadError,
+    annotate_disassembly,
+    render_text,
+    to_chrome_trace,
+    validate_payload,
+)
+
+__all__ = [
+    "BlockStat",
+    "FunctionStat",
+    "LoopStat",
+    "Profile",
+    "RooflineStat",
+    "build_profile",
+    "compute_profile_baseline",
+    "ProfileCollector",
+    "ProfileConfig",
+    "PROFILE_SCHEMA_VERSION",
+    "ProfilePayloadError",
+    "annotate_disassembly",
+    "render_text",
+    "to_chrome_trace",
+    "validate_payload",
+]

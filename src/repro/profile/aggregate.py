@@ -1,0 +1,366 @@
+"""From per-PC counters to hot-spot structure.
+
+``build_profile`` folds a finished
+:class:`~repro.profile.collector.ProfileCollector` onto the program's
+CFG: every executed PC lands in a basic block, every block in at most
+one innermost natural loop and one function, and the cycle totals roll
+up without double counting -- the invariant tests pin down that block,
+loop-self, function and stall-cause totals each sum exactly to the
+run's ``cycles``/``instret``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..sim.memory import LATENCY_LEVELS
+from ..sim.timing import STALL_CAUSES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .collector import ProfileCollector
+
+#: Instruction categories counted as FP work in per-block breakdowns.
+FP_CATEGORIES = ("fp32", "fp16", "fp16alt", "fp8",
+                 "vfp16", "vfp16alt", "vfp8", "conv", "expand")
+
+
+def _empty_stalls() -> Dict[str, int]:
+    return {cause: 0 for cause in STALL_CAUSES}
+
+
+@dataclass
+class BlockStat:
+    """Execution totals of one basic block."""
+
+    start: int
+    end: int
+    labels: List[str]
+    function: Optional[str]
+    loop_header: Optional[int]  #: innermost containing loop, if any
+    loop_depth: int
+    instret: int = 0
+    cycles: int = 0
+    visits: int = 0
+    stalls: Dict[str, int] = field(default_factory=_empty_stalls)
+    #: Executed FP operation counts per category (fp16, vfp8, conv...).
+    fp_ops: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        if self.labels:
+            return self.labels[0]
+        return f"block@{self.start:#x}"
+
+
+@dataclass
+class LoopStat:
+    """One merged natural loop's cycle attribution.
+
+    ``self_*`` counts only blocks whose *innermost* loop is this one
+    (so sibling/nested loops never share a cycle); ``total_*`` counts
+    the whole body including nested loops.
+    """
+
+    header: int
+    depth: int
+    function: Optional[str]
+    blocks: int
+    iterations: int
+    self_cycles: int = 0
+    self_instret: int = 0
+    total_cycles: int = 0
+    total_instret: int = 0
+    stalls: Dict[str, int] = field(default_factory=_empty_stalls)
+
+    @property
+    def name(self) -> str:
+        return f"loop@{self.header:#x}"
+
+
+@dataclass
+class FunctionStat:
+    """Per-function rollup (self cycles of its blocks; no call tree)."""
+
+    name: str
+    entry: Optional[int]
+    instret: int = 0
+    cycles: int = 0
+    stalls: Dict[str, int] = field(default_factory=_empty_stalls)
+
+
+@dataclass
+class RooflineStat:
+    """Operational-intensity summary per FP format.
+
+    ``flops`` follows the standard convention (FMA-shaped ops count 2
+    per element, SIMD ops count per lane, compares/moves/conversions
+    count 0); ``bytes`` is all data-memory traffic of the run, so
+    ``flops / bytes`` is each format's achieved operational intensity
+    against the *shared* memory stream.
+    """
+
+    flops_by_format: Dict[str, int] = field(default_factory=dict)
+    bytes_total: int = 0
+
+    @property
+    def flops_total(self) -> int:
+        return sum(self.flops_by_format.values())
+
+    def intensity(self, fmt: Optional[str] = None) -> float:
+        """Flops per byte (one format, or all formats together)."""
+        if not self.bytes_total:
+            return 0.0
+        flops = (self.flops_by_format.get(fmt, 0) if fmt
+                 else self.flops_total)
+        return flops / self.bytes_total
+
+
+@dataclass
+class Profile:
+    """The aggregated result of one profiled run."""
+
+    cycles: int
+    instret: int
+    stall_totals: Dict[str, int]
+    mem_latency: int
+    mem_level: str
+    flen: int
+    exit_reason: Optional[str]
+    context: Dict[str, object]
+    blocks: List[BlockStat]
+    loops: List[LoopStat]
+    functions: List[FunctionStat]
+    roofline: RooflineStat
+    #: Cycles/instret at PCs outside every CFG block (hand-placed
+    #: parcels, raw streams); zero for compiled kernels.
+    unmapped_cycles: int = 0
+    unmapped_instret: int = 0
+    #: Raw per-PC data for annotated disassembly:
+    #: pc -> (mnemonic, instret, cycles, stalls dict).
+    pc_table: Dict[int, tuple] = field(default_factory=dict)
+    block_events: List[tuple] = field(default_factory=list)
+    stall_events: List[tuple] = field(default_factory=list)
+    timeline_truncated: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def base_cycles(self) -> int:
+        """One issue cycle per retired instruction."""
+        return self.instret
+
+    @property
+    def stall_cycles(self) -> int:
+        return sum(self.stall_totals.values())
+
+    def hot_blocks(self, n: int = 10) -> List[BlockStat]:
+        return sorted(self.blocks, key=lambda b: -b.cycles)[:n]
+
+    def hot_loops(self, n: int = 10) -> List[LoopStat]:
+        return sorted(self.loops, key=lambda l: -l.total_cycles)[:n]
+
+    def hot_functions(self, n: int = 10) -> List[FunctionStat]:
+        return sorted(self.functions, key=lambda f: -f.cycles)[:n]
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        """The schema-versioned JSON form (see ``docs/profiling.md``)."""
+        from .export import PROFILE_SCHEMA_VERSION
+
+        return {
+            "schema": {"name": "repro.profile",
+                       "version": PROFILE_SCHEMA_VERSION},
+            "context": dict(self.context),
+            "totals": {
+                "cycles": self.cycles,
+                "instret": self.instret,
+                "base_cycles": self.base_cycles,
+                "stalls": dict(self.stall_totals),
+                "unmapped_cycles": self.unmapped_cycles,
+                "unmapped_instret": self.unmapped_instret,
+            },
+            "machine": {
+                "flen": self.flen,
+                "mem_latency": self.mem_latency,
+                "mem_level": self.mem_level,
+            },
+            "exit_reason": self.exit_reason,
+            "blocks": [
+                {
+                    "start": b.start,
+                    "end": b.end,
+                    "name": b.name,
+                    "labels": list(b.labels),
+                    "function": b.function,
+                    "loop_header": b.loop_header,
+                    "loop_depth": b.loop_depth,
+                    "instret": b.instret,
+                    "cycles": b.cycles,
+                    "visits": b.visits,
+                    "stalls": dict(b.stalls),
+                    "fp_ops": dict(b.fp_ops),
+                }
+                for b in sorted(self.blocks, key=lambda b: b.start)
+            ],
+            "loops": [
+                {
+                    "header": l.header,
+                    "name": l.name,
+                    "depth": l.depth,
+                    "function": l.function,
+                    "blocks": l.blocks,
+                    "iterations": l.iterations,
+                    "self_cycles": l.self_cycles,
+                    "self_instret": l.self_instret,
+                    "total_cycles": l.total_cycles,
+                    "total_instret": l.total_instret,
+                    "stalls": dict(l.stalls),
+                }
+                for l in sorted(self.loops, key=lambda l: l.header)
+            ],
+            "functions": [
+                {
+                    "name": f.name,
+                    "entry": f.entry,
+                    "instret": f.instret,
+                    "cycles": f.cycles,
+                    "stalls": dict(f.stalls),
+                }
+                for f in sorted(self.functions,
+                                key=lambda f: (f.entry is None, f.entry))
+            ],
+            "roofline": {
+                "flops_by_format": dict(self.roofline.flops_by_format),
+                "flops_total": self.roofline.flops_total,
+                "bytes_total": self.roofline.bytes_total,
+                "intensity_by_format": {
+                    fmt: self.roofline.intensity(fmt)
+                    for fmt in sorted(self.roofline.flops_by_format)
+                },
+                "intensity_total": self.roofline.intensity(),
+            },
+            "timeline": {
+                "block_events": len(self.block_events),
+                "stall_events": len(self.stall_events),
+                "truncated": self.timeline_truncated,
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+def build_profile(collector: "ProfileCollector") -> Profile:
+    """Aggregate a finished collector onto its CFG."""
+    stall_totals = _empty_stalls()
+    for stat in collector.pc_stats.values():
+        for index, cause in enumerate(STALL_CAUSES):
+            stall_totals[cause] += stat[2 + index]
+
+    level = next((name for name, lat in LATENCY_LEVELS.items()
+                  if lat == collector.mem_latency),
+                 f"custom({collector.mem_latency})")
+
+    blocks: Dict[int, BlockStat] = {}
+    unmapped_cycles = 0
+    unmapped_instret = 0
+    innermost: Dict[int, Optional[int]] = {}
+    depth: Dict[int, int] = {}
+    cfg = collector.cfg
+    if cfg is not None:
+        innermost, depth = cfg.loop_attribution()
+
+    pc_table: Dict[int, tuple] = {}
+    roofline = RooflineStat()
+    for pc, stat in collector.pc_stats.items():
+        mnemonic, category, fmt, flops, mem_bytes = collector.static_info[pc]
+        stalls = {cause: stat[2 + i] for i, cause in enumerate(STALL_CAUSES)}
+        pc_table[pc] = (mnemonic, stat[0], stat[1], stalls)
+        if fmt is not None and flops:
+            roofline.flops_by_format[fmt] = (
+                roofline.flops_by_format.get(fmt, 0) + flops * stat[0])
+        roofline.bytes_total += mem_bytes * stat[0]
+
+        start = collector._pc_to_block.get(pc)
+        if start is None or cfg is None:
+            unmapped_cycles += stat[1]
+            unmapped_instret += stat[0]
+            continue
+        block = blocks.get(start)
+        if block is None:
+            cfg_block = cfg.blocks[start]
+            block = BlockStat(
+                start=start,
+                end=cfg_block.end,
+                labels=list(cfg_block.labels),
+                function=cfg.function_of(start),
+                loop_header=innermost.get(start),
+                loop_depth=depth.get(start, 0),
+                visits=collector.block_visits.get(start, 0),
+            )
+            blocks[start] = block
+        block.instret += stat[0]
+        block.cycles += stat[1]
+        for cause, value in stalls.items():
+            block.stalls[cause] += value
+        if category in FP_CATEGORIES:
+            block.fp_ops[category] = block.fp_ops.get(category, 0) + stat[0]
+
+    # Loop rollup over the merged natural loops that actually ran.
+    loops: List[LoopStat] = []
+    if cfg is not None:
+        for loop in cfg.merged_loops():
+            body_stats = [blocks[s] for s in loop.body if s in blocks]
+            if not body_stats:
+                continue
+            row = LoopStat(
+                header=loop.header,
+                depth=depth.get(loop.header, 1),
+                function=cfg.function_of(loop.header),
+                blocks=len(loop.body),
+                iterations=collector.block_visits.get(loop.header, 0),
+            )
+            for b in body_stats:
+                row.total_cycles += b.cycles
+                row.total_instret += b.instret
+                if b.loop_header == loop.header:
+                    row.self_cycles += b.cycles
+                    row.self_instret += b.instret
+                    for cause, value in b.stalls.items():
+                        row.stalls[cause] += value
+            loops.append(row)
+
+    # Function rollup (self cycles of each function's blocks).
+    functions: Dict[str, FunctionStat] = {}
+    for block in blocks.values():
+        name = block.function or "?"
+        row = functions.get(name)
+        if row is None:
+            entry = None
+            if cfg is not None and block.function is not None:
+                entry = cfg.program.symbols.get(block.function)
+            row = FunctionStat(name=name, entry=entry)
+            functions[name] = row
+        row.instret += block.instret
+        row.cycles += block.cycles
+        for cause, value in block.stalls.items():
+            row.stalls[cause] += value
+
+    return Profile(
+        cycles=collector.total_cycles,
+        instret=collector.total_instret,
+        stall_totals=stall_totals,
+        mem_latency=collector.mem_latency,
+        mem_level=level,
+        flen=collector.flen,
+        exit_reason=collector.exit_reason,
+        context=dict(collector.context),
+        blocks=list(blocks.values()),
+        loops=loops,
+        functions=list(functions.values()),
+        roofline=roofline,
+        unmapped_cycles=unmapped_cycles,
+        unmapped_instret=unmapped_instret,
+        pc_table=pc_table,
+        block_events=list(collector.block_events),
+        stall_events=list(collector.stall_events),
+        timeline_truncated=collector.timeline_truncated,
+    )

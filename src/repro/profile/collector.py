@@ -1,0 +1,203 @@
+"""The in-loop side of the profiler: per-PC accumulation.
+
+The collector is deliberately dumb and fast: one dict lookup and a few
+integer adds per retired instruction, no object churn.  Everything
+shaped (blocks, loops, functions, rooflines) happens once, after the
+run, in :mod:`repro.profile.aggregate`.
+
+Static per-PC facts (category, FP format, flops, access width) are
+derived lazily the first time a PC retires and memoized, so decode and
+classification never run twice for the same address -- and so the
+collector stays correct for compressed streams, where the CFG's 4-byte
+decode cannot see the parcels: whatever instruction the simulator
+actually retired is what gets classified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..sim.timing import STALL_CAUSES
+from ..sim.tracer import classify
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..isa.assembler import Program
+    from ..isa.instructions import Instr
+    from ..sim.simulator import Simulator
+    from ..sim.timing import CycleBreakdown
+    from .aggregate import Profile
+
+#: Per-PC counter layout: [instret, cycles, mem, control, div, fp].
+_CAUSE_SLOT = {cause: 2 + index for index, cause in enumerate(STALL_CAUSES)}
+
+#: Data bytes moved per access, by memory-instruction kind.
+_MEM_BYTES = {"lb": 1, "lbu": 1, "sb": 1, "lh": 2, "lhu": 2, "sh": 2,
+              "lw": 4, "sw": 4, "flw": 4, "fsw": 4}
+
+#: FP format suffix -> storage width in bits.
+_FMT_WIDTH = {"s": 32, "h": 16, "ah": 16, "b": 8}
+
+#: FP format suffix -> the format name used in reports.
+FMT_NAMES = {"s": "binary32", "h": "binary16", "ah": "binary16alt",
+             "b": "binary8"}
+
+_ARITH_KINDS = {"fadd", "fsub", "fmul", "fdiv", "fsqrt", "fmulex"}
+_FMA_KINDS = {"fmadd", "fmsub", "fnmsub", "fnmadd", "fmacex"}
+_VEC_ARITH_KINDS = {"vfadd", "vfsub", "vfmul", "vfdiv", "vfsqrt"}
+
+
+def _flops_of(instr: "Instr", flen: int) -> Tuple[Optional[str], int]:
+    """(format name, flops per retire) of one instruction.
+
+    FMA-shaped operations count two flops per element; comparisons,
+    min/max, sign injection, conversions and moves count zero (the
+    standard roofline convention).  Vector operations multiply by the
+    lane count at the machine's FLEN; expanding operations attribute
+    their flops to the *source* format, which is the one doing the
+    SIMD work.
+    """
+    spec = instr.spec
+    kind = spec.kind
+    fmt = spec.src_fmt or spec.fp_fmt
+    if fmt is None:
+        return None, 0
+    name = FMT_NAMES.get(fmt)
+    if kind in _ARITH_KINDS:
+        return name, 1
+    if kind in _FMA_KINDS:
+        return name, 2
+    lanes = max(1, flen // _FMT_WIDTH.get(fmt, flen))
+    if kind in _VEC_ARITH_KINDS:
+        return name, lanes
+    if kind == "vfmac":
+        return name, 2 * lanes
+    if kind == "vfdotpex":
+        return name, 2 * lanes
+    return name, 0
+
+
+@dataclass
+class ProfileConfig:
+    """Knobs of one profiling run.
+
+    ``timeline`` drives the Chrome-trace export: when on, the collector
+    records one event per basic-block visit and one per memory stall,
+    up to ``max_timeline_events`` of each (long runs truncate rather
+    than exhaust memory; ``Profile.timeline_truncated`` says so).
+    """
+
+    timeline: bool = True
+    max_timeline_events: int = 100_000
+
+
+class ProfileCollector:
+    """Accumulates per-PC cycle attribution during one simulator run.
+
+    Construct with the :class:`~repro.isa.assembler.Program` about to
+    run (or ``None`` for raw instruction streams -- attribution then
+    stays flat per-PC), hand it to :meth:`Simulator.run(profile=...)
+    <repro.sim.Simulator.run>`, then call :meth:`finish` for the
+    aggregated :class:`~repro.profile.aggregate.Profile`.
+    """
+
+    def __init__(self, program: Optional["Program"] = None,
+                 config: Optional[ProfileConfig] = None,
+                 context: Optional[Dict[str, object]] = None):
+        self.config = config or ProfileConfig()
+        self.program = program
+        #: Free-form labels (kernel, ftype, mode...) carried into the
+        #: aggregated profile and its exports.
+        self.context: Dict[str, object] = dict(context or {})
+        self.pc_stats: Dict[int, List[int]] = {}
+        #: pc -> (mnemonic, category, fmt name, flops/retire, bytes/access)
+        self.static_info: Dict[int, Tuple[str, str, Optional[str], int, int]] = {}
+        self.total_cycles = 0
+        self.total_instret = 0
+        self.exit_reason: Optional[str] = None
+        # Filled by begin() from the simulator.
+        self.flen = 32
+        self.mem_latency = 1
+        # Block tracking for the timeline and loop-iteration counts.
+        self._pc_to_block: Dict[int, int] = {}
+        if program is not None:
+            from ..analysis.cfg import build_cfg
+
+            self.cfg = build_cfg(program)
+            self._pc_to_block = self.cfg.pc_block_map()
+        else:
+            self.cfg = None
+        self.block_visits: Dict[int, int] = {}
+        self.block_events: List[Tuple[int, int, int]] = []  # (block, t0, t1)
+        self.stall_events: List[Tuple[int, int, int]] = []  # (pc, t0, dur)
+        self.timeline_truncated = False
+        self._current_block: Optional[int] = None
+        self._block_t0 = 0
+
+    # ------------------------------------------------------------------
+    # Simulator-facing hooks
+    # ------------------------------------------------------------------
+    def begin(self, sim: "Simulator") -> None:
+        """Called by :meth:`Simulator.run` before the first fetch."""
+        self.flen = sim.machine.flen
+        self.mem_latency = sim.machine.memory.latency
+
+    def on_retire(self, pc: int, instr: "Instr",
+                  split: "CycleBreakdown") -> None:
+        """Account one retired instruction (the per-step hot path)."""
+        stat = self.pc_stats.get(pc)
+        if stat is None:
+            stat = [0, 0, 0, 0, 0, 0]
+            self.pc_stats[pc] = stat
+            fmt, flops = _flops_of(instr, self.flen)
+            self.static_info[pc] = (
+                instr.mnemonic,
+                classify(instr),
+                fmt,
+                flops,
+                _MEM_BYTES.get(instr.kind, 0),
+            )
+        stat[0] += 1
+        stat[1] += split.total
+        if split.stall:
+            stat[_CAUSE_SLOT[split.cause]] += split.stall
+        now = self.total_cycles
+        self.total_cycles = now + split.total
+        self.total_instret += 1
+
+        block = self._pc_to_block.get(pc)
+        if block is not None and block != self._current_block:
+            self._enter_block(block, now)
+        if (split.cause == "mem" and self.config.timeline
+                and len(self.stall_events) < self.config.max_timeline_events):
+            self.stall_events.append((pc, now + split.base, split.stall))
+
+    def end(self, exit_reason: str) -> None:
+        """Called by :meth:`Simulator.run` when the run stops."""
+        self.exit_reason = exit_reason
+        if self._current_block is not None:
+            self._close_block(self.total_cycles)
+
+    # ------------------------------------------------------------------
+    def _enter_block(self, block: int, now: int) -> None:
+        if self._current_block is not None:
+            self._close_block(now)
+        self._current_block = block
+        self._block_t0 = now
+        self.block_visits[block] = self.block_visits.get(block, 0) + 1
+
+    def _close_block(self, now: int) -> None:
+        if (self.config.timeline
+                and len(self.block_events) < self.config.max_timeline_events):
+            self.block_events.append((self._current_block, self._block_t0,
+                                      now))
+        elif self.config.timeline:
+            self.timeline_truncated = True
+        self._current_block = None
+
+    # ------------------------------------------------------------------
+    def finish(self) -> "Profile":
+        """Aggregate what was collected into a :class:`Profile`."""
+        from .aggregate import build_profile
+
+        return build_profile(self)

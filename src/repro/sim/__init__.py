@@ -12,7 +12,7 @@ from .simulator import (
     SimulationError,
     Simulator,
 )
-from .timing import TimingConfig, TimingModel
+from .timing import STALL_CAUSES, CycleBreakdown, TimingConfig, TimingModel
 from .tracer import CATEGORIES, Trace, classify
 from .traps import (
     CAUSE_ILLEGAL_INSTRUCTION,
@@ -41,6 +41,8 @@ __all__ = [
     "RunResult",
     "SimulationError",
     "Simulator",
+    "STALL_CAUSES",
+    "CycleBreakdown",
     "TimingConfig",
     "TimingModel",
     "CATEGORIES",

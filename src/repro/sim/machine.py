@@ -9,7 +9,7 @@ registers).  That merged configuration is the default here; a separate
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from .csr import CsrFile
 from .memory import Memory
@@ -22,7 +22,7 @@ class Machine:
 
     def __init__(
         self,
-        memory: Memory = None,
+        memory: Optional[Memory] = None,
         merged_regfile: bool = True,
         flen: int = 32,
     ):
@@ -51,7 +51,7 @@ class Machine:
     # ------------------------------------------------------------------
     # FP register file (routed to the integer file when merged)
     # ------------------------------------------------------------------
-    def read_f(self, reg: int, width: int = None) -> int:
+    def read_f(self, reg: int, width: Optional[int] = None) -> int:
         """Read an FP register, truncated to ``width`` bits if given.
 
         Sub-register reads take the low-order lanes, matching both the
@@ -63,7 +63,8 @@ class Machine:
             value &= (1 << width) - 1
         return value
 
-    def write_f(self, reg: int, value: int, width: int = None) -> None:
+    def write_f(self, reg: int, value: int,
+                width: Optional[int] = None) -> None:
         """Write an FP register (narrow scalars are zero-extended)."""
         if width is not None and width < self.flen:
             value &= (1 << width) - 1

@@ -18,11 +18,18 @@ exception, so sweep drivers can record the outcome and move on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - the sim layer never imports it
+    from ..profile.collector import ProfileCollector as ProfileSink
 
 from .. import ReproError
 from ..isa.assembler import Program
-from ..isa.compressed import IllegalCompressed, expand
+from ..isa.compressed import (
+    IllegalCompressed,
+    compressed_alias_spec,
+    expand_with_mnemonic,
+)
 from ..isa.disassembler import disassemble, format_instr
 from ..isa.encoding import is_compressed
 from ..isa.instructions import Instr, UnknownInstruction, decode
@@ -30,7 +37,7 @@ from .csr import IllegalCsr
 from .executor import EbreakTrap, EcallTrap, execute
 from .machine import MASK32, Machine
 from .memory import Memory, MemoryAccessError
-from .timing import TimingConfig, TimingModel
+from .timing import CycleBreakdown, TimingConfig, TimingModel
 from .tracer import Trace
 from .traps import (
     CAUSE_ILLEGAL_INSTRUCTION,
@@ -88,11 +95,11 @@ class Simulator:
 
     def __init__(
         self,
-        program: Program = None,
+        program: Optional[Program] = None,
         mem_latency: Optional[int] = None,
         merged_regfile: bool = True,
         flen: int = 32,
-        timing: TimingConfig = None,
+        timing: Optional[TimingConfig] = None,
     ):
         # Copy the caller's TimingConfig: the simulator owns its timing
         # state and must not mutate (or alias) an object it was handed.
@@ -156,7 +163,14 @@ class Simulator:
             return cached
         parcel = self.machine.memory.read_u16(pc)
         if is_compressed(parcel):
-            instr = decode(expand(parcel))
+            # Expand in the decoder (as RISCY does), but keep the
+            # canonical ``c.*`` mnemonic on the decoded instruction so
+            # traces stay faithful to the fetched stream; the spec's
+            # ``kind``/format metadata is the expanded instruction's,
+            # so classification falls through to it unchanged.
+            name, word = expand_with_mnemonic(parcel)
+            instr = decode(word)
+            instr.spec = compressed_alias_spec(name, instr.spec)
             size = 2
         else:
             instr = decode(self.machine.memory.read_u32(pc))
@@ -188,10 +202,11 @@ class Simulator:
     def run(
         self,
         entry: Union[str, int] = 0,
-        args: Dict[int, int] = None,
+        args: Optional[Dict[int, int]] = None,
         max_instructions: int = 50_000_000,
-        trace: Trace = None,
+        trace: Optional[Trace] = None,
         step_hook: Optional[StepHook] = None,
+        profile: Optional["ProfileSink"] = None,
     ) -> RunResult:
         """Run from ``entry`` until the sentinel return address.
 
@@ -203,6 +218,14 @@ class Simulator:
         ``step_hook(sim, executed)`` is invoked before every fetch --
         the fault-injection subsystem uses it to flip architectural bits
         at a scheduled instruction index.
+
+        ``profile`` is an optional cycle-attribution sink (a
+        :class:`repro.profile.ProfileCollector`): when given, each
+        retired instruction is reported with its stall cause from
+        :meth:`TimingModel.breakdown` instead of an opaque total.  The
+        hook is guarded -- when ``profile`` is ``None`` the loop takes
+        the exact pre-existing path, so profiling adds zero overhead
+        (and zero cycle-count drift) to unprofiled runs.
 
         The returned :class:`RunResult` always reflects how the run
         ended; guest faults surface as ``exit_reason='trap'`` with a
@@ -220,6 +243,8 @@ class Simulator:
         stats = trace if trace is not None else Trace()
         machine.csr.cycle_source = lambda: stats.cycles
         machine.csr.instret_source = lambda: stats.instret
+        if profile is not None:
+            profile.begin(self)
 
         exit_reason = "halt"
         detail = ""
@@ -256,10 +281,14 @@ class Simulator:
             try:
                 next_pc = execute(machine, instr)
             except EcallTrap:
+                if profile is not None:
+                    profile.on_retire(pc_before, instr, CycleBreakdown(1))
                 stats.record(instr, 1, pc=pc_before)
                 exit_reason = "ecall"
                 break
             except EbreakTrap:
+                if profile is not None:
+                    profile.on_retire(pc_before, instr, CycleBreakdown(1))
                 stats.record(instr, 1, pc=pc_before)
                 exit_reason = "ebreak"
                 break
@@ -292,10 +321,17 @@ class Simulator:
             # Any redirect counts as taken (even a branch to pc+4: the
             # pipeline still flushes).
             taken = next_pc is not None
-            stats.record(instr, self.timing.cycles(instr, taken=taken), taken,
-                         pc=pc_before)
+            if profile is None:
+                cost = self.timing.cycles(instr, taken=taken)
+            else:
+                split = self.timing.breakdown(instr, taken=taken)
+                cost = split.total
+                profile.on_retire(pc_before, instr, split)
+            stats.record(instr, cost, taken, pc=pc_before)
             machine.pc = next_pc if next_pc is not None else fallthrough
             executed += 1
+        if profile is not None:
+            profile.end(exit_reason)
         if trap_info is not None:
             detail = str(trap_info)
         return RunResult(trace=stats, exit_reason=exit_reason,

@@ -20,9 +20,20 @@ forwards results aggressively.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from ..isa.instructions import Instr
+
+#: Stall causes the cycle model can attribute, in display order.  Every
+#: retired instruction costs 1 base cycle; anything beyond that is a
+#: stall charged to exactly one cause:
+#:
+#: * ``mem``     -- data-memory latency beyond the 1-cycle TCDM hit
+#:                  (the paper's L1/L2/L3 knob);
+#: * ``control`` -- taken-branch / jump pipeline flushes;
+#: * ``div``     -- the iterative integer divider;
+#: * ``fp``      -- multi-cycle FP divide/sqrt (FPnew's divsqrt unit).
+STALL_CAUSES = ("mem", "control", "div", "fp")
 
 #: Cycles for fdiv/fsqrt per format suffix (FPnew iterates per mantissa
 #: bit group; smaller formats converge faster).
@@ -58,10 +69,30 @@ _BRANCH_KINDS = {"beq", "bne", "blt", "bge", "bltu", "bgeu"}
 _DIV_KINDS = {"div", "divu", "rem", "remu"}
 
 
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """One retired instruction's cycle cost, split base vs. stall.
+
+    ``total == base + stall`` always, and ``base`` is 1 for every
+    instruction in this single-issue model; ``cause`` is one of
+    :data:`STALL_CAUSES` when ``stall > 0`` and ``None`` otherwise.
+    The profiler aggregates these; :meth:`TimingModel.cycles` keeps
+    returning the opaque total for the unprofiled fast path.
+    """
+
+    total: int
+    cause: Optional[str] = None
+    stall: int = 0
+
+    @property
+    def base(self) -> int:
+        return self.total - self.stall
+
+
 class TimingModel:
     """Maps one retired instruction to its cycle cost."""
 
-    def __init__(self, config: TimingConfig = None):
+    def __init__(self, config: Optional[TimingConfig] = None):
         self.config = config or TimingConfig()
 
     def cycles(self, instr: Instr, taken: bool = False) -> int:
@@ -81,3 +112,37 @@ class TimingModel:
         if kind in ("fsqrt", "vfsqrt"):
             return cfg.fsqrt_cycles.get(instr.spec.fp_fmt, 11)
         return 1
+
+    def breakdown(self, instr: Instr, taken: bool = False) -> CycleBreakdown:
+        """:meth:`cycles`, with the excess over 1 attributed to a cause.
+
+        The invariant ``breakdown(i, t).total == cycles(i, t)`` holds
+        for every instruction and is pinned down by
+        ``tests/sim/test_timing_breakdown.py``.
+        """
+        cfg = self.config
+        kind = instr.kind
+        if kind in _MEM_KINDS:
+            return self._stalled(cfg.mem_latency, "mem")
+        if kind in _BRANCH_KINDS:
+            if taken:
+                return self._stalled(1 + cfg.branch_taken_penalty, "control")
+            return CycleBreakdown(1)
+        if kind in _JUMP_KINDS:
+            return self._stalled(1 + cfg.jump_penalty, "control")
+        if kind in _DIV_KINDS:
+            return self._stalled(cfg.int_div_cycles, "div")
+        if kind in ("fdiv", "vfdiv"):
+            return self._stalled(cfg.fdiv_cycles.get(instr.spec.fp_fmt, 11),
+                                 "fp")
+        if kind in ("fsqrt", "vfsqrt"):
+            return self._stalled(cfg.fsqrt_cycles.get(instr.spec.fp_fmt, 11),
+                                 "fp")
+        return CycleBreakdown(1)
+
+    @staticmethod
+    def _stalled(total: int, cause: str) -> CycleBreakdown:
+        """A breakdown charging everything past the base cycle to ``cause``."""
+        if total <= 1:
+            return CycleBreakdown(total)
+        return CycleBreakdown(total, cause, total - 1)

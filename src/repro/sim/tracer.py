@@ -53,8 +53,23 @@ _VEC_CATEGORY = {"h": "vfp16", "ah": "vfp16alt", "b": "vfp8"}
 
 
 def classify(instr: Instr) -> str:
-    """Map a decoded instruction to its breakdown category."""
-    kind = instr.kind
+    """Map a decoded instruction to its breakdown category.
+
+    Compressed instructions classify exactly like their expansions: the
+    simulator decodes RVC parcels to alias specs that keep the expanded
+    spec's ``kind``/format metadata under the canonical ``c.*``
+    mnemonic, and any bare ``c.*`` spec without that metadata falls
+    back through :func:`repro.isa.compressed.compressed_base_spec`
+    here.  Either way an RVC build's load/store/FP mix lands in the
+    same Fig. 4 categories as the equivalent uncompressed stream.
+    """
+    spec = instr.spec
+    kind = spec.kind
+    if not kind and spec.mnemonic.startswith("c."):
+        from ..isa.compressed import compressed_base_spec
+
+        spec = compressed_base_spec(spec.mnemonic)
+        kind = spec.kind
     if kind in _LOAD:
         return "load"
     if kind in _STORE:
@@ -73,7 +88,6 @@ def classify(instr: Instr) -> str:
         return "expand"
     if kind in _CONV:
         return "conv"
-    spec = instr.spec
     if spec.fp_fmt is not None:
         if spec.vec:
             return _VEC_CATEGORY.get(spec.fp_fmt, "vfp16")

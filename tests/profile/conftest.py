@@ -1,0 +1,18 @@
+"""Shared profiled runs (profiling is deterministic; one run serves all)."""
+
+import pytest
+
+from repro.harness import run_kernel
+from repro.kernels import KERNELS
+
+
+@pytest.fixture(scope="session")
+def gemm_run():
+    """One profiled gemm float16/auto run at L1."""
+    return run_kernel(KERNELS["gemm"], ftype="float16", mode="auto",
+                      mem_latency=1, seed=0, profile=True)
+
+
+@pytest.fixture(scope="session")
+def gemm_profile(gemm_run):
+    return gemm_run.profile

@@ -1,0 +1,114 @@
+"""Collector behaviour: guarding, overhead, timeline, raw streams."""
+
+from repro.harness import run_kernel
+from repro.kernels import KERNELS
+from repro.profile import ProfileCollector, ProfileConfig
+from repro.sim import Simulator
+
+
+class TestGuardedHook:
+    def test_profiling_is_off_by_default(self):
+        run = run_kernel(KERNELS["atax"], ftype="float16", mode="scalar")
+        assert run.profile is None
+
+    def test_profiled_run_matches_unprofiled_cycles_exactly(self):
+        """The guarded hook must add zero cycle-count drift."""
+        plain = run_kernel(KERNELS["gemm"], ftype="float16", mode="auto")
+        profiled = run_kernel(KERNELS["gemm"], ftype="float16", mode="auto",
+                              profile=True)
+        assert profiled.cycles == plain.cycles
+        assert profiled.instret == plain.instret
+        assert profiled.trace.by_category == plain.trace.by_category
+        assert profiled.trace.by_mnemonic == plain.trace.by_mnemonic
+
+    def test_profile_totals_match_run_result(self, gemm_run):
+        profile = gemm_run.profile
+        assert profile.cycles == gemm_run.cycles
+        assert profile.instret == gemm_run.instret
+        assert profile.exit_reason == gemm_run.exit_reason
+
+
+class TestContext:
+    def test_harness_context_is_carried(self, gemm_profile):
+        assert gemm_profile.context == {
+            "kernel": "gemm", "ftype": "float16", "mode": "auto",
+            "mem_latency": 1, "seed": 0,
+        }
+
+    def test_machine_facts_are_recorded(self, gemm_profile):
+        assert gemm_profile.flen == 32
+        assert gemm_profile.mem_latency == 1
+        assert gemm_profile.mem_level == "L1"
+
+
+class TestTimeline:
+    def test_block_events_cover_the_run(self, gemm_profile):
+        assert gemm_profile.block_events
+        for block, t0, t1 in gemm_profile.block_events:
+            assert 0 <= t0 <= t1 <= gemm_profile.cycles
+
+    def test_event_cap_truncates(self):
+        config = ProfileConfig(max_timeline_events=4)
+        run = run_kernel(KERNELS["gemm"], ftype="float16", mode="auto",
+                         profile=config)
+        assert len(run.profile.block_events) <= 4
+        assert run.profile.timeline_truncated
+        # Truncation only loses timeline detail, never accounting.
+        assert run.profile.instret + run.profile.stall_cycles \
+            == run.profile.cycles
+
+    def test_timeline_off_collects_no_events(self):
+        run = run_kernel(KERNELS["atax"], ftype="float16", mode="scalar",
+                         profile=ProfileConfig(timeline=False))
+        assert run.profile.block_events == []
+        assert run.profile.stall_events == []
+        assert not run.profile.timeline_truncated
+
+    def test_mem_stall_events_at_high_latency(self):
+        run = run_kernel(KERNELS["atax"], ftype="float16", mode="scalar",
+                         mem_latency=10, profile=True)
+        profile = run.profile
+        assert profile.stall_events
+        total = sum(dur for _, _, dur in profile.stall_events)
+        assert total == profile.stall_totals["mem"]
+
+
+class TestRawStreams:
+    def test_programless_collector_attributes_unmapped(self):
+        """Hand-placed RVC parcels profile flat (no CFG to map onto)."""
+        sim = Simulator()
+        mem = sim.machine.memory
+        mem.write_u16(0x0, 0x4515)  # c.li a0, 5
+        mem.write_u16(0x2, 0x0505)  # c.addi a0, 1
+        mem.write_u16(0x4, 0x8082)  # c.jr ra (halt)
+        collector = ProfileCollector()
+        result = sim.run(0, profile=collector)
+        profile = collector.finish()
+        assert profile.cycles == result.cycles
+        assert profile.instret == result.instret == 3
+        assert profile.blocks == [] and profile.loops == []
+        assert profile.unmapped_cycles == profile.cycles
+        assert profile.unmapped_instret == profile.instret
+        assert profile.instret + profile.stall_cycles == profile.cycles
+        # The per-PC table keeps the canonical compressed mnemonics.
+        assert profile.pc_table[0x0][0] == "c.li"
+        assert profile.pc_table[0x2][0] == "c.addi"
+        assert profile.pc_table[0x4][0] == "c.jr"
+
+
+class TestRoofline:
+    def test_fp16_work_lands_on_binary16(self, gemm_profile):
+        roofline = gemm_profile.roofline
+        assert set(roofline.flops_by_format) == {"binary16"}
+        assert roofline.flops_by_format["binary16"] > 0
+        assert roofline.bytes_total > 0
+        assert roofline.intensity("binary16") == roofline.intensity()
+
+    def test_vector_mode_does_not_lose_flops(self):
+        """Per-lane counting: the auto build's flops match scalar's."""
+        scalar = run_kernel(KERNELS["gemm"], ftype="float16", mode="scalar",
+                            profile=True).profile
+        vector = run_kernel(KERNELS["gemm"], ftype="float16", mode="auto",
+                            profile=True).profile
+        assert scalar.roofline.flops_total \
+            == vector.roofline.flops_total > 0

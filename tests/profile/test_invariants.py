@@ -1,0 +1,82 @@
+"""Every cycle accounted, across the full benchmark matrix.
+
+The profiler's contract is exact accounting: per-cause stall totals and
+per-block cycle totals must sum to the run's ``RunResult.cycles`` and
+``instret`` -- no cycle lost, none double-counted.  This is checked on
+every Polybench kernel in every format (binary32 plus the three
+smallFloat formats) in both scalar and vectorized builds.
+"""
+
+import pytest
+
+from repro.harness import run_kernel
+from repro.kernels import BENCHMARK_NAMES, KERNELS
+from repro.sim.timing import STALL_CAUSES
+
+FTYPES = ("float", "float16", "float16alt", "float8")
+MODES = ("scalar", "auto")  # 'auto' is the vectorized build
+
+MATRIX = [(bench, ftype, mode)
+          for bench in BENCHMARK_NAMES
+          for ftype in FTYPES
+          for mode in MODES]
+
+
+@pytest.mark.parametrize("bench,ftype,mode", MATRIX,
+                         ids=[f"{b}-{f}-{m}" for b, f, m in MATRIX])
+def test_every_cycle_is_attributed(bench, ftype, mode):
+    run = run_kernel(KERNELS[bench], ftype=ftype, mode=mode,
+                     mem_latency=1, seed=0, profile=True)
+    profile = run.profile
+
+    # The profile reproduces the simulator's own totals exactly.
+    assert profile.cycles == run.cycles
+    assert profile.instret == run.instret
+
+    # Cause accounting: one issue cycle per instruction, every further
+    # cycle charged to exactly one stall cause.
+    assert profile.instret + sum(
+        profile.stall_totals[cause] for cause in STALL_CAUSES
+    ) == profile.cycles
+
+    # Block accounting: compiled kernels map every PC onto the CFG.
+    assert profile.unmapped_cycles == 0
+    assert profile.unmapped_instret == 0
+    assert sum(b.cycles for b in profile.blocks) == profile.cycles
+    assert sum(b.instret for b in profile.blocks) == profile.instret
+    for cause in STALL_CAUSES:
+        assert sum(b.stalls[cause] for b in profile.blocks) \
+            == profile.stall_totals[cause]
+
+    # Function accounting partitions the same totals.
+    assert sum(f.cycles for f in profile.functions) == profile.cycles
+    assert sum(f.instret for f in profile.functions) == profile.instret
+
+    # Loop self-attribution partitions the in-loop blocks: each block
+    # has one innermost loop, so loop self-cycles sum to exactly the
+    # cycles of blocks that sit inside any loop.
+    in_loop = sum(b.cycles for b in profile.blocks
+                  if b.loop_header is not None)
+    assert sum(l.self_cycles for l in profile.loops) == in_loop
+    for loop in profile.loops:
+        assert 0 <= loop.self_cycles <= loop.total_cycles
+
+
+@pytest.mark.parametrize("latency", [1, 10, 100])
+def test_latency_sweep_attributes_mem_stalls(latency):
+    run = run_kernel(KERNELS["atax"], ftype="float16", mode="scalar",
+                     mem_latency=latency, seed=0, profile=True)
+    profile = run.profile
+    assert profile.instret + profile.stall_cycles == profile.cycles
+    if latency == 1:
+        assert profile.stall_totals["mem"] == 0
+    else:
+        # Each access beyond the 1-cycle hit stalls latency-1 cycles.
+        accesses = run.trace.mem_accesses
+        assert profile.stall_totals["mem"] == accesses * (latency - 1)
+
+
+def test_hot_loop_holds_the_majority_of_cycles(gemm_profile):
+    """Acceptance: the top loop of the hot-spot table dominates."""
+    top = gemm_profile.hot_loops(1)[0]
+    assert top.total_cycles > gemm_profile.cycles * 0.5

@@ -1,0 +1,101 @@
+"""Compressed streams trace faithfully under canonical c.* mnemonics.
+
+The simulator expands RVC parcels at fetch but keeps the compressed
+name on the decoded instruction, so ``Trace.by_mnemonic`` reflects what
+was actually fetched -- while classification, timing and energy all see
+the *expanded* spec's metadata and agree exactly with the equivalent
+uncompressed stream.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.energy import EnergyModel
+from repro.isa import assemble
+from repro.isa.compressed import compressed_base_spec
+from repro.isa.instructions import Instr, UnknownInstruction, spec_by_mnemonic
+from repro.sim import Simulator, classify
+
+DATA_ADDR = 0x2000
+
+
+def _run_compressed(mem_latency=1):
+    """c.li a0,5; c.addi a0,1; c.lw a0,0(a1); c.jr ra -- a tiny RVC kernel."""
+    sim = Simulator(mem_latency=mem_latency)
+    mem = sim.machine.memory
+    mem.write_u32(DATA_ADDR, 123)
+    mem.write_u16(0x0, 0x4515)  # c.li a0, 5
+    mem.write_u16(0x2, 0x0505)  # c.addi a0, 1
+    mem.write_u16(0x4, 0x4188)  # c.lw a0, 0(a1)
+    mem.write_u16(0x6, 0x8082)  # c.jr ra (halt)
+    result = sim.run(0, args={11: DATA_ADDR})
+    return sim, result
+
+
+def _run_expanded(mem_latency=1):
+    """The same four instructions, uncompressed."""
+    src = """
+    addi a0, zero, 5
+    addi a0, a0, 1
+    lw a0, 0(a1)
+    jalr zero, ra, 0
+    """
+    sim = Simulator(assemble(src), mem_latency=mem_latency)
+    sim.machine.memory.write_u32(DATA_ADDR, 123)
+    result = sim.run(0, args={11: DATA_ADDR})
+    return sim, result
+
+
+class TestCompressedKernelRegression:
+    def test_trace_records_canonical_c_mnemonics(self):
+        _, result = _run_compressed()
+        assert result.trace.by_mnemonic == {
+            "c.li": 1, "c.addi": 1, "c.lw": 1, "c.jr": 1,
+        }
+        assert result.machine.read_x(10) == 123
+
+    def test_categories_match_the_expanded_stream(self):
+        _, compressed = _run_compressed()
+        _, expanded = _run_expanded()
+        assert compressed.trace.by_category == expanded.trace.by_category
+        assert compressed.trace.breakdown()["load"] == 1
+        assert compressed.trace.breakdown()["jump"] == 1
+        assert compressed.trace.breakdown()["alu"] == 2
+
+    @pytest.mark.parametrize("latency", [1, 10])
+    def test_cycles_match_the_expanded_stream(self, latency):
+        _, compressed = _run_compressed(latency)
+        _, expanded = _run_expanded(latency)
+        assert compressed.cycles == expanded.cycles
+        assert compressed.instret == expanded.instret
+
+    @pytest.mark.parametrize("latency", [1, 10])
+    def test_energy_matches_the_expanded_stream(self, latency):
+        model = EnergyModel()
+        _, compressed = _run_compressed(latency)
+        _, expanded = _run_expanded(latency)
+        got = model.estimate(compressed.trace, latency)
+        want = model.estimate(expanded.trace, latency)
+        assert got.op_energy == want.op_energy
+        assert got.total == want.total
+
+
+class TestClassifyFallback:
+    def test_bare_c_spec_falls_back_through_the_expansion(self):
+        """A c.* spec with no kind metadata classifies via its base."""
+        bare = replace(spec_by_mnemonic("lw"), mnemonic="c.lw", kind="")
+        assert classify(Instr(spec=bare)) == "load"
+
+    def test_fallback_covers_every_alias(self):
+        for name in ("c.lw", "c.sw", "c.flw", "c.fsw", "c.beqz", "c.bnez",
+                     "c.j", "c.jr", "c.mv", "c.add", "c.addi", "c.lwsp",
+                     "c.swsp"):
+            spec = compressed_base_spec(name)
+            assert spec.mnemonic != name  # resolved to the base spec
+            assert classify(Instr(spec=spec)) in (
+                "load", "store", "branch", "jump", "alu")
+
+    def test_unknown_compressed_name_raises(self):
+        with pytest.raises(UnknownInstruction):
+            compressed_base_spec("c.bogus")

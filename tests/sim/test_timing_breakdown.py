@@ -1,0 +1,74 @@
+"""CycleBreakdown mirrors TimingModel.cycles() for every instruction.
+
+The profiler's stall attribution is only trustworthy if the split path
+and the fast path can never disagree -- so every registered spec is
+checked, taken and not taken, at every paper latency level.
+"""
+
+import pytest
+
+from repro.isa.instructions import Instr, all_specs
+from repro.sim.timing import (
+    STALL_CAUSES,
+    CycleBreakdown,
+    TimingConfig,
+    TimingModel,
+)
+
+
+@pytest.mark.parametrize("latency", [1, 10, 100])
+def test_breakdown_total_matches_cycles_for_every_spec(latency):
+    model = TimingModel(TimingConfig(mem_latency=latency))
+    for spec in all_specs():
+        instr = Instr(spec=spec)
+        for taken in (False, True):
+            split = model.breakdown(instr, taken=taken)
+            assert split.total == model.cycles(instr, taken=taken), \
+                (spec.mnemonic, taken)
+            assert split.base == 1
+            assert split.base + split.stall == split.total
+            if split.stall:
+                assert split.cause in STALL_CAUSES
+            else:
+                assert split.cause is None, spec.mnemonic
+
+
+def test_config_is_optional():
+    assert TimingModel().config.mem_latency == 1
+    assert TimingModel(None).config.mem_latency == 1
+
+
+class TestCauseAttribution:
+    def _split(self, mnemonic, taken=False, **config):
+        from repro.isa.instructions import spec_by_mnemonic
+
+        model = TimingModel(TimingConfig(**config))
+        return model.breakdown(Instr(spec=spec_by_mnemonic(mnemonic)),
+                               taken=taken)
+
+    def test_load_at_l2_charges_mem(self):
+        split = self._split("lw", mem_latency=10)
+        assert (split.cause, split.stall, split.total) == ("mem", 9, 10)
+
+    def test_load_at_l1_has_no_stall(self):
+        """A 1-cycle hit is all base: no cause, no stall."""
+        split = self._split("lw", mem_latency=1)
+        assert split == CycleBreakdown(1)
+
+    def test_taken_branch_charges_control(self):
+        assert self._split("beq", taken=True).cause == "control"
+        assert self._split("beq", taken=False) == CycleBreakdown(1)
+
+    def test_jump_charges_control(self):
+        split = self._split("jal")
+        assert (split.cause, split.stall) == ("control", 1)
+
+    def test_integer_divide_charges_div(self):
+        split = self._split("div")
+        assert (split.cause, split.stall, split.total) == ("div", 31, 32)
+
+    def test_fp_divide_charges_fp_per_format(self):
+        assert self._split("fdiv.s").total == 11
+        assert self._split("fdiv.b").total == 4
+        for mnemonic in ("fdiv.s", "fdiv.b", "fsqrt.h", "vfdiv.b"):
+            assert self._split(mnemonic).cause == "fp"

@@ -143,6 +143,50 @@ class TestLint:
         assert main(["lint"]) == 2
 
 
+class TestProfile:
+    def test_text_report_with_vector_alias(self, capsys):
+        assert main(["profile", "gemm", "--ftype", "float16",
+                     "--mode", "vector"]) == 0
+        out = capsys.readouterr().out
+        assert "hot loops" in out and "hot blocks" in out
+        assert "mode=auto" in out  # 'vector' aliases the auto build
+
+    def test_json_payload_validates(self, capsys):
+        import json
+
+        from repro.profile import PROFILE_SCHEMA_VERSION, validate_payload
+
+        assert main(["profile", "gemm", "--ftype", "float16",
+                     "--mode", "vector", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_payload(payload)
+        assert payload["schema"]["version"] == PROFILE_SCHEMA_VERSION
+        assert payload["context"]["kernel"] == "gemm"
+
+    def test_chrome_trace_export(self, tmp_path, capsys):
+        import json
+
+        trace_file = tmp_path / "gemm.trace.json"
+        assert main(["profile", "gemm", "--trace", str(trace_file)]) == 0
+        trace = json.loads(trace_file.read_text())
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_annotated_disassembly(self, capsys):
+        assert main(["profile", "atax", "--mode", "scalar",
+                     "--annotate", "--latency", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "instruction" in out
+        assert "mem" in out  # mem stalls appear in the margin at L2
+
+    def test_unknown_kernel(self, capsys):
+        assert main(["profile", "nonesuch"]) == 1
+
+    def test_kernel_profile_flag(self, capsys):
+        assert main(["kernel", "gemm", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "SQNR" in out and "hot loops" in out
+
+
 class TestExperiments:
     def test_table2(self, capsys):
         assert main(["experiments", "table2"]) == 0
@@ -151,6 +195,21 @@ class TestExperiments:
     def test_fig5(self, capsys):
         assert main(["experiments", "fig5"]) == 0
         assert "reduction" in capsys.readouterr().out
+
+    def test_profile_dir_writes_payloads(self, tmp_path, capsys):
+        import json
+
+        from repro.profile import validate_payload
+
+        out_dir = tmp_path / "profiles"
+        assert main(["experiments", "--profile-dir", str(out_dir)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        index = json.loads((out_dir / "index.json").read_text())
+        assert index
+        written = [row for row in index if row["file"]]
+        assert written
+        payload = json.loads((out_dir / written[0]["file"]).read_text())
+        validate_payload(payload)
 
 
 class TestTune:
