@@ -19,7 +19,7 @@ subnormals, signed zeroes/infinities and quiet/signaling NaNs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 
@@ -36,6 +36,12 @@ class FloatFormat:
             binary16alt, ``b`` for binary8, ``d`` for binary64).
         c_keyword: The C type keyword introduced by the compiler support
             (Section IV), or the pre-existing C type name.
+
+    The derived geometry (``width``, masks, well-known encodings) is
+    precomputed at construction: the softfloat core reads these values
+    on every unpack/round, and recomputing them per access dominated
+    simulation profiles.  Identity, equality and hashing still depend
+    only on the five defining fields.
     """
 
     name: str
@@ -45,75 +51,64 @@ class FloatFormat:
     c_keyword: str
 
     # ------------------------------------------------------------------
-    # Derived geometry
+    # Derived geometry (filled in by __post_init__)
     # ------------------------------------------------------------------
-    @property
-    def width(self) -> int:
-        """Total storage width in bits (sign + exponent + mantissa)."""
-        return 1 + self.exp_bits + self.man_bits
+    #: Total storage width in bits (sign + exponent + mantissa).
+    width: int = field(init=False, repr=False, compare=False, default=0)
+    #: Significand precision p, including the hidden bit.
+    precision: int = field(init=False, repr=False, compare=False, default=0)
+    #: Exponent bias (2^(exp_bits-1) - 1).
+    bias: int = field(init=False, repr=False, compare=False, default=0)
+    #: Largest unbiased exponent of a normal number.
+    emax: int = field(init=False, repr=False, compare=False, default=0)
+    #: Smallest unbiased exponent of a normal number (1 - bias).
+    emin: int = field(init=False, repr=False, compare=False, default=0)
+    #: All-ones pattern of the exponent field (NaN/inf exponent).
+    exp_mask: int = field(init=False, repr=False, compare=False, default=0)
+    #: All-ones pattern of the trailing significand field.
+    man_mask: int = field(init=False, repr=False, compare=False, default=0)
+    #: Bit mask selecting the sign bit.
+    sign_mask: int = field(init=False, repr=False, compare=False, default=0)
+    #: All-ones pattern of the full encoding width.
+    bits_mask: int = field(init=False, repr=False, compare=False, default=0)
+    #: The canonical quiet NaN (positive, MSB of mantissa set) -- the
+    #: RISC-V convention of never propagating NaN payloads.
+    quiet_nan: int = field(init=False, repr=False, compare=False, default=0)
+    #: Encoding of +infinity.
+    pos_inf: int = field(init=False, repr=False, compare=False, default=0)
+    #: Encoding of -infinity.
+    neg_inf: int = field(init=False, repr=False, compare=False, default=0)
+    #: Encoding of the largest positive finite value.
+    max_finite: int = field(init=False, repr=False, compare=False, default=0)
+    #: Encoding of the smallest positive normal value.
+    min_normal: int = field(init=False, repr=False, compare=False, default=0)
 
-    @property
-    def precision(self) -> int:
-        """Significand precision p, including the hidden bit."""
-        return self.man_bits + 1
-
-    @property
-    def bias(self) -> int:
-        """Exponent bias (2^(exp_bits-1) - 1)."""
-        return (1 << (self.exp_bits - 1)) - 1
-
-    @property
-    def emax(self) -> int:
-        """Largest unbiased exponent of a normal number."""
-        return self.bias
-
-    @property
-    def emin(self) -> int:
-        """Smallest unbiased exponent of a normal number (1 - bias)."""
-        return 1 - self.bias
-
-    @property
-    def exp_mask(self) -> int:
-        """All-ones pattern of the exponent field (NaN/inf exponent)."""
-        return (1 << self.exp_bits) - 1
-
-    @property
-    def man_mask(self) -> int:
-        """All-ones pattern of the trailing significand field."""
-        return (1 << self.man_bits) - 1
-
-    @property
-    def sign_mask(self) -> int:
-        """Bit mask selecting the sign bit."""
-        return 1 << (self.width - 1)
-
-    @property
-    def bits_mask(self) -> int:
-        """All-ones pattern of the full encoding width."""
-        return (1 << self.width) - 1
+    def __post_init__(self) -> None:
+        set_ = object.__setattr__  # frozen dataclass
+        width = 1 + self.exp_bits + self.man_bits
+        exp_mask = (1 << self.exp_bits) - 1
+        man_mask = (1 << self.man_bits) - 1
+        bias = (1 << (self.exp_bits - 1)) - 1
+        set_(self, "width", width)
+        set_(self, "precision", self.man_bits + 1)
+        set_(self, "bias", bias)
+        set_(self, "emax", bias)
+        set_(self, "emin", 1 - bias)
+        set_(self, "exp_mask", exp_mask)
+        set_(self, "man_mask", man_mask)
+        set_(self, "sign_mask", 1 << (width - 1))
+        set_(self, "bits_mask", (1 << width) - 1)
+        set_(self, "quiet_nan",
+             (exp_mask << self.man_bits) | (1 << (self.man_bits - 1)))
+        set_(self, "pos_inf", exp_mask << self.man_bits)
+        set_(self, "neg_inf", (1 << (width - 1)) | (exp_mask << self.man_bits))
+        set_(self, "max_finite",
+             ((exp_mask - 1) << self.man_bits) | man_mask)
+        set_(self, "min_normal", 1 << self.man_bits)
 
     # ------------------------------------------------------------------
-    # Well-known encodings
+    # Rarely used encodings (kept as properties)
     # ------------------------------------------------------------------
-    @property
-    def quiet_nan(self) -> int:
-        """The canonical quiet NaN (positive, MSB of mantissa set).
-
-        This matches the RISC-V convention of always producing the
-        canonical NaN rather than propagating payloads.
-        """
-        return (self.exp_mask << self.man_bits) | (1 << (self.man_bits - 1))
-
-    @property
-    def pos_inf(self) -> int:
-        """Encoding of +infinity."""
-        return self.exp_mask << self.man_bits
-
-    @property
-    def neg_inf(self) -> int:
-        """Encoding of -infinity."""
-        return self.sign_mask | self.pos_inf
-
     @property
     def pos_zero(self) -> int:
         """Encoding of +0.0."""
@@ -125,19 +120,9 @@ class FloatFormat:
         return self.sign_mask
 
     @property
-    def max_finite(self) -> int:
-        """Encoding of the largest positive finite value."""
-        return ((self.exp_mask - 1) << self.man_bits) | self.man_mask
-
-    @property
     def min_subnormal(self) -> int:
         """Encoding of the smallest positive subnormal value."""
         return 1
-
-    @property
-    def min_normal(self) -> int:
-        """Encoding of the smallest positive normal value."""
-        return 1 << self.man_bits
 
     def inf(self, sign: int) -> int:
         """Encoding of infinity with the given sign (0 or 1)."""

@@ -140,15 +140,6 @@ def round_and_pack(
 
     flags = 0
 
-    # ------------------------------------------------------------------
-    # Tininess after rounding: round as if the exponent range were
-    # unbounded and check whether the result still lies below the
-    # smallest normal.  (RISC-V / IEEE 754-2008 "after rounding".)
-    # ------------------------------------------------------------------
-    unbounded_sig, _ = _shift_right_round(sig, nbits - p, rm, sign)
-    unbounded_msb_exp = msb_exp + (1 if unbounded_sig.bit_length() > p else 0)
-    tiny = unbounded_msb_exp < fmt.emin
-
     if msb_exp >= fmt.emin:
         # Normal-range candidate: keep exactly p significand bits.
         rounded, inexact = _shift_right_round(sig, nbits - p, rm, sign)
@@ -172,7 +163,14 @@ def round_and_pack(
     rounded, inexact = _shift_right_round(sig, discard, rm, sign)
     if inexact:
         flags |= NX
-        if tiny:
+        # Tininess after rounding: round as if the exponent range were
+        # unbounded and check whether the result still lies below the
+        # smallest normal.  (RISC-V / IEEE 754-2008 "after rounding".)
+        # Only subnormal-range candidates can be tiny, and UF is only
+        # raised together with NX, so the check is deferred to here.
+        unbounded_sig, _ = _shift_right_round(sig, nbits - p, rm, sign)
+        unbounded_msb_exp = msb_exp + (1 if unbounded_sig.bit_length() > p else 0)
+        if unbounded_msb_exp < fmt.emin:
             flags |= UF
     if rounded.bit_length() > fmt.man_bits:
         # Rounded up into the smallest normal number.

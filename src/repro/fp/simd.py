@@ -72,12 +72,16 @@ def _lanewise2(
     b: int,
     rm: RoundingMode,
 ) -> Result:
-    out, flags = [], 0
-    for la, lb in zip(split_lanes(a, fmt, flen), split_lanes(b, fmt, flen)):
-        bits, f = op(fmt, la, lb, rm)
-        out.append(bits)
+    width = fmt.width
+    mask = fmt.bits_mask
+    reg, flags = 0, 0
+    # Inline split/join: op results are already in-range packed bits.
+    for i in range(lane_count(fmt, flen)):
+        shift = i * width
+        bits, f = op(fmt, (a >> shift) & mask, (b >> shift) & mask, rm)
+        reg |= bits << shift
         flags |= f
-    return join_lanes(out, fmt, flen), flags
+    return reg, flags
 
 
 def vfadd(fmt: FloatFormat, flen: int, a: int, b: int, rm: RoundingMode) -> Result:

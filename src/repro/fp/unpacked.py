@@ -10,7 +10,8 @@ once at the end.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
 
 from .formats import FloatFormat
 
@@ -39,26 +40,24 @@ class Unpacked:
     exp: int = 0
     signaling: bool = False
 
-    # Convenience predicates -------------------------------------------------
-    @property
-    def is_nan(self) -> bool:
-        return self.kind is Kind.NAN
+    # Convenience predicates, precomputed: the arithmetic core checks
+    # these on every operand of every operation, so they are plain
+    # attributes rather than properties.  Construction is rare (unpack
+    # results are memoized), reads are hot.
+    is_nan: bool = field(init=False, repr=False, compare=False, default=False)
+    is_snan: bool = field(init=False, repr=False, compare=False, default=False)
+    is_inf: bool = field(init=False, repr=False, compare=False, default=False)
+    is_zero: bool = field(init=False, repr=False, compare=False, default=False)
+    is_finite: bool = field(init=False, repr=False, compare=False, default=False)
 
-    @property
-    def is_snan(self) -> bool:
-        return self.kind is Kind.NAN and self.signaling
-
-    @property
-    def is_inf(self) -> bool:
-        return self.kind is Kind.INF
-
-    @property
-    def is_zero(self) -> bool:
-        return self.kind is Kind.ZERO
-
-    @property
-    def is_finite(self) -> bool:
-        return self.kind in (Kind.ZERO, Kind.FINITE)
+    def __post_init__(self) -> None:
+        set_ = object.__setattr__  # frozen dataclass
+        kind = self.kind
+        set_(self, "is_nan", kind is Kind.NAN)
+        set_(self, "is_snan", kind is Kind.NAN and self.signaling)
+        set_(self, "is_inf", kind is Kind.INF)
+        set_(self, "is_zero", kind is Kind.ZERO)
+        set_(self, "is_finite", kind is Kind.ZERO or kind is Kind.FINITE)
 
     def to_float(self) -> float:
         """The exact value as a Python float (may overflow to inf).
@@ -76,12 +75,36 @@ class Unpacked:
         return -magnitude if self.sign else magnitude
 
 
+# Decoded values are immutable, the hot formats are at most 16 bits
+# wide (<= 65536 patterns), and wider formats touch a bounded working
+# set per run -- so unpack() memoizes per format.  The cache is keyed
+# by id(fmt) with the format pinned in the entry, which keeps lookups
+# cheap while making id reuse impossible for live entries.
+_UNPACK_CACHE: Dict[int, Tuple[FloatFormat, Dict[int, Unpacked]]] = {}
+_UNPACK_CACHE_LIMIT = 1 << 16
+
+
 def unpack(bits: int, fmt: FloatFormat) -> Unpacked:
     """Decode ``bits`` (an unsigned integer of ``fmt.width`` bits).
 
     Bits above the format width are rejected so that packing errors in
     SIMD lane handling fail loudly instead of corrupting silently.
     """
+    entry = _UNPACK_CACHE.get(id(fmt))
+    if entry is None or entry[0] is not fmt:
+        entry = (fmt, {})
+        _UNPACK_CACHE[id(fmt)] = entry
+    memo = entry[1]
+    cached = memo.get(bits)
+    if cached is not None:
+        return cached
+    value = _unpack_uncached(bits, fmt)
+    if len(memo) < _UNPACK_CACHE_LIMIT:
+        memo[bits] = value
+    return value
+
+
+def _unpack_uncached(bits: int, fmt: FloatFormat) -> Unpacked:
     if bits < 0 or bits > fmt.bits_mask:
         raise ValueError(
             f"bit pattern {bits:#x} out of range for {fmt.name} ({fmt.width} bits)"

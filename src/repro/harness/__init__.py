@@ -1,6 +1,13 @@
 """Experiment harness: per-figure/table drivers over the full stack."""
 
 from . import experiments
+from .parallel import (
+    DiskResultCache,
+    SweepPoint,
+    program_fingerprint,
+    resolve_cache,
+    run_points,
+)
 from .runner import (
     ARRAY_BASE,
     MODES,
@@ -15,6 +22,11 @@ from .runner import (
 
 __all__ = [
     "experiments",
+    "DiskResultCache",
+    "SweepPoint",
+    "program_fingerprint",
+    "resolve_cache",
+    "run_points",
     "ARRAY_BASE",
     "MODES",
     "POINT_STATUSES",

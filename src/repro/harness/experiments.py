@@ -14,7 +14,9 @@ or 'error') and ``detail``; failed points keep their metric fields as
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import os
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..fp.formats import supported_vector_formats
 from ..kernels import BENCHMARK_NAMES, KERNELS, KernelSpec
@@ -34,6 +36,25 @@ _LANES = {"float16": 2, "float16alt": 2, "float8": 4}
 DEFAULT_POINT_BUDGET = 50_000_000
 
 _CACHE: Dict[Tuple, SafeRunOutcome] = {}
+_CACHE_LOCK = threading.Lock()
+
+
+def _reset_cache_in_child() -> None:
+    """Give forked children a private, empty memo and a fresh lock.
+
+    A child inheriting the parent's memo could serve rows the parent is
+    concurrently inserting (a fork can land mid-update), and a lock
+    held at fork time would deadlock the child forever.  Parallel
+    sweep workers therefore always start clean; shared points come from
+    the keyed disk cache instead.
+    """
+    global _CACHE_LOCK
+    _CACHE_LOCK = threading.Lock()
+    _CACHE.clear()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only
+    os.register_at_fork(after_in_child=_reset_cache_in_child)
 
 
 def safe_cached_run(
@@ -42,12 +63,55 @@ def safe_cached_run(
 ) -> SafeRunOutcome:
     """Memoized, crash-isolated :func:`run_kernel` for sweep points."""
     key = (name, ftype, mode, mem_latency, seed, instruction_budget)
-    if key not in _CACHE:
-        _CACHE[key] = run_kernel_safe(
-            KERNELS[name], ftype, mode, mem_latency=mem_latency, seed=seed,
-            max_instructions=instruction_budget,
-        )
-    return _CACHE[key]
+    with _CACHE_LOCK:
+        cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    outcome = run_kernel_safe(
+        KERNELS[name], ftype, mode, mem_latency=mem_latency, seed=seed,
+        max_instructions=instruction_budget,
+    )
+    # setdefault keeps the first writer's row, so concurrent callers of
+    # the same point always observe one identical object.
+    with _CACHE_LOCK:
+        return _CACHE.setdefault(key, outcome)
+
+
+def prewarm(
+    points: Iterable[Tuple], jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> int:
+    """Compute sweep points up front and seed the in-process memo.
+
+    ``points`` are ``(name, ftype, mode, mem_latency, seed, budget)``
+    tuples -- exactly the :func:`safe_cached_run` key.  With
+    ``jobs > 1`` the missing points fan out worker-per-point over a
+    process pool; with a cache directory (or ``REPRO_RESULT_CACHE``
+    set) finished points persist across processes.  Returns the number
+    of points that were actually computed (as opposed to served from
+    either cache).
+    """
+    from .parallel import SweepPoint, resolve_cache, run_points
+
+    cache = resolve_cache(cache_dir)
+    with _CACHE_LOCK:
+        missing = [SweepPoint(*p) for p in dict.fromkeys(points)
+                   if tuple(p) not in _CACHE]
+    before = cache.hits if cache is not None else 0
+    results = run_points(missing, jobs=jobs, cache=cache)
+    with _CACHE_LOCK:
+        for point, outcome in results.items():
+            _CACHE.setdefault(tuple(point), outcome)
+    served = cache.hits - before if cache is not None else 0
+    return len(results) - served
+
+
+def _maybe_prewarm(points: List[Tuple], jobs: int,
+                   cache_dir: Optional[str]) -> None:
+    """Prewarm when parallelism or a persistent cache is in play."""
+    if jobs > 1 or cache_dir is not None or (
+            os.environ.get("REPRO_RESULT_CACHE", "").strip()):
+        prewarm(points, jobs=jobs, cache_dir=cache_dir)
 
 
 def cached_run(name: str, ftype: str, mode: str, mem_latency: int = 1,
@@ -68,7 +132,8 @@ def cached_run(name: str, ftype: str, mode: str, mem_latency: int = 1,
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    with _CACHE_LOCK:
+        _CACHE.clear()
 
 
 def _point_row(outcome: SafeRunOutcome) -> Dict:
@@ -103,11 +168,35 @@ def ideal_speedup(baseline: KernelRun, lanes: int) -> float:
     return baseline.trace.instret / ideal_instr
 
 
+def fig1_points(
+    benchmarks: Optional[List[str]] = None,
+    ftypes: Tuple[str, ...] = ("float16", "float16alt", "float8"),
+    seed: int = 0,
+    instruction_budget: int = DEFAULT_POINT_BUDGET,
+) -> List[Tuple]:
+    """The exact point set :func:`fig1_speedup` will request."""
+    benchmarks = benchmarks or list(BENCHMARK_NAMES)
+    points: List[Tuple] = []
+    for bench in benchmarks:
+        spec = KERNELS[bench]
+        points.append((bench, "float", "scalar", 1, seed,
+                       instruction_budget))
+        for ftype in ftypes:
+            points.append((bench, ftype, "auto", 1, seed,
+                           instruction_budget))
+            if spec.manual_source_fn is not None:
+                points.append((bench, ftype, "manual", 1, seed,
+                               instruction_budget))
+    return points
+
+
 def fig1_speedup(
     benchmarks: Optional[List[str]] = None,
     ftypes: Tuple[str, ...] = ("float16", "float16alt", "float8"),
     seed: int = 0,
     instruction_budget: int = DEFAULT_POINT_BUDGET,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[Dict]:
     """Speedup of each smallFloat type over float, auto vs manual.
 
@@ -116,8 +205,13 @@ def fig1_speedup(
     Points that trap or exceed the instruction budget stay in the output
     with their ``status``/``detail`` set and ``None`` metrics; the sweep
     itself always completes.
+
+    ``jobs`` computes the points worker-per-point in parallel first;
+    ``cache_dir`` additionally persists them for other processes.
     """
     benchmarks = benchmarks or list(BENCHMARK_NAMES)
+    _maybe_prewarm(fig1_points(benchmarks, ftypes, seed,
+                               instruction_budget), jobs, cache_dir)
     rows: List[Dict] = []
     sums: Dict[Tuple[str, str], List[float]] = {}
     for bench in benchmarks:
@@ -170,10 +264,32 @@ def fig1_speedup(
 # ----------------------------------------------------------------------
 # Fig. 2 -- speedup for increasing memory latencies (manual builds)
 # ----------------------------------------------------------------------
+def fig23_points(
+    benchmarks: Optional[List[str]] = None,
+    ftypes: Tuple[str, ...] = ("float16", "float8"),
+    seed: int = 0,
+) -> List[Tuple]:
+    """The latency-sweep point set shared by Figs. 2 and 3."""
+    benchmarks = benchmarks or [
+        b for b in BENCHMARK_NAMES if KERNELS[b].manual_source_fn
+    ]
+    points: List[Tuple] = []
+    for bench in benchmarks:
+        for latency in LATENCY_LEVELS.values():
+            points.append((bench, "float", "scalar", latency, seed,
+                           DEFAULT_POINT_BUDGET))
+            for ftype in ftypes:
+                points.append((bench, ftype, "manual", latency, seed,
+                               DEFAULT_POINT_BUDGET))
+    return points
+
+
 def fig2_latency_speedup(
     benchmarks: Optional[List[str]] = None,
     ftypes: Tuple[str, ...] = ("float16", "float8"),
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[Dict]:
     """Speedup vs the float baseline *at the same latency level*.
 
@@ -183,6 +299,7 @@ def fig2_latency_speedup(
     benchmarks = benchmarks or [
         b for b in BENCHMARK_NAMES if KERNELS[b].manual_source_fn
     ]
+    _maybe_prewarm(fig23_points(benchmarks, ftypes, seed), jobs, cache_dir)
     rows: List[Dict] = []
     for bench in benchmarks:
         for level, latency in LATENCY_LEVELS.items():
@@ -235,11 +352,14 @@ def fig3_energy(
     benchmarks: Optional[List[str]] = None,
     ftypes: Tuple[str, ...] = ("float16", "float8"),
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[Dict]:
     """Energy of the manual smallFloat builds normalized to float."""
     benchmarks = benchmarks or [
         b for b in BENCHMARK_NAMES if KERNELS[b].manual_source_fn
     ]
+    _maybe_prewarm(fig23_points(benchmarks, ftypes, seed), jobs, cache_dir)
     rows: List[Dict] = []
     for bench in benchmarks:
         for level, latency in LATENCY_LEVELS.items():
@@ -302,9 +422,15 @@ def table3_sqnr(
     benchmarks: Optional[List[str]] = None,
     ftypes: Tuple[str, ...] = ("float16", "float16alt", "float8"),
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[Dict]:
     """SQNR (dB) of program outputs vs the binary64 reference."""
     benchmarks = benchmarks or list(BENCHMARK_NAMES)
+    _maybe_prewarm(
+        [(bench, ftype, "scalar", 1, seed, DEFAULT_POINT_BUDGET)
+         for bench in benchmarks for ftype in ftypes],
+        jobs, cache_dir)
     rows: List[Dict] = []
     for bench in benchmarks:
         for ftype in ftypes:
@@ -320,8 +446,14 @@ def table3_sqnr(
 # ----------------------------------------------------------------------
 # Fig. 4 -- SVM instruction-count breakdown under mixed precision
 # ----------------------------------------------------------------------
-def fig4_breakdown(seed: int = 0) -> Dict[str, Dict[str, int]]:
+def fig4_breakdown(seed: int = 0, jobs: int = 1,
+                   cache_dir: Optional[str] = None) -> Dict[str, Dict[str, int]]:
     """Instruction mixes: original float vs auto vs manual mixed SVM."""
+    _maybe_prewarm(
+        [("svm", "float", "scalar", 1, seed, DEFAULT_POINT_BUDGET),
+         ("svm_mixed", "float16", "auto", 1, seed, DEFAULT_POINT_BUDGET),
+         ("svm_mixed", "float16", "manual", 1, seed, DEFAULT_POINT_BUDGET)],
+        jobs, cache_dir)
     original = cached_run("svm", "float", "scalar", seed=seed)
     auto = cached_run("svm_mixed", "float16", "auto", seed=seed)
     manual = cached_run("svm_mixed", "float16", "manual", seed=seed)
@@ -387,13 +519,21 @@ def fig5_codegen() -> Dict[str, object]:
 # ----------------------------------------------------------------------
 # Fig. 6 -- mixed-precision case study: speedup, energy, accuracy
 # ----------------------------------------------------------------------
-def fig6_mixed_precision(seed: int = 0) -> List[Dict]:
+def fig6_mixed_precision(seed: int = 0, jobs: int = 1,
+                         cache_dir: Optional[str] = None) -> List[Dict]:
     """Speedup/energy/accuracy of SVM precision schemes vs float.
 
     Rows: float (baseline), uniform float16, uniform float8, and the
     tuned mixed scheme (auto + manual).  The paper's claim: mixed
     precision matches float16's speedup and energy at float's accuracy.
     """
+    _maybe_prewarm(
+        [("svm", "float", "scalar", 1, seed, DEFAULT_POINT_BUDGET),
+         ("svm", "float16", "auto", 1, seed, DEFAULT_POINT_BUDGET),
+         ("svm", "float8", "auto", 1, seed, DEFAULT_POINT_BUDGET),
+         ("svm_mixed", "float16", "auto", 1, seed, DEFAULT_POINT_BUDGET),
+         ("svm_mixed", "float16", "manual", 1, seed, DEFAULT_POINT_BUDGET)],
+        jobs, cache_dir)
     base = cached_run("svm", "float", "scalar", seed=seed)
     rows: List[Dict] = []
 

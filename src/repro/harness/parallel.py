@@ -1,0 +1,258 @@
+"""Parallel sweep execution and a persistent per-point result cache.
+
+Every figure and table of the reproduction is a sweep over (benchmark,
+FP type, vectorization mode, memory latency, seed, budget) points, and
+each point is independent: the drivers in :mod:`repro.harness.experiments`
+only combine finished :class:`~repro.harness.runner.SafeRunOutcome`
+records.  This module exploits that two ways:
+
+* :func:`run_points` fans a point list out over a
+  ``multiprocessing`` pool, worker-per-point.  Crash isolation is
+  preserved -- each worker wraps the point in
+  :func:`~repro.harness.runner.run_kernel_safe` (and a belt-and-braces
+  ``except`` around the whole worker), so a trapping, runaway, or
+  host-crashing configuration comes back as a status row, never as a
+  dead sweep.
+
+* :class:`DiskResultCache` persists finished outcomes on disk, keyed by
+  ``(program hash, config, schema version)``.  The program hash covers
+  the generated kernel source (so editing a kernel or the compiler's
+  input invalidates its points) and the config covers every knob that
+  feeds the run.  Figures, benchmarks and repeated CLI invocations in
+  different processes share points through it.
+
+The cache stores pickled outcomes (full traces and output arrays --
+they are a few tens of kilobytes per point).  Treat a cache directory
+like any other local build artifact: it is keyed and validated, but not
+tamper-proof, so do not point the harness at an untrusted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+from ..kernels import KERNELS
+from .runner import SafeRunOutcome, run_kernel_safe
+
+#: Bump when the pickled payload layout (or anything it transitively
+#: contains) changes shape; old entries then miss instead of
+#: deserializing into the wrong schema.
+RESULT_CACHE_SCHEMA = 1
+
+#: Environment variable naming a default cache directory; unset means
+#: no persistent cache unless one is passed explicitly.
+CACHE_DIR_ENV = "REPRO_RESULT_CACHE"
+
+
+class SweepPoint(NamedTuple):
+    """One sweep configuration (the in-memory memo key, made explicit)."""
+
+    name: str
+    ftype: str
+    mode: str
+    mem_latency: int = 1
+    seed: int = 0
+    instruction_budget: int = 50_000_000
+
+
+_FINGERPRINTS: Dict[Tuple[str, str, str], str] = {}
+
+
+def program_fingerprint(name: str, ftype: str, mode: str) -> str:
+    """Hash of the kernel program a point will compile and run.
+
+    Covers the generated C source (which embeds the FP type choice),
+    the vectorization mode, and the kernel's default parameters -- so a
+    change to a kernel generator or its sizing invalidates exactly that
+    kernel's cached points.  Memoized: sweeps ask per point but sources
+    only vary per (kernel, type, mode).
+    """
+    key = (name, ftype, mode)
+    cached = _FINGERPRINTS.get(key)
+    if cached is not None:
+        return cached
+    spec = KERNELS[name]
+    if mode == "manual":
+        if spec.manual_source_fn is None:
+            source = f"<no manual form for {name}>"
+        else:
+            source = spec.manual_source_fn(ftype)
+    else:
+        source = spec.source_fn(ftype)
+    digest = hashlib.sha256()
+    digest.update(source.encode())
+    digest.update(repr(("mode", mode, "params",
+                        sorted(spec.params.items()))).encode())
+    fingerprint = digest.hexdigest()
+    _FINGERPRINTS[key] = fingerprint
+    return fingerprint
+
+
+def point_key(point: SweepPoint) -> str:
+    """Stable cache key: program hash + config + schema version."""
+    digest = hashlib.sha256()
+    digest.update(f"schema={RESULT_CACHE_SCHEMA}\n".encode())
+    digest.update(program_fingerprint(
+        point.name, point.ftype, point.mode).encode())
+    digest.update(repr(tuple(point)).encode())
+    return digest.hexdigest()
+
+
+class DiskResultCache:
+    """Persistent point store: one pickled outcome file per key.
+
+    Writes are atomic (temp file + ``os.replace``), so concurrent
+    sweeps sharing a directory can only ever observe complete entries;
+    the worst case for a racing write of the same point is one wasted
+    computation, never a torn file.  Unreadable or mis-keyed entries
+    are dropped and treated as misses.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, point: SweepPoint) -> str:
+        return os.path.join(self.root, point_key(point) + ".pkl")
+
+    def get(self, point: SweepPoint) -> Optional[SafeRunOutcome]:
+        path = self.path_for(point)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Torn, corrupt, or schema-incompatible entry: discard.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("schema") != RESULT_CACHE_SCHEMA
+                or payload.get("point") != tuple(point)):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["outcome"]
+
+    def put(self, point: SweepPoint, outcome: SafeRunOutcome) -> None:
+        payload = {
+            "schema": RESULT_CACHE_SCHEMA,
+            "point": tuple(point),
+            "outcome": outcome,
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self.path_for(point))
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def default_cache_dir() -> Optional[str]:
+    """The :data:`CACHE_DIR_ENV` directory, or ``None`` (cache off)."""
+    value = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return value or None
+
+
+def resolve_cache(cache_dir: Optional[str]) -> Optional[DiskResultCache]:
+    """Build the disk cache for an explicit directory or the env default."""
+    root = cache_dir if cache_dir is not None else default_cache_dir()
+    return DiskResultCache(root) if root else None
+
+
+# ----------------------------------------------------------------------
+# Worker-per-point execution
+# ----------------------------------------------------------------------
+def _run_point(point: SweepPoint) -> SafeRunOutcome:
+    return run_kernel_safe(
+        KERNELS[point.name], point.ftype, point.mode,
+        mem_latency=point.mem_latency, seed=point.seed,
+        max_instructions=point.instruction_budget,
+    )
+
+
+def _worker(point_tuple: Tuple) -> Tuple[Tuple, SafeRunOutcome]:
+    """Pool entry point; must stay module-level (pickled by name)."""
+    point = SweepPoint(*point_tuple)
+    try:
+        return point_tuple, _run_point(point)
+    except BaseException as exc:  # belt and braces: never kill the sweep
+        return point_tuple, SafeRunOutcome(
+            status="error", detail=f"worker: {type(exc).__name__}: {exc}")
+
+
+def run_points(
+    points: Iterable[SweepPoint],
+    jobs: int = 1,
+    cache: Optional[DiskResultCache] = None,
+    on_result: Optional[Callable[[SweepPoint, SafeRunOutcome], None]] = None,
+) -> Dict[SweepPoint, SafeRunOutcome]:
+    """Compute every point, in parallel when ``jobs > 1``.
+
+    Duplicate points are collapsed; disk-cached points are served
+    without spawning a worker.  ``on_result`` fires once per unique
+    point as its outcome lands (cached points first), letting callers
+    stream progress.  The returned dict covers every requested point.
+    """
+    unique: List[SweepPoint] = []
+    seen = set()
+    for point in points:
+        point = SweepPoint(*point)
+        if point not in seen:
+            seen.add(point)
+            unique.append(point)
+
+    results: Dict[SweepPoint, SafeRunOutcome] = {}
+    pending: List[SweepPoint] = []
+    for point in unique:
+        cached = cache.get(point) if cache is not None else None
+        if cached is not None:
+            results[point] = cached
+            if on_result is not None:
+                on_result(point, cached)
+        else:
+            pending.append(point)
+
+    def finish(point: SweepPoint, outcome: SafeRunOutcome) -> None:
+        results[point] = outcome
+        if cache is not None:
+            cache.put(point, outcome)
+        if on_result is not None:
+            on_result(point, outcome)
+
+    if jobs <= 1 or len(pending) <= 1:
+        for point in pending:
+            finish(point, _run_point(point))
+        return results
+
+    import multiprocessing
+
+    jobs = min(jobs, len(pending))
+    # Fork keeps warm imports; repro.harness.experiments registers an
+    # at-fork hook that clears its in-process memo in the child, so
+    # workers never serve (or mutate) rows owned by the parent.
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        ctx = multiprocessing.get_context()
+    with ctx.Pool(processes=jobs) as pool:
+        for point_tuple, outcome in pool.imap_unordered(
+                _worker, [tuple(p) for p in pending]):
+            finish(SweepPoint(*point_tuple), outcome)
+    return results

@@ -7,6 +7,7 @@ get back cycles, instruction mix, energy and quantified output quality.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Union
 
@@ -94,6 +95,17 @@ class KernelRun:
     #: :class:`repro.profile.Profile`); ``None`` unless the run was
     #: made with ``run_kernel(..., profile=...)``.
     profile: Optional["Profile"] = None
+    #: Host wall-clock seconds spent inside ``Simulator.run`` (the
+    #: simulation phase only -- compile and staging excluded).  Host
+    #: performance benchmarks derive guest MIPS from this.
+    sim_seconds: float = 0.0
+
+    @property
+    def guest_mips(self) -> float:
+        """Guest instructions per host microsecond (simulation phase)."""
+        if self.sim_seconds <= 0.0:
+            return 0.0
+        return self.trace.instret / self.sim_seconds / 1e6
 
     def lint_findings(self, min_severity: str = "note") -> list:
         """Lint findings at or above ``min_severity``."""
@@ -140,6 +152,7 @@ def run_kernel(
     injector: Optional[Callable] = None,
     trap_ok: bool = False,
     profile: Union[bool, "ProfileConfig", None] = None,
+    fast_path: Optional[bool] = None,
 ) -> KernelRun:
     """Run one (benchmark, type, vectorization, latency) configuration.
 
@@ -176,7 +189,8 @@ def run_kernel(
         source = spec.source_fn(ftype)
         kernel = compile_source(source, vectorize_loops=(mode == "auto"))
 
-    sim = Simulator(kernel.program, mem_latency=mem_latency)
+    sim = Simulator(kernel.program, mem_latency=mem_latency,
+                    fast_path=fast_path)
 
     collector = None
     if profile:
@@ -220,8 +234,10 @@ def run_kernel(
         else:
             raise HarnessError(f"unknown arg kind {arg.kind!r}")
 
+    sim_start = time.perf_counter()
     result = sim.run(spec.entry, args=regs, max_instructions=max_instructions,
                      step_hook=injector, profile=collector)
+    sim_seconds = time.perf_counter() - sim_start
     if not result.ok and not trap_ok:
         raise KernelExecutionError(
             f"{spec.name} [{ftype}, {mode}] ended with "
@@ -267,6 +283,7 @@ def run_kernel(
                     4 * len(kernel.program.words)),
         lint=kernel.lint_result,
         profile=collector.finish() if collector is not None else None,
+        sim_seconds=sim_seconds,
     )
 
 

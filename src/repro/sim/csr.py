@@ -24,6 +24,10 @@ CSR_MHARTID = 0xF14
 
 MASK32 = 0xFFFFFFFF
 
+#: frm value -> RoundingMode member; reserved encodings (5, 6) absent.
+#: Enum construction per read showed up in simulation profiles.
+_RM_BY_VALUE = {int(mode): mode for mode in RoundingMode}
+
 
 class IllegalCsr(ReproError):
     """Access to an unimplemented CSR (an illegal-instruction trap)."""
@@ -63,7 +67,10 @@ class CsrFile:
     @property
     def rounding_mode(self) -> RoundingMode:
         """The dynamic rounding mode (raises on reserved frm values)."""
-        return RoundingMode(self.frm)
+        mode = _RM_BY_VALUE.get(self.frm)
+        if mode is None:
+            raise ValueError(f"{self.frm} is not a valid RoundingMode")
+        return mode
 
     # ------------------------------------------------------------------
     def set_trap(self, cause: int, epc: int, tval: int) -> None:

@@ -31,12 +31,25 @@ class EbreakTrap(Exception):
 Handler = Callable[[Machine, Instr], Optional[int]]
 _HANDLERS: Dict[str, Handler] = {}
 
+_DYN_RM = int(RoundingMode.DYN)
+_RM_BY_VALUE = {int(mode): mode for mode in RoundingMode}
+
 
 def handler(kind: str) -> Callable[[Handler], Handler]:
     def wrap(fn: Handler) -> Handler:
         _HANDLERS[kind] = fn
         return fn
     return wrap
+
+
+def handler_for(kind: str) -> Optional[Handler]:
+    """The registered handler for ``kind``, or ``None``.
+
+    The block engine predecodes handler bindings with this; an
+    unimplemented kind ends the block so the reference loop raises the
+    architectural trap with its exact diagnostics.
+    """
+    return _HANDLERS.get(kind)
 
 
 def execute(machine: Machine, instr: Instr) -> Optional[int]:
@@ -77,9 +90,12 @@ def _rm(machine: Machine, instr: Instr) -> RoundingMode:
     spec = instr.spec
     if spec.rm_fixed is not None or spec.vec or instr.rm is None:
         return machine.csr.rounding_mode
-    if instr.rm == int(RoundingMode.DYN):
+    if instr.rm == _DYN_RM:
         return machine.csr.rounding_mode
-    return RoundingMode(instr.rm)
+    mode = _RM_BY_VALUE.get(instr.rm)
+    if mode is None:
+        raise ValueError(f"{instr.rm} is not a valid RoundingMode")
+    return mode
 
 
 def _vec_b_operand(machine: Machine, instr: Instr, fmt: FloatFormat) -> int:

@@ -17,6 +17,8 @@ exception, so sweep drivers can record the outcome and move on.
 
 from __future__ import annotations
 
+import os
+import struct
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Union
 
@@ -62,6 +64,12 @@ EXIT_REASONS = ("halt", "ecall", "ebreak", "trap", "budget_exceeded")
 StepHook = Callable[["Simulator", int], None]
 
 
+def _fast_path_default() -> bool:
+    """Resolve the ``REPRO_FAST_PATH`` environment knob (on by default)."""
+    value = os.environ.get("REPRO_FAST_PATH", "1").strip().lower()
+    return value not in ("0", "off", "false", "no")
+
+
 class SimulationError(ReproError):
     """Host-side misuse of the simulator (e.g. no program loaded)."""
 
@@ -100,6 +108,7 @@ class Simulator:
         merged_regfile: bool = True,
         flen: int = 32,
         timing: Optional[TimingConfig] = None,
+        fast_path: Optional[bool] = None,
     ):
         # Copy the caller's TimingConfig: the simulator owns its timing
         # state and must not mutate (or alias) an object it was handed.
@@ -123,6 +132,13 @@ class Simulator:
         self.timing = TimingModel(timing_config)
         self.program: Optional[Program] = None
         self._decode_cache: Dict[int, Tuple[Instr, int]] = {}
+        #: Use the predecoded block engine when the run has no
+        #: step hook or profile sink.  ``None`` defers to the
+        #: ``REPRO_FAST_PATH`` environment variable (on by default);
+        #: the differential tests pin both values explicitly.
+        self.fast_path = (_fast_path_default() if fast_path is None
+                          else fast_path)
+        self._block_engine = None  # built lazily on first fast run
         if program is not None:
             self.load(program)
 
@@ -131,8 +147,14 @@ class Simulator:
         """Load text and data sections into memory."""
         self.program = program
         self._decode_cache.clear()
-        for index, word in enumerate(program.words):
-            self.machine.memory.write_u32(program.text_base + 4 * index, word)
+        if self._block_engine is not None:
+            self._block_engine.invalidate()
+        if program.words:
+            # One bulk store of the packed text section: the per-word
+            # write_u32 loop paid a bounds check and a page lookup per
+            # instruction, which dominated load time for large kernels.
+            text = struct.pack(f"<{len(program.words)}I", *program.words)
+            self.machine.memory.write_block(program.text_base, text)
         if program.data:
             self.machine.memory.write_block(program.data_base, bytes(program.data))
 
@@ -152,9 +174,13 @@ class Simulator:
         """
         if addr is None:
             self._decode_cache.clear()
+            if self._block_engine is not None:
+                self._block_engine.invalidate()
             return
         for start in (addr & ~1, (addr & ~1) - 2):
             self._decode_cache.pop(start, None)
+        if self._block_engine is not None:
+            self._block_engine.invalidate(addr)
 
     # ------------------------------------------------------------------
     def _fetch(self, pc: int) -> Tuple[Instr, int]:
@@ -246,10 +272,91 @@ class Simulator:
         if profile is not None:
             profile.begin(self)
 
+        executed = 0
+        outcome = None
+        if self.fast_path and step_hook is None and profile is None:
+            # Block dispatch: bit-identical statistics, deferred until
+            # the engine returns.  A ``None`` outcome means the engine
+            # hit something it does not handle (undecodable word,
+            # unimplemented kind, budget edge) and the reference loop
+            # must finish the run from the current machine state.
+            outcome, executed = self._engine().run(stats, max_instructions)
+        if outcome is None:
+            outcome = self._run_reference(
+                stats, executed, max_instructions, step_hook, profile)
+        exit_reason, detail, trap_info = outcome
+
+        if profile is not None:
+            profile.end(exit_reason)
+        if trap_info is not None:
+            detail = str(trap_info)
+        return RunResult(trace=stats, exit_reason=exit_reason,
+                         machine=machine, trap=trap_info, detail=detail)
+
+    # ------------------------------------------------------------------
+    def _engine(self):
+        """The lazily constructed block engine for this simulator."""
+        if self._block_engine is None:
+            from .blocks import BlockEngine
+
+            self._block_engine = BlockEngine(self)
+        return self._block_engine
+
+    # ------------------------------------------------------------------
+    def _resolve_exec_fault(
+        self, exc: BaseException, instr: Instr,
+    ) -> Tuple[str, Optional[TrapInfo], bool]:
+        """Map an execute-stage exception to its run outcome.
+
+        Returns ``(exit_reason, trap_info, retires)`` where ``retires``
+        is True for voluntary exits (``ecall``/``ebreak``) whose
+        instruction still counts as retired with a 1-cycle cost.  The
+        isinstance checks mirror the historical ``except`` arm order so
+        both execution paths resolve overlapping exception types
+        identically; ``machine.pc`` must already point at the faulting
+        instruction (it feeds ``mepc``).
+        """
+        if isinstance(exc, EcallTrap):
+            return "ecall", None, True
+        if isinstance(exc, EbreakTrap):
+            return "ebreak", None, True
+        if isinstance(exc, ArchitecturalTrap):
+            return "trap", self._take_trap(
+                exc.cause, exc.tval, exc.detail, instr=instr), False
+        if isinstance(exc, IllegalCsr):
+            return "trap", self._take_trap(
+                CAUSE_ILLEGAL_INSTRUCTION, instr.word, str(exc),
+                instr=instr), False
+        if isinstance(exc, MemoryAccessError):
+            cause = (CAUSE_STORE_ACCESS_FAULT if exc.access == "store"
+                     else CAUSE_LOAD_ACCESS_FAULT)
+            return "trap", self._take_trap(
+                cause, exc.addr, str(exc), instr=instr), False
+        # ValueError: reserved rounding modes and format/FLEN mismatches
+        # are illegal instructions architecturally.
+        return "trap", self._take_trap(
+            CAUSE_ILLEGAL_INSTRUCTION, instr.word, str(exc),
+            instr=instr), False
+
+    # ------------------------------------------------------------------
+    def _run_reference(
+        self,
+        stats: Trace,
+        executed: int,
+        max_instructions: int,
+        step_hook: Optional[StepHook],
+        profile: Optional["ProfileSink"],
+    ) -> Tuple[str, str, Optional[TrapInfo]]:
+        """The per-instruction interpreter (ground truth for the fast path).
+
+        ``executed`` carries the retire count accumulated by the block
+        engine when this loop finishes a partially fast-pathed run, so
+        the instruction budget spans both phases exactly.
+        """
+        machine = self.machine
         exit_reason = "halt"
         detail = ""
         trap_info: Optional[TrapInfo] = None
-        executed = 0
         while machine.pc != HALT_ADDRESS:
             if executed >= max_instructions:
                 exit_reason = "budget_exceeded"
@@ -280,43 +387,14 @@ class Simulator:
             pc_before = machine.pc
             try:
                 next_pc = execute(machine, instr)
-            except EcallTrap:
-                if profile is not None:
-                    profile.on_retire(pc_before, instr, CycleBreakdown(1))
-                stats.record(instr, 1, pc=pc_before)
-                exit_reason = "ecall"
-                break
-            except EbreakTrap:
-                if profile is not None:
-                    profile.on_retire(pc_before, instr, CycleBreakdown(1))
-                stats.record(instr, 1, pc=pc_before)
-                exit_reason = "ebreak"
-                break
-            except ArchitecturalTrap as exc:
-                trap_info = self._take_trap(
-                    exc.cause, exc.tval, exc.detail, instr=instr)
-                exit_reason = "trap"
-                break
-            except IllegalCsr as exc:
-                trap_info = self._take_trap(
-                    CAUSE_ILLEGAL_INSTRUCTION, instr.word, str(exc),
-                    instr=instr)
-                exit_reason = "trap"
-                break
-            except MemoryAccessError as exc:
-                cause = (CAUSE_STORE_ACCESS_FAULT if exc.access == "store"
-                         else CAUSE_LOAD_ACCESS_FAULT)
-                trap_info = self._take_trap(cause, exc.addr, str(exc),
-                                            instr=instr)
-                exit_reason = "trap"
-                break
-            except ValueError as exc:
-                # Reserved rounding modes and format/FLEN mismatches are
-                # illegal instructions architecturally.
-                trap_info = self._take_trap(
-                    CAUSE_ILLEGAL_INSTRUCTION, instr.word, str(exc),
-                    instr=instr)
-                exit_reason = "trap"
+            except (EcallTrap, EbreakTrap, ArchitecturalTrap, IllegalCsr,
+                    MemoryAccessError, ValueError) as exc:
+                exit_reason, trap_info, retires = self._resolve_exec_fault(
+                    exc, instr)
+                if retires:
+                    if profile is not None:
+                        profile.on_retire(pc_before, instr, CycleBreakdown(1))
+                    stats.record(instr, 1, pc=pc_before)
                 break
             # Any redirect counts as taken (even a branch to pc+4: the
             # pipeline still flushes).
@@ -330,12 +408,7 @@ class Simulator:
             stats.record(instr, cost, taken, pc=pc_before)
             machine.pc = next_pc if next_pc is not None else fallthrough
             executed += 1
-        if profile is not None:
-            profile.end(exit_reason)
-        if trap_info is not None:
-            detail = str(trap_info)
-        return RunResult(trace=stats, exit_reason=exit_reason,
-                         machine=machine, trap=trap_info, detail=detail)
+        return exit_reason, detail, trap_info
 
     # ------------------------------------------------------------------
     def _raw_parcel(self, pc: int) -> int:

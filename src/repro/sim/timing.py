@@ -62,6 +62,22 @@ class TimingConfig:
         default_factory=lambda: dict(_DEFAULT_FSQRT)
     )
 
+    def snapshot_key(self):
+        """Hashable fingerprint of every latency knob.
+
+        The block engine bakes static cycle costs into cached blocks;
+        it compares this key at the start of each run and flushes the
+        cache when the configuration was mutated in between.
+        """
+        return (
+            self.mem_latency,
+            self.branch_taken_penalty,
+            self.jump_penalty,
+            self.int_div_cycles,
+            tuple(sorted(self.fdiv_cycles.items())),
+            tuple(sorted(self.fsqrt_cycles.items())),
+        )
+
 
 _MEM_KINDS = {"lb", "lh", "lw", "lbu", "lhu", "sb", "sh", "sw", "flw", "fsw"}
 _JUMP_KINDS = {"jal", "jalr"}

@@ -1,0 +1,129 @@
+"""Parallel sweep execution and the persistent result cache."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.harness.parallel import (
+    RESULT_CACHE_SCHEMA,
+    DiskResultCache,
+    SweepPoint,
+    point_key,
+    program_fingerprint,
+    resolve_cache,
+    run_points,
+)
+from repro.harness.runner import SafeRunOutcome
+
+POINT = SweepPoint("gemm", "float16", "scalar")
+SMALL = [
+    SweepPoint("gemm", "float16", "scalar"),
+    SweepPoint("gemm", "float8", "auto"),
+    SweepPoint("atax", "float16", "auto"),
+]
+
+
+def test_fingerprint_distinguishes_programs():
+    base = program_fingerprint("gemm", "float16", "scalar")
+    assert program_fingerprint("gemm", "float16", "scalar") == base
+    assert program_fingerprint("gemm", "float8", "scalar") != base
+    assert program_fingerprint("gemm", "float16", "auto") != base
+    assert program_fingerprint("atax", "float16", "scalar") != base
+
+
+def test_point_key_covers_config():
+    assert point_key(POINT) == point_key(SweepPoint(*POINT))
+    assert point_key(POINT) != point_key(POINT._replace(mem_latency=3))
+    assert point_key(POINT) != point_key(POINT._replace(seed=1))
+    assert point_key(POINT) != point_key(
+        POINT._replace(instruction_budget=1000))
+
+
+def test_disk_cache_roundtrip(tmp_path):
+    cache = DiskResultCache(str(tmp_path))
+    assert cache.get(POINT) is None
+    assert cache.misses == 1
+    outcome = SafeRunOutcome(status="error", detail="synthetic")
+    cache.put(POINT, outcome)
+    loaded = cache.get(POINT)
+    assert loaded is not None
+    assert loaded.status == "error" and loaded.detail == "synthetic"
+    assert cache.hits == 1
+
+
+def test_disk_cache_rejects_corrupt_entry(tmp_path):
+    cache = DiskResultCache(str(tmp_path))
+    cache.put(POINT, SafeRunOutcome(status="error", detail="x"))
+    path = cache.path_for(POINT)
+    with open(path, "wb") as handle:
+        handle.write(b"not a pickle")
+    assert cache.get(POINT) is None
+    assert not os.path.exists(path)  # corrupt entries are dropped
+
+
+def test_disk_cache_rejects_schema_mismatch(tmp_path):
+    cache = DiskResultCache(str(tmp_path))
+    payload = {"schema": RESULT_CACHE_SCHEMA + 1, "point": tuple(POINT),
+               "outcome": SafeRunOutcome(status="error", detail="old")}
+    with open(cache.path_for(POINT), "wb") as handle:
+        pickle.dump(payload, handle)
+    assert cache.get(POINT) is None
+
+
+def test_resolve_cache_env(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)
+    assert resolve_cache(None) is None
+    monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+    cache = resolve_cache(None)
+    assert cache is not None and cache.root == str(tmp_path)
+    explicit = resolve_cache(str(tmp_path / "sub"))
+    assert explicit.root == str(tmp_path / "sub")
+
+
+def test_run_points_serial_results():
+    results = run_points(SMALL, jobs=1)
+    assert set(results) == set(SMALL)
+    for point, outcome in results.items():
+        assert outcome.status == "ok", (point, outcome.detail)
+        assert outcome.run is not None
+
+
+def test_run_points_dedups_and_streams():
+    seen = []
+    results = run_points(SMALL + SMALL, jobs=1,
+                         on_result=lambda p, o: seen.append(p))
+    assert len(results) == len(SMALL)
+    assert sorted(seen) == sorted(SMALL)  # one callback per unique point
+
+
+def test_run_points_parallel_matches_serial(tmp_path):
+    serial = run_points(SMALL, jobs=1)
+    parallel = run_points(SMALL, jobs=2)
+    for point in SMALL:
+        a, b = serial[point], parallel[point]
+        assert a.status == b.status == "ok"
+        assert a.run.trace.cycles == b.run.trace.cycles
+        assert a.run.trace.instret == b.run.trace.instret
+        assert (list(a.run.trace.by_mnemonic.items())
+                == list(b.run.trace.by_mnemonic.items()))
+
+
+def test_run_points_disk_cache_hit(tmp_path):
+    cache = DiskResultCache(str(tmp_path))
+    first = run_points(SMALL, cache=cache)
+    assert cache.hits == 0
+    again = run_points(SMALL, cache=cache)
+    assert cache.hits == len(SMALL)
+    for point in SMALL:
+        assert first[point].run.trace.cycles == again[point].run.trace.cycles
+
+
+def test_prewarm_populates_memo():
+    from repro.harness import experiments as E
+
+    E.clear_cache()
+    computed = E.prewarm([("gemm", "float16", "scalar", 1, 0, 50_000_000)])
+    assert computed == 1
+    # A second prewarm finds the memoized row and computes nothing.
+    assert E.prewarm([("gemm", "float16", "scalar", 1, 0, 50_000_000)]) == 0

@@ -1,0 +1,97 @@
+"""Cached-block invalidation when instruction memory is corrupted.
+
+The block engine caches predecoded straight-line runs; a fault injector
+that flips a byte of the text section calls
+:meth:`Simulator.invalidate_decode`, which must drop not only the
+per-address decode cache entry but every cached *block* containing that
+address -- otherwise the stale pre-bound closure keeps executing the
+old instruction.  These tests corrupt memory mid-block between runs and
+require the fast path to track the reference interpreter exactly.
+"""
+
+from repro.isa import assemble
+from repro.sim import Simulator
+
+SRC = """
+addi a0, zero, 0
+addi a0, a0, 10
+addi a0, a0, 10
+addi a0, a0, 10
+ret
+"""
+
+
+def _pair():
+    return (Simulator(assemble(SRC), fast_path=False),
+            Simulator(assemble(SRC), fast_path=True))
+
+
+def _corrupt(sim, addr, word):
+    sim.machine.memory.write_u32(addr, word)
+    sim.invalidate_decode(addr)
+
+
+def test_mid_block_corruption_reexecutes_correctly():
+    ref, fast = _pair()
+    assert ref.run(0).trace.instret == fast.run(0).trace.instret
+    assert fast.machine.xregs[10] == 30
+
+    # Flip the middle addi (word 2, at 0x8) into addi a0, a0, 1.
+    new_word = assemble("addi a0, a0, 1").words[0]
+    for sim in (ref, fast):
+        _corrupt(sim, 0x8, new_word)
+    r1, r2 = ref.run(0), fast.run(0)
+    assert ref.machine.xregs[10] == fast.machine.xregs[10] == 21
+    assert r1.trace.cycles == r2.trace.cycles
+
+
+def test_corruption_to_illegal_word_traps():
+    ref, fast = _pair()
+    ref.run(0), fast.run(0)
+    for sim in (ref, fast):
+        _corrupt(sim, 0x8, 0xFFFFFFFF)
+    r1, r2 = ref.run(0), fast.run(0)
+    assert r1.exit_reason == r2.exit_reason == "trap"
+    assert r1.trap.cause == r2.trap.cause
+    assert r1.trap.mepc == r2.trap.mepc == 0x8
+    assert r1.trace.instret == r2.trace.instret == 2
+
+
+def test_corrupting_block_terminator():
+    ref, fast = _pair()
+    ref.run(0), fast.run(0)
+    # Turn the final ret (word 4, at 0x10) into another addi; the run
+    # then falls off the end into unmapped decode space and traps --
+    # identically on both paths.
+    new_word = assemble("addi a0, a0, 5").words[0]
+    for sim in (ref, fast):
+        _corrupt(sim, 0x10, new_word)
+    r1, r2 = ref.run(0), fast.run(0)
+    assert r1.exit_reason == r2.exit_reason
+    assert r1.trace.instret == r2.trace.instret
+    assert ref.machine.xregs[10] == fast.machine.xregs[10]
+
+
+def test_invalidate_all():
+    ref, fast = _pair()
+    ref.run(0), fast.run(0)
+    new_word = assemble("addi a0, a0, 2").words[0]
+    for sim in (ref, fast):
+        sim.machine.memory.write_u32(0x4, new_word)
+        sim.invalidate_decode()  # no address: drop everything
+    ref.run(0), fast.run(0)
+    assert ref.machine.xregs[10] == fast.machine.xregs[10] == 22
+
+
+def test_compressed_boundary_invalidation():
+    # A corruption address may fall on the second half of a 4-byte
+    # instruction; invalidate_decode(addr) must still kill the block.
+    ref, fast = _pair()
+    ref.run(0), fast.run(0)
+    new_word = assemble("addi a0, a0, 1").words[0]
+    for sim in (ref, fast):
+        sim.machine.memory.write_u32(0x8, new_word)
+        sim.invalidate_decode(0xA)  # upper parcel of the word at 0x8
+    r1, r2 = ref.run(0), fast.run(0)
+    assert ref.machine.xregs[10] == fast.machine.xregs[10]
+    assert r1.trace.cycles == r2.trace.cycles
