@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""The kernel-execution service, end to end.
+
+Boots ``repro serve`` as a subprocess on an ephemeral port, then
+exercises the whole API through :class:`repro.serve.ServeClient`: a
+cold kernel run, the same point again (cache hit), an async sweep with
+a duplicate point (coalesced), the metrics snapshot, and finally a
+SIGTERM so the server drains and exits cleanly.
+
+This is also the CI serve smoke test: any non-zero exit or failed
+check here fails the build.
+
+Run:  python examples/serve_client.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.serve import ServeClient  # noqa: E402
+
+
+def boot(cache_dir: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--jobs", "2", "--cache-dir", cache_dir],
+        cwd=ROOT, env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True)
+    banner = process.stdout.readline().strip()
+    print(f"  {banner}")
+    port = int(banner.split("http://", 1)[1].split()[0].rsplit(":", 1)[1])
+    return process, port
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as cache_dir:
+        print("== boot (ephemeral port, shared disk cache) ==")
+        process, port = boot(cache_dir)
+        try:
+            client = ServeClient(f"http://127.0.0.1:{port}")
+
+            health = client.healthz()
+            print(f"  healthz: {health['status']} "
+                  f"(schema {health['schema']}, v{health['version']})")
+            assert health["status"] == "ok"
+
+            print("\n== POST /v1/kernel: cold, then cached ==")
+            cold = client.run_kernel("gemm", "float16", "auto")
+            run = cold["result"]["run"]
+            print(f"  cold:   served_from={cold['served_from']:<9s} "
+                  f"cycles={run['cycles']} sqnr={run['sqnr_db']} dB")
+            warm = client.run_kernel("gemm", "float16", "auto")
+            print(f"  repeat: served_from={warm['served_from']:<9s} "
+                  "(same point, no simulation)")
+            assert cold["served_from"] == "executed"
+            assert warm["served_from"] == "cache"
+            assert (warm["result"]["run"]["outputs"]
+                    == run["outputs"]), "cache must be bit-identical"
+
+            print("\n== POST /v1/sweep: async job with a duplicate ==")
+            job = client.sweep([
+                {"kernel": "atax", "ftype": "float16"},
+                {"kernel": "atax", "ftype": "float8"},
+                {"kernel": "atax", "ftype": "float16"},  # duplicate
+            ])
+            print(f"  job {job['job_id']}: {job['total']} points")
+            done = client.wait_job(job["job_id"])
+            for row in done["results"]:
+                point = row["point"]
+                print(f"  {point['kernel']}/{point['ftype']:<10s} "
+                      f"served_from={row['served_from']}")
+            sources = [row["served_from"] for row in done["results"]]
+            assert sources.count("coalesced") == 1
+
+            print("\n== GET /metrics ==")
+            metrics = client.metrics()
+            cache = metrics["cache"]
+            latency = metrics["latency"]
+            print(f"  served: {metrics['served']}")
+            print(f"  cache hit rate: {cache['hit_rate']:.0%} "
+                  f"(disk: {cache['disk']['hits']} hits, "
+                  f"{cache['disk']['misses']} misses)")
+            print(f"  latency: p50 {latency['p50_ms']} ms, "
+                  f"p95 {latency['p95_ms']} ms over {latency['count']}")
+            print(f"  guest: {metrics['guest']['instructions']} "
+                  f"instructions at {metrics['guest']['mips']} MIPS")
+            assert cache["hits"] >= 1
+
+            print("\n== SIGTERM: graceful drain ==")
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=60)
+            print(f"  {stdout.strip().splitlines()[-1]}")
+            assert process.returncode == 0, stderr
+            assert "drained=clean" in stdout
+            print("  exit code 0: queued work finished before shutdown")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+
+
+if __name__ == "__main__":
+    main()

@@ -13,9 +13,14 @@ Subpackages:
 * :mod:`repro.tuning`   -- automatic precision tuning
 * :mod:`repro.harness`  -- per-figure/table experiment drivers
 * :mod:`repro.faults`   -- deterministic fault-injection campaigns
+* :mod:`repro.serve`    -- batched, cache-aware kernel-execution
+  service (JSON over HTTP) with backpressure and deadlines
 """
 
-__version__ = "1.1.0"
+#: Also salts the persistent result cache
+#: (:data:`repro.harness.parallel.CACHE_VERSION_SALT`): bumping the
+#: version invalidates cached outcomes from older simulators.
+__version__ = "1.2.0"
 
 
 class ReproError(Exception):

@@ -16,6 +16,8 @@ Installed as ``python -m repro``.  Subcommands:
 * ``tune``                -- run the precision-tuning case study
 * ``faults KERNEL``       -- run fault-injection campaigns and print a
                              per-format resilience summary
+* ``serve``               -- long-lived kernel-execution service
+                             (JSON over HTTP, batched + cached)
 """
 
 from __future__ import annotations
@@ -383,6 +385,28 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.server import ReproServeApp, make_server, run_server
+
+    app = ReproServeApp(
+        workers=args.jobs,
+        cache_dir=args.cache_dir,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.deadline_ms,
+    )
+    server = make_server(app, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    host, port = server.server_address[:2]
+    cache_root = app.cache.root if app.cache is not None else "off"
+    print(f"repro serve listening on http://{host}:{port} "
+          f"(workers={args.jobs}, max-queue={args.max_queue}, "
+          f"cache={cache_root})", flush=True)
+    drained = run_server(server, app)
+    print(f"repro serve: drained={'clean' if drained else 'timeout'}, bye",
+          flush=True)
+    return 0 if drained else 1
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     from .tuning import make_gesture_case, run_case_study
 
@@ -535,6 +559,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--json", metavar="FILE",
                           help="dump campaigns as JSON")
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_serve = sub.add_parser(
+        "serve", help="long-lived kernel-execution service (HTTP)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="listen port (0 picks an ephemeral port, "
+                              "printed on startup)")
+    p_serve.add_argument("--jobs", type=int, default=2,
+                         help="worker threads executing kernel points")
+    p_serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="persistent per-point result cache "
+                              "(default: $REPRO_RESULT_CACHE, else a "
+                              "private temp dir)")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="queued-job bound; beyond it requests get "
+                              "429 + Retry-After")
+    p_serve.add_argument("--deadline-ms", type=int, default=None,
+                         help="default per-request deadline (cancels "
+                              "via the instruction budget); requests "
+                              "may override")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request to stderr")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_tune = sub.add_parser("tune", help="precision-tuning case study")
     p_tune.add_argument("--seed", type=int, default=42)

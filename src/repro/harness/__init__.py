@@ -2,10 +2,13 @@
 
 from . import experiments
 from .parallel import (
+    CACHE_VERSION_SALT,
     DiskResultCache,
     SweepPoint,
+    point_key,
     program_fingerprint,
     resolve_cache,
+    run_point,
     run_points,
 )
 from .runner import (
@@ -22,10 +25,13 @@ from .runner import (
 
 __all__ = [
     "experiments",
+    "CACHE_VERSION_SALT",
     "DiskResultCache",
     "SweepPoint",
+    "point_key",
     "program_fingerprint",
     "resolve_cache",
+    "run_point",
     "run_points",
     "ARRAY_BASE",
     "MODES",

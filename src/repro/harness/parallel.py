@@ -35,6 +35,7 @@ import pickle
 import tempfile
 from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
 
+from .. import __version__
 from ..kernels import KERNELS
 from .runner import SafeRunOutcome, run_kernel_safe
 
@@ -42,6 +43,13 @@ from .runner import SafeRunOutcome, run_kernel_safe
 #: contains) changes shape; old entries then miss instead of
 #: deserializing into the wrong schema.
 RESULT_CACHE_SCHEMA = 1
+
+#: Version salt mixed into every fingerprint, key and payload.  A
+#: cached outcome embeds simulator behaviour (timing model, FP
+#: rounding, energy constants), not just the program, so entries
+#: written by an older package version must miss rather than be served
+#: as current results.
+CACHE_VERSION_SALT = f"repro-{__version__}/schema-{RESULT_CACHE_SCHEMA}"
 
 #: Environment variable naming a default cache directory; unset means
 #: no persistent cache unless one is passed explicitly.
@@ -84,6 +92,7 @@ def program_fingerprint(name: str, ftype: str, mode: str) -> str:
     else:
         source = spec.source_fn(ftype)
     digest = hashlib.sha256()
+    digest.update(f"{CACHE_VERSION_SALT}\n".encode())
     digest.update(source.encode())
     digest.update(repr(("mode", mode, "params",
                         sorted(spec.params.items()))).encode())
@@ -93,9 +102,9 @@ def program_fingerprint(name: str, ftype: str, mode: str) -> str:
 
 
 def point_key(point: SweepPoint) -> str:
-    """Stable cache key: program hash + config + schema version."""
+    """Stable cache key: program hash + config + version/schema salt."""
     digest = hashlib.sha256()
-    digest.update(f"schema={RESULT_CACHE_SCHEMA}\n".encode())
+    digest.update(f"salt={CACHE_VERSION_SALT}\n".encode())
     digest.update(program_fingerprint(
         point.name, point.ftype, point.mode).encode())
     digest.update(repr(tuple(point)).encode())
@@ -108,8 +117,11 @@ class DiskResultCache:
     Writes are atomic (temp file + ``os.replace``), so concurrent
     sweeps sharing a directory can only ever observe complete entries;
     the worst case for a racing write of the same point is one wasted
-    computation, never a torn file.  Unreadable or mis-keyed entries
-    are dropped and treated as misses.
+    computation, never a torn file.  Unreadable entries (truncated or
+    corrupt files) are quarantined aside as ``*.corrupt`` -- kept for
+    post-mortems, never re-read -- and treated as misses; well-formed
+    entries written by a different package version or payload schema
+    miss without being touched.
     """
 
     def __init__(self, root: str):
@@ -117,9 +129,20 @@ class DiskResultCache:
         os.makedirs(root, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def path_for(self, point: SweepPoint) -> str:
         return os.path.join(self.root, point_key(point) + ".pkl")
+
+    def _quarantine(self, path: str) -> None:
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        self.quarantined += 1
 
     def get(self, point: SweepPoint) -> Optional[SafeRunOutcome]:
         path = self.path_for(point)
@@ -130,16 +153,18 @@ class DiskResultCache:
             self.misses += 1
             return None
         except Exception:
-            # Torn, corrupt, or schema-incompatible entry: discard.
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+            # Torn, truncated, or undeserializable entry: set it aside
+            # so it can never be served (or re-parsed) again.
+            self._quarantine(path)
             self.misses += 1
             return None
         if (not isinstance(payload, dict)
                 or payload.get("schema") != RESULT_CACHE_SCHEMA
+                or payload.get("version") != __version__
                 or payload.get("point") != tuple(point)):
+            # Stale (older simulator version) or mis-keyed entry.  The
+            # key already covers the salt, so this is belt and braces
+            # for planted/migrated directories.
             self.misses += 1
             return None
         self.hits += 1
@@ -148,6 +173,7 @@ class DiskResultCache:
     def put(self, point: SweepPoint, outcome: SafeRunOutcome) -> None:
         payload = {
             "schema": RESULT_CACHE_SCHEMA,
+            "version": __version__,
             "point": tuple(point),
             "outcome": outcome,
         }
@@ -179,12 +205,26 @@ def resolve_cache(cache_dir: Optional[str]) -> Optional[DiskResultCache]:
 # ----------------------------------------------------------------------
 # Worker-per-point execution
 # ----------------------------------------------------------------------
-def _run_point(point: SweepPoint) -> SafeRunOutcome:
-    return run_kernel_safe(
-        KERNELS[point.name], point.ftype, point.mode,
+def run_point(point: SweepPoint, **overrides) -> SafeRunOutcome:
+    """Run one sweep point crash-isolated, in the calling process.
+
+    This is the worker body of :func:`run_points`, exposed for callers
+    (the serving layer, ad-hoc scripts) that manage their own
+    scheduling.  ``overrides`` are passed through to
+    :func:`~repro.harness.runner.run_kernel_safe` -- notably
+    ``max_instructions`` (a deadline-derived budget cap) and
+    ``profile``.
+    """
+    kwargs = dict(
         mem_latency=point.mem_latency, seed=point.seed,
         max_instructions=point.instruction_budget,
     )
+    kwargs.update(overrides)
+    return run_kernel_safe(KERNELS[point.name], point.ftype, point.mode,
+                           **kwargs)
+
+
+_run_point = run_point
 
 
 def _worker(point_tuple: Tuple) -> Tuple[Tuple, SafeRunOutcome]:

@@ -1,0 +1,61 @@
+"""Batched, cache-aware kernel-execution service (JSON over HTTP).
+
+Every other entry point in this package is one-shot: a CLI invocation
+compiles, simulates, scores and exits, paying warm-up on every call
+and sharing nothing.  This subsystem turns the harness into a
+long-lived service that amortizes warm simulator state, the
+:class:`~repro.harness.parallel.DiskResultCache` and a bounded worker
+pool across requests:
+
+* :mod:`repro.serve.schema`   -- versioned request validation and
+  JSON-safe response payloads
+* :mod:`repro.serve.jobs`     -- priority queue with request
+  coalescing and bounded-depth backpressure
+* :mod:`repro.serve.executor` -- worker pool over
+  :func:`repro.harness.parallel.run_point` with wall-clock deadlines
+  enforced through the instruction-budget mechanism
+* :mod:`repro.serve.metrics`  -- counters, cache hit rate, guest MIPS
+  and latency percentiles behind ``/metrics``
+* :mod:`repro.serve.server`   -- the stdlib HTTP front end
+  (``/healthz``, ``/metrics``, ``/v1/kernel``, ``/v1/sweep``,
+  ``/v1/jobs/<id>``) with graceful SIGTERM drain
+* :mod:`repro.serve.client`   -- a small stdlib client
+
+Start one with ``python -m repro serve --port 8321``; see
+``docs/serving.md`` for the API reference.
+"""
+
+from .client import ServeClient, ServeClientError
+from .executor import KernelExecutor
+from .jobs import Job, JobQueue
+from .metrics import ServeMetrics
+from .schema import (
+    SERVE_SCHEMA_VERSION,
+    KernelRequest,
+    RequestValidationError,
+    SweepRequest,
+    outcome_payload,
+    parse_kernel_request,
+    parse_sweep_request,
+)
+from .server import ReproHTTPServer, ReproServeApp, make_server, run_server
+
+__all__ = [
+    "ServeClient",
+    "ServeClientError",
+    "KernelExecutor",
+    "Job",
+    "JobQueue",
+    "ServeMetrics",
+    "SERVE_SCHEMA_VERSION",
+    "KernelRequest",
+    "RequestValidationError",
+    "SweepRequest",
+    "outcome_payload",
+    "parse_kernel_request",
+    "parse_sweep_request",
+    "ReproHTTPServer",
+    "ReproServeApp",
+    "make_server",
+    "run_server",
+]

@@ -1,0 +1,156 @@
+"""Small stdlib client for the kernel-execution service.
+
+Wraps the JSON-over-HTTP API in typed calls and turns structured error
+bodies into :class:`ServeClientError` (with ``status``, ``error_type``
+and ``retry_after`` populated), so callers never parse transport
+details.  ``urllib`` only -- usable anywhere the package itself is.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+from .. import ReproError
+from .schema import SERVE_SCHEMA_VERSION
+
+
+class ServeClientError(ReproError):
+    """An HTTP-level failure, carrying the server's structured error."""
+
+    def __init__(self, status: int, error_type: str, detail: str,
+                 retry_after: Optional[int] = None):
+        super().__init__(f"[{status}] {error_type}: {detail}")
+        self.status = status
+        self.error_type = error_type
+        self.detail = detail
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """One server endpoint, e.g. ``ServeClient("http://127.0.0.1:8321")``."""
+
+    def __init__(self, base_url: str, timeout: float = 120.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Dict:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers,
+                                         method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+                error = payload.get("error", {})
+            except (ValueError, UnicodeDecodeError):
+                error = {}
+            retry_after = None
+            header = exc.headers.get("Retry-After") if exc.headers else None
+            if header is not None:
+                try:
+                    retry_after = int(header)
+                except ValueError:
+                    retry_after = None
+            raise ServeClientError(
+                exc.code,
+                error.get("type", "http_error"),
+                error.get("detail", raw.decode("utf-8", "replace")[:200]),
+                retry_after=retry_after) from None
+        except urllib.error.URLError as exc:
+            raise ServeClientError(0, "unreachable",
+                                   f"{url}: {exc.reason}") from None
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict:
+        return self._request("GET", "/metrics")
+
+    def run_kernel(self, kernel: str, ftype: str = "float16",
+                   mode: str = "auto", mem_latency: int = 1, seed: int = 0,
+                   instruction_budget: Optional[int] = None,
+                   deadline_ms: Optional[int] = None,
+                   priority: Optional[str] = None,
+                   profile: bool = False) -> Dict:
+        """Run one point synchronously; returns the response payload."""
+        body: Dict = {
+            "schema": SERVE_SCHEMA_VERSION,
+            "kernel": kernel,
+            "ftype": ftype,
+            "mode": mode,
+            "mem_latency": mem_latency,
+            "seed": seed,
+        }
+        if instruction_budget is not None:
+            body["instruction_budget"] = instruction_budget
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        if priority is not None:
+            body["priority"] = priority
+        if profile:
+            body["profile"] = True
+        return self._request("POST", "/v1/kernel", body)
+
+    def sweep(self, points: List[Dict],
+              deadline_ms: Optional[int] = None,
+              priority: Optional[str] = None) -> Dict:
+        """Submit an async sweep; returns ``{"job_id", "poll", ...}``."""
+        body: Dict = {"schema": SERVE_SCHEMA_VERSION,
+                      "points": list(points)}
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        if priority is not None:
+            body["priority"] = priority
+        return self._request("POST", "/v1/sweep", body)
+
+    def job(self, job_id: str) -> Dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def wait_job(self, job_id: str, timeout: float = 300.0,
+                 poll_interval: float = 0.2) -> Dict:
+        """Poll until a sweep job reports ``done`` (or raise on timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["status"] == "done":
+                return status
+            if time.monotonic() >= deadline:
+                raise ServeClientError(
+                    0, "poll_timeout",
+                    f"sweep {job_id} still {status['status']} "
+                    f"({status['completed']}/{status['total']}) after "
+                    f"{timeout:.0f}s")
+            time.sleep(poll_interval)
+
+    def run_kernel_retrying(self, *args, max_attempts: int = 5,
+                            **kwargs) -> Dict:
+        """Like :meth:`run_kernel`, honouring 429 ``Retry-After`` hints."""
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self.run_kernel(*args, **kwargs)
+            except ServeClientError as exc:
+                if exc.status != 429 or attempt >= max_attempts:
+                    raise
+                time.sleep(exc.retry_after or 1)

@@ -1,0 +1,191 @@
+"""Bounded worker pool that drains the job queue.
+
+Each worker thread pops the best ready job, enforces its deadline, and
+runs the point crash-isolated via
+:func:`repro.harness.parallel.run_point` (the same worker body the
+parallel sweep harness uses), so a trapping or runaway guest comes
+back as a status row -- never a dead server.
+
+**Deadlines cancel via the instruction budget.**  The simulator's only
+preemption mechanism is ``max_instructions``, so a wall-clock deadline
+is translated into an instruction cap using a calibrated
+guest-MIPS estimate (an EWMA over observed runs, seeded
+conservatively).  When a run stops on a deadline-derived cap -- or its
+deadline already passed while it sat in the queue -- the job resolves
+as a structured timeout rather than a normal ``budget_exceeded``
+outcome, and the result is *not* cached (it was produced under a
+tighter budget than the request asked for).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional
+
+from ..harness.parallel import DiskResultCache, SweepPoint, run_point
+from ..harness.runner import SafeRunOutcome
+from .jobs import Job, JobQueue
+from .metrics import ServeMetrics
+
+#: Guest-MIPS estimate before any run has been observed.  Deliberately
+#: low: a pessimistic estimate under-caps the budget, which errs toward
+#: honouring the wall-clock deadline.
+DEFAULT_MIPS_ESTIMATE = 1.0
+
+#: EWMA weight of the newest observation.
+MIPS_EWMA_ALPHA = 0.25
+
+#: Never cap a deadline budget below this many instructions -- enough
+#: for the harness to produce a well-formed partial outcome.
+MIN_DEADLINE_BUDGET = 1_000
+
+#: Worker poll interval while idle (also the drain latency floor).
+_POLL_SECONDS = 0.05
+
+
+class KernelExecutor:
+    """N worker threads over one :class:`JobQueue`."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        workers: int = 2,
+        cache: Optional[DiskResultCache] = None,
+        metrics: Optional[ServeMetrics] = None,
+        runner: Callable[..., SafeRunOutcome] = run_point,
+    ):
+        self.queue = queue
+        self.cache = cache
+        self.metrics = metrics
+        self._runner = runner
+        self._mips_lock = threading.Lock()
+        self._mips = DEFAULT_MIPS_ESTIMATE
+        self._stop = threading.Event()
+        self._busy = 0
+        self._busy_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        for index in range(max(1, workers)):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{index}",
+                daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    @property
+    def workers(self) -> int:
+        return len(self._threads)
+
+    @property
+    def busy(self) -> int:
+        with self._busy_lock:
+            return self._busy
+
+    # ------------------------------------------------------------------
+    # Deadline -> instruction budget
+    # ------------------------------------------------------------------
+    def mips_estimate(self) -> float:
+        with self._mips_lock:
+            return self._mips
+
+    def _observe_mips(self, observed: float) -> None:
+        if observed <= 0.0:
+            return
+        with self._mips_lock:
+            self._mips += MIPS_EWMA_ALPHA * (observed - self._mips)
+
+    def budget_for(self, point: SweepPoint,
+                   deadline_remaining_s: Optional[float]) -> int:
+        """The effective ``max_instructions`` for one execution."""
+        if deadline_remaining_s is None:
+            return point.instruction_budget
+        cap = int(deadline_remaining_s * self.mips_estimate() * 1e6)
+        cap = max(MIN_DEADLINE_BUDGET, cap)
+        return min(point.instruction_budget, cap)
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.pop(timeout=_POLL_SECONDS)
+            if job is None:
+                continue
+            with self._busy_lock:
+                self._busy += 1
+            try:
+                self._execute(job)
+            finally:
+                self.queue.finish(job)
+                with self._busy_lock:
+                    self._busy -= 1
+
+    def _execute(self, job: Job) -> None:
+        now = time.monotonic()
+        remaining = None
+        if job.deadline_at is not None:
+            remaining = job.deadline_at - now
+            if remaining <= 0.0:
+                if self.metrics is not None:
+                    self.metrics.count_timeout()
+                job.resolve_timeout(
+                    "deadline expired while queued "
+                    f"({(now - job.admitted_at) * 1e3:.0f} ms waiting)")
+                return
+        budget = self.budget_for(job.point, remaining)
+        deadline_limited = budget < job.point.instruction_budget
+        try:
+            if job.profile:
+                outcome = self._runner(job.point, max_instructions=budget,
+                                       profile=True)
+            else:
+                outcome = self._runner(job.point, max_instructions=budget)
+        except BaseException as exc:  # belt and braces (runner is safe)
+            outcome = SafeRunOutcome(
+                status="error",
+                detail=f"executor: {type(exc).__name__}: {exc}")
+        if outcome.run is not None:
+            self._observe_mips(outcome.run.guest_mips)
+        if outcome.status == "budget_exceeded" and deadline_limited:
+            # The cap we imposed -- not the request's own budget --
+            # stopped the run: that is a deadline cancellation.
+            if self.metrics is not None:
+                self.metrics.count_timeout()
+            job.resolve_timeout(
+                f"execution cancelled at {budget} instructions "
+                f"(deadline-derived cap; estimate "
+                f"{self.mips_estimate():.2f} MIPS)")
+            return
+        profile_payload = None
+        if job.profile and outcome.run is not None \
+                and outcome.run.profile is not None:
+            profile_payload = outcome.run.profile.to_payload()
+        if self.cache is not None and not job.profile \
+                and not deadline_limited:
+            try:
+                self.cache.put(job.point, outcome)
+            except Exception:
+                pass  # cache is an optimisation, never a failure source
+        job.resolve(outcome, profile_payload)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Finish all admitted work, then stop the workers.
+
+        Call :meth:`JobQueue.close` first so nothing new is admitted.
+        Returns ``True`` when the queue emptied in time.
+        """
+        deadline = time.monotonic() + timeout
+        drained = False
+        while time.monotonic() < deadline:
+            if self.queue.depth == 0 and self.busy == 0:
+                drained = True
+                break
+            time.sleep(_POLL_SECONDS)
+        self._stop.set()
+        self.queue.wake_all()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        return drained

@@ -1,0 +1,452 @@
+"""JSON-over-HTTP front end: routing, admission, backpressure, drain.
+
+Stdlib only (``http.server`` + ``threading``).  One
+:class:`ReproServeApp` owns the whole serving state -- queue, worker
+pool, disk cache, metrics, sweep-job registry -- and is independent of
+the transport, so tests can drive it directly; :class:`ReproHTTPServer`
+is a thin ``ThreadingHTTPServer`` that parses requests and maps app
+results to status codes.
+
+Endpoints::
+
+    GET  /healthz           liveness (also reports drain state)
+    GET  /metrics           queue depth, cache hit rate, guest MIPS,
+                            latency percentiles, per-kernel counters
+    POST /v1/kernel         run one point; ?profile=1 attaches a
+                            repro.profile JSON payload
+    POST /v1/sweep          submit a point list; returns a job id
+    GET  /v1/jobs/<id>      poll a sweep job
+
+Admission for a kernel point is **cache first** (hits are answered
+synchronously without touching the queue), then **coalescing** (an
+identical in-flight point shares one execution), then the bounded
+queue -- refused admissions return 429 with a ``Retry-After`` hint.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import json
+import os
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .. import __version__
+from ..harness.parallel import resolve_cache
+from .executor import KernelExecutor
+from .jobs import (ADMIT_CLOSED, ADMIT_COALESCED, ADMIT_FULL, ADMIT_NEW,
+                   Job, JobQueue)
+from .metrics import ServeMetrics
+from .schema import (SERVE_SCHEMA_VERSION, KernelRequest,
+                     RequestValidationError, error_payload,
+                     outcome_payload, parse_kernel_request,
+                     parse_sweep_request, point_payload)
+
+#: Ceiling on how long one synchronous /v1/kernel call may block.
+MAX_SYNC_WAIT_SECONDS = 300.0
+
+#: Completed sweep jobs retained for polling (oldest evicted first).
+MAX_RETAINED_JOBS = 256
+
+
+class SweepJob:
+    """One async sweep: a list of (point, per-point state) rows."""
+
+    def __init__(self, job_id: str, rows: List[Dict]):
+        self.job_id = job_id
+        self.rows = rows  # {"point", "source", "job"|"payload"}
+        self.submitted_at = time.time()
+
+    def status_payload(self, include_results: bool = True) -> Dict:
+        completed = 0
+        results = []
+        for row in self.rows:
+            job: Optional[Job] = row.get("job")
+            if job is None or job.done:
+                completed += 1
+                if include_results:
+                    results.append(self._row_payload(row))
+        done = completed == len(self.rows)
+        payload = {
+            "schema": SERVE_SCHEMA_VERSION,
+            "job_id": self.job_id,
+            "status": "done" if done else "running",
+            "total": len(self.rows),
+            "completed": completed,
+        }
+        if include_results and done:
+            payload["results"] = results
+        return payload
+
+    @staticmethod
+    def _row_payload(row: Dict) -> Dict:
+        entry = {"point": point_payload(row["point"]),
+                 "served_from": row["source"]}
+        job: Optional[Job] = row.get("job")
+        if job is None:
+            entry["result"] = row["payload"]
+        elif job.timed_out:
+            entry.update(error_payload("deadline_exceeded",
+                                       job.timeout_detail))
+        else:
+            entry["result"] = outcome_payload(job.outcome)
+        return entry
+
+
+class ReproServeApp:
+    """Transport-independent serving core."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache_dir: Optional[str] = None,
+        max_queue: int = 64,
+        default_deadline_ms: Optional[int] = None,
+        runner=None,
+    ):
+        # A service without a cache cannot amortize anything, so when
+        # no directory is given (and no env default), use a private
+        # per-process one.
+        if cache_dir is None:
+            cache = resolve_cache(None)
+            if cache is None:
+                import tempfile
+
+                self._cache_tmp = tempfile.TemporaryDirectory(
+                    prefix="repro-serve-cache-")
+                cache = resolve_cache(self._cache_tmp.name)
+        else:
+            cache = resolve_cache(cache_dir)
+        self.cache = cache
+        self.max_queue = max_queue
+        self.default_deadline_ms = default_deadline_ms
+        self.metrics = ServeMetrics()
+        self.queue = JobQueue(max_depth=max_queue)
+        kwargs = {} if runner is None else {"runner": runner}
+        self.executor = KernelExecutor(
+            self.queue, workers=workers, cache=self.cache,
+            metrics=self.metrics, **kwargs)
+        self.draining = False
+        self._jobs: "collections.OrderedDict[str, SweepJob]" = \
+            collections.OrderedDict()
+        self._jobs_lock = threading.Lock()
+        self._job_seq = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Endpoint logic: each returns (http_status, headers, payload)
+    # ------------------------------------------------------------------
+    def healthz(self) -> Tuple[int, Dict, Dict]:
+        payload = {
+            "status": "draining" if self.draining else "ok",
+            "version": __version__,
+            "schema": SERVE_SCHEMA_VERSION,
+        }
+        return 200, {}, payload
+
+    def metrics_payload(self) -> Tuple[int, Dict, Dict]:
+        payload = {
+            "schema": SERVE_SCHEMA_VERSION,
+            "version": __version__,
+        }
+        payload.update(self.metrics.snapshot(
+            queue_depth=self.queue.depth,
+            inflight=self.queue.inflight,
+            workers=self.executor.workers,
+            cache=self.cache))
+        return 200, {}, payload
+
+    def _deadline_at(self, deadline_ms: Optional[int]) -> Optional[float]:
+        effective = deadline_ms if deadline_ms is not None \
+            else self.default_deadline_ms
+        if effective is None:
+            return None
+        return time.monotonic() + effective / 1e3
+
+    def _retry_after(self) -> int:
+        """Seconds until a queue slot plausibly frees up."""
+        mean = None
+        snap = self.metrics.latency_snapshot()
+        if snap["mean_ms"] is not None:
+            mean = snap["mean_ms"] / 1e3
+        per_slot = mean if mean else 0.5
+        workers = max(1, self.executor.workers)
+        estimate = (self.queue.depth + 1) * per_slot / workers
+        return max(1, int(estimate + 0.999))
+
+    def run_kernel(self, request: KernelRequest) -> Tuple[int, Dict, Dict]:
+        """Synchronous single-point execution (the hot endpoint)."""
+        started = time.monotonic()
+        point = request.point
+
+        # Cache-first admission: hits never touch the queue.
+        if not request.profile and self.cache is not None:
+            cached = self.cache.get(point)
+            if cached is not None:
+                self.metrics.record_served(
+                    point.name, "cache", cached,
+                    time.monotonic() - started)
+                payload = {
+                    "schema": SERVE_SCHEMA_VERSION,
+                    "served_from": "cache",
+                    "point": point_payload(point),
+                    "result": outcome_payload(cached),
+                }
+                return 200, {}, payload
+
+        job = Job(point, priority=request.priority,
+                  deadline_at=self._deadline_at(request.deadline_ms),
+                  profile=request.profile)
+        job, verdict = self.queue.submit(job)
+        if verdict == ADMIT_FULL:
+            self.metrics.count_shed()
+            retry = self._retry_after()
+            return 429, {"Retry-After": str(retry)}, error_payload(
+                "queue_full",
+                f"queue depth {self.max_queue} reached; retry later",
+                retry_after_seconds=retry)
+        if verdict == ADMIT_CLOSED:
+            return 503, {}, error_payload(
+                "draining", "server is draining; not accepting new work")
+
+        wait = MAX_SYNC_WAIT_SECONDS
+        if job.deadline_at is not None:
+            wait = min(wait, max(0.0, job.deadline_at - time.monotonic())
+                       + 10.0)
+        if not job.wait(wait):
+            return 504, {}, error_payload(
+                "wait_timeout",
+                f"gave up waiting after {wait:.0f}s (job still running)")
+
+        latency = time.monotonic() - started
+        if job.timed_out:
+            self.metrics.record_served(point.name, "executed", None, latency)
+            return 504, {}, error_payload(
+                "deadline_exceeded", job.timeout_detail,
+                deadline_ms=request.deadline_ms
+                if request.deadline_ms is not None
+                else self.default_deadline_ms)
+
+        source = "coalesced" if verdict == ADMIT_COALESCED else "executed"
+        self.metrics.record_served(point.name, source, job.outcome, latency)
+        payload = {
+            "schema": SERVE_SCHEMA_VERSION,
+            "served_from": source,
+            "point": point_payload(point),
+            "result": outcome_payload(job.outcome, job.profile_payload),
+        }
+        return 200, {}, payload
+
+    def submit_sweep(self, request) -> Tuple[int, Dict, Dict]:
+        """Async sweep: admit every point (atomically), return a job id."""
+        deadline_at = self._deadline_at(request.deadline_ms)
+        rows: List[Dict] = []
+        to_admit: List[Tuple[Dict, Job]] = []
+        for point in request.points:
+            row: Dict = {"point": point}
+            cached = self.cache.get(point) if self.cache is not None else None
+            if cached is not None:
+                row["source"] = "cache"
+                row["payload"] = outcome_payload(cached)
+                row["job"] = None
+                self.metrics.record_served(point.name, "cache", cached, 0.0)
+            else:
+                job = Job(point, priority=request.priority,
+                          deadline_at=deadline_at)
+                to_admit.append((row, job))
+            rows.append(row)
+
+        if to_admit:
+            verdicts = self.queue.submit_all([job for _, job in to_admit])
+            if verdicts is None:
+                if self.queue.closed:
+                    return 503, {}, error_payload(
+                        "draining",
+                        "server is draining; not accepting new work")
+                self.metrics.count_shed()
+                retry = self._retry_after()
+                return 429, {"Retry-After": str(retry)}, error_payload(
+                    "queue_full",
+                    f"sweep needs {len(to_admit)} slots; queue depth "
+                    f"{self.max_queue} reached", retry_after_seconds=retry)
+            for (row, _), (admitted, verdict) in zip(to_admit, verdicts):
+                row["job"] = admitted
+                row["source"] = ("coalesced" if verdict == ADMIT_COALESCED
+                                 else "executed")
+
+        job_id = f"sweep-{next(self._job_seq):06d}-{os.urandom(3).hex()}"
+        sweep = SweepJob(job_id, rows)
+        with self._jobs_lock:
+            self._jobs[job_id] = sweep
+            while len(self._jobs) > MAX_RETAINED_JOBS:
+                self._jobs.popitem(last=False)
+        payload = sweep.status_payload(include_results=False)
+        payload["poll"] = f"/v1/jobs/{job_id}"
+        return 202, {}, payload
+
+    def job_status(self, job_id: str) -> Tuple[int, Dict, Dict]:
+        with self._jobs_lock:
+            sweep = self._jobs.get(job_id)
+        if sweep is None:
+            return 404, {}, error_payload(
+                "unknown_job", f"no sweep job {job_id!r} (jobs are "
+                f"evicted after {MAX_RETAINED_JOBS} newer submissions)")
+        return 200, {}, sweep.status_payload()
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Stop admission, finish queued work, stop the workers."""
+        self.draining = True
+        self.queue.close()
+        return self.executor.drain(timeout=timeout)
+
+    def close(self) -> None:
+        tmp = getattr(self, "_cache_tmp", None)
+        if tmp is not None:
+            tmp.cleanup()
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-serve/{__version__}"
+
+    @property
+    def app(self) -> ReproServeApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    # -- helpers -------------------------------------------------------
+    def _send(self, status: int, payload: Dict,
+              headers: Optional[Dict] = None) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        self.app.metrics.count_response(status)
+
+    def _read_json(self) -> Optional[Dict]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise RequestValidationError("empty request body")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestValidationError(f"invalid JSON body: {exc}")
+
+    # -- routing -------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        parsed = urlparse(self.path)
+        app = self.app
+        if parsed.path == "/healthz":
+            app.metrics.count_request("healthz")
+            self._send(*self._pack(app.healthz()))
+        elif parsed.path == "/metrics":
+            app.metrics.count_request("metrics")
+            self._send(*self._pack(app.metrics_payload()))
+        elif parsed.path.startswith("/v1/jobs/"):
+            app.metrics.count_request("jobs")
+            job_id = parsed.path[len("/v1/jobs/"):]
+            self._send(*self._pack(app.job_status(job_id)))
+        else:
+            self._send(404, error_payload(
+                "not_found", f"no route for GET {parsed.path}"))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        parsed = urlparse(self.path)
+        app = self.app
+        try:
+            if parsed.path == "/v1/kernel":
+                app.metrics.count_request("kernel")
+                body = self._read_json()
+                query = parse_qs(parsed.query)
+                if query.get("profile", ["0"])[-1] in ("1", "true"):
+                    body = dict(body)
+                    body["profile"] = True
+                request = parse_kernel_request(body)
+                self._send(*self._pack(app.run_kernel(request)))
+            elif parsed.path == "/v1/sweep":
+                app.metrics.count_request("sweep")
+                request = parse_sweep_request(self._read_json())
+                self._send(*self._pack(app.submit_sweep(request)))
+            else:
+                self._send(404, error_payload(
+                    "not_found", f"no route for POST {parsed.path}"))
+        except RequestValidationError as exc:
+            app.metrics.count_rejected()
+            self._send(400, error_payload("invalid_request", str(exc)))
+
+    @staticmethod
+    def _pack(result: Tuple[int, Dict, Dict]):
+        status, headers, payload = result
+        return status, payload, headers
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    # Ephemeral-port reuse in quick test cycles.
+    allow_reuse_address = True
+
+    def __init__(self, address, app: ReproServeApp, verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.app = app
+        self.verbose = verbose
+
+
+def make_server(app: ReproServeApp, host: str = "127.0.0.1",
+                port: int = 0, verbose: bool = False) -> ReproHTTPServer:
+    """Bind (``port=0`` picks an ephemeral port) but don't serve yet."""
+    return ReproHTTPServer((host, port), app, verbose=verbose)
+
+
+def run_server(server: ReproHTTPServer, app: ReproServeApp,
+               install_signals: bool = True,
+               drain_timeout: float = 60.0) -> bool:
+    """Serve until SIGTERM/SIGINT, then drain gracefully.
+
+    On signal: admission closes (new work gets 503), queued and running
+    jobs finish and their waiting clients get real responses, then the
+    listener shuts down.  Returns whether the drain completed in time.
+    """
+    stop = threading.Event()
+
+    def request_stop(signum=None, frame=None):
+        stop.set()
+
+    if install_signals:
+        signal.signal(signal.SIGTERM, request_stop)
+        signal.signal(signal.SIGINT, request_stop)
+
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.1},
+        daemon=True)
+    thread.start()
+    try:
+        stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C fallback
+        pass
+    drained = app.drain(timeout=drain_timeout)
+    server.shutdown()
+    thread.join(timeout=5.0)
+    server.server_close()
+    app.close()
+    return drained

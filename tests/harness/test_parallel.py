@@ -5,6 +5,7 @@ import pickle
 
 import pytest
 
+from repro import __version__
 from repro.harness.parallel import (
     RESULT_CACHE_SCHEMA,
     DiskResultCache,
@@ -12,6 +13,7 @@ from repro.harness.parallel import (
     point_key,
     program_fingerprint,
     resolve_cache,
+    run_point,
     run_points,
 )
 from repro.harness.runner import SafeRunOutcome
@@ -52,23 +54,83 @@ def test_disk_cache_roundtrip(tmp_path):
     assert cache.hits == 1
 
 
-def test_disk_cache_rejects_corrupt_entry(tmp_path):
+def test_disk_cache_quarantines_corrupt_entry(tmp_path):
     cache = DiskResultCache(str(tmp_path))
     cache.put(POINT, SafeRunOutcome(status="error", detail="x"))
     path = cache.path_for(POINT)
     with open(path, "wb") as handle:
         handle.write(b"not a pickle")
     assert cache.get(POINT) is None
-    assert not os.path.exists(path)  # corrupt entries are dropped
+    assert not os.path.exists(path)  # never served or re-parsed again
+    assert os.path.exists(path + ".corrupt")  # kept for post-mortems
+    assert cache.quarantined == 1
+    # The quarantined file does not shadow the slot: a fresh write
+    # lands on the original path and is served again.
+    cache.put(POINT, SafeRunOutcome(status="error", detail="fresh"))
+    assert cache.get(POINT).detail == "fresh"
+
+
+def test_disk_cache_quarantines_truncated_entry(tmp_path):
+    cache = DiskResultCache(str(tmp_path))
+    cache.put(POINT, SafeRunOutcome(status="error", detail="x"))
+    path = cache.path_for(POINT)
+    with open(path, "rb") as handle:
+        whole = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(whole[: len(whole) // 2])  # torn mid-pickle
+    assert cache.get(POINT) is None
+    assert os.path.exists(path + ".corrupt")
+    assert cache.quarantined == 1 and cache.misses == 1
 
 
 def test_disk_cache_rejects_schema_mismatch(tmp_path):
     cache = DiskResultCache(str(tmp_path))
-    payload = {"schema": RESULT_CACHE_SCHEMA + 1, "point": tuple(POINT),
+    payload = {"schema": RESULT_CACHE_SCHEMA + 1, "version": __version__,
+               "point": tuple(POINT),
                "outcome": SafeRunOutcome(status="error", detail="old")}
     with open(cache.path_for(POINT), "wb") as handle:
         pickle.dump(payload, handle)
     assert cache.get(POINT) is None
+
+
+def test_disk_cache_migration_stale_version_misses(tmp_path):
+    # Plant a well-formed entry as an older simulator version would
+    # have written it (same key path, older version stamp): it must
+    # miss, not be served as a current result.
+    cache = DiskResultCache(str(tmp_path))
+    payload = {"schema": RESULT_CACHE_SCHEMA, "version": "0.0.1",
+               "point": tuple(POINT),
+               "outcome": SafeRunOutcome(status="error", detail="stale")}
+    with open(cache.path_for(POINT), "wb") as handle:
+        pickle.dump(payload, handle)
+    assert cache.get(POINT) is None
+    assert cache.misses == 1 and cache.hits == 0
+    # Stale entries are left in place (only *corrupt* files are
+    # quarantined) and a recompute overwrites them.
+    assert os.path.exists(cache.path_for(POINT))
+    cache.put(POINT, SafeRunOutcome(status="error", detail="current"))
+    assert cache.get(POINT).detail == "current"
+
+
+def test_point_key_covers_version_salt(monkeypatch):
+    base = point_key(POINT)
+    monkeypatch.setattr("repro.harness.parallel.CACHE_VERSION_SALT",
+                        "repro-0.0.1/schema-0")
+    assert point_key(POINT) != base
+
+
+def test_run_point_matches_run_points():
+    single = run_point(POINT)
+    swept = run_points([POINT])[POINT]
+    assert single.status == swept.status == "ok"
+    assert single.run.trace.cycles == swept.run.trace.cycles
+    assert single.run.trace.instret == swept.run.trace.instret
+
+
+def test_run_point_overrides_budget():
+    outcome = run_point(SweepPoint("gemm", "float16", "auto"),
+                        max_instructions=100)
+    assert outcome.status == "budget_exceeded"
 
 
 def test_resolve_cache_env(tmp_path, monkeypatch):

@@ -1,0 +1,125 @@
+"""Request-schema validation and response payload projection."""
+
+import pytest
+
+from repro.harness.parallel import SweepPoint
+from repro.harness.runner import SafeRunOutcome, run_kernel
+from repro.kernels import KERNELS
+from repro.serve.schema import (
+    SERVE_SCHEMA_VERSION,
+    RequestValidationError,
+    error_payload,
+    outcome_payload,
+    parse_kernel_request,
+    parse_sweep_request,
+)
+
+
+class TestKernelRequest:
+    def test_minimal_body_gets_defaults(self):
+        request = parse_kernel_request({"kernel": "gemm"})
+        assert request.point == SweepPoint("gemm", "float16", "auto")
+        assert request.deadline_ms is None
+        assert request.priority == "interactive"
+        assert not request.profile
+
+    def test_full_body_round_trips(self):
+        request = parse_kernel_request({
+            "schema": SERVE_SCHEMA_VERSION, "kernel": "atax",
+            "ftype": "float8", "mode": "scalar", "mem_latency": 10,
+            "seed": 3, "instruction_budget": 1_000_000,
+            "deadline_ms": 5000, "priority": "batch", "profile": True,
+        })
+        assert request.point == SweepPoint("atax", "float8", "scalar",
+                                           mem_latency=10, seed=3,
+                                           instruction_budget=1_000_000)
+        assert request.deadline_ms == 5000
+        assert request.priority == "batch"
+        assert request.profile
+
+    @pytest.mark.parametrize("body,needle", [
+        ({"kernel": "nonesuch"}, "unknown"),
+        ({"kernel": "gemm", "ftype": "float128"}, "ftype"),
+        ({"kernel": "gemm", "mode": "vector"}, "mode"),
+        ({"kernel": "gemm", "seed": -1}, "out of range"),
+        ({"kernel": "gemm", "mem_latency": 0}, "out of range"),
+        ({"kernel": "gemm", "instruction_budget": "lots"}, "integer"),
+        ({"kernel": "gemm", "deadline_ms": 0}, "out of range"),
+        ({"kernel": "gemm", "priority": "urgent"}, "priority"),
+        ({"kernel": "gemm", "profile": "yes"}, "boolean"),
+        ({"kernel": "gemm", "bogus": 1}, "unknown field"),
+        ({"kernel": "gemm", "schema": 99}, "unsupported schema"),
+        ([], "JSON object"),
+    ])
+    def test_rejects_malformed(self, body, needle):
+        with pytest.raises(RequestValidationError, match=needle):
+            parse_kernel_request(body)
+
+    def test_manual_mode_requires_manual_form(self):
+        no_manual = next(name for name, spec in KERNELS.items()
+                         if spec.manual_source_fn is None)
+        with pytest.raises(RequestValidationError, match="manual"):
+            parse_kernel_request({"kernel": no_manual, "mode": "manual"})
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(RequestValidationError, match="integer"):
+            parse_kernel_request({"kernel": "gemm", "seed": True})
+
+
+class TestSweepRequest:
+    def test_points_parse(self):
+        request = parse_sweep_request({
+            "points": [{"kernel": "gemm"},
+                       {"kernel": "atax", "ftype": "float8"}],
+        })
+        assert len(request.points) == 2
+        assert request.priority == "batch"
+
+    @pytest.mark.parametrize("body,needle", [
+        ({"points": []}, "non-empty"),
+        ({"points": "gemm"}, "non-empty list|list"),
+        ({}, "points"),
+        ({"points": [{"kernel": "gemm", "deadline_ms": 5}]},
+         "unknown field"),
+        ({"points": [{"kernel": "gemm"}], "schema": 2},
+         "unsupported schema"),
+    ])
+    def test_rejects_malformed(self, body, needle):
+        with pytest.raises(RequestValidationError, match=needle):
+            parse_sweep_request(body)
+
+    def test_per_sweep_point_cap(self):
+        body = {"points": [{"kernel": "gemm", "seed": i}
+                           for i in range(1025)]}
+        with pytest.raises(RequestValidationError, match="cap"):
+            parse_sweep_request(body)
+
+
+class TestPayloads:
+    def test_error_payload_shape(self):
+        payload = error_payload("queue_full", "later", retry_after_seconds=2)
+        assert payload["error"]["type"] == "queue_full"
+        assert payload["error"]["retry_after_seconds"] == 2
+
+    def test_outcome_payload_digests_are_bit_identity(self):
+        import json
+
+        run_a = run_kernel(KERNELS["gemm"], "float16", "auto")
+        run_b = run_kernel(KERNELS["gemm"], "float16", "auto")
+        pay_a = outcome_payload(SafeRunOutcome(status="ok", run=run_a))
+        pay_b = outcome_payload(SafeRunOutcome(status="ok", run=run_b))
+        assert pay_a["run"]["outputs"] == pay_b["run"]["outputs"]
+        assert pay_a["run"]["cycles"] == run_a.cycles
+        json.dumps(pay_a)  # fully JSON-serializable
+
+    def test_outcome_payload_different_seed_differs(self):
+        run_a = run_kernel(KERNELS["gemm"], "float16", "auto", seed=0)
+        run_b = run_kernel(KERNELS["gemm"], "float16", "auto", seed=1)
+        pay_a = outcome_payload(SafeRunOutcome(status="ok", run=run_a))
+        pay_b = outcome_payload(SafeRunOutcome(status="ok", run=run_b))
+        assert pay_a["run"]["outputs"] != pay_b["run"]["outputs"]
+
+    def test_outcome_payload_without_run(self):
+        payload = outcome_payload(
+            SafeRunOutcome(status="error", detail="boom"))
+        assert payload == {"status": "error", "detail": "boom"}

@@ -212,6 +212,20 @@ class TestExperiments:
         validate_payload(payload)
 
 
+class TestServe:
+    def test_parser_accepts_serving_knobs(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--jobs", "3", "--max-queue", "7",
+             "--deadline-ms", "250", "--cache-dir", "/tmp/x"])
+        assert args.port == 0 and args.jobs == 3
+        assert args.max_queue == 7 and args.deadline_ms == 250
+        assert args.cache_dir == "/tmp/x"
+        # Full boot/drain behaviour is covered by
+        # tests/serve/test_server.py and examples/serve_client.py.
+
+
 class TestTune:
     def test_case_study(self, capsys):
         assert main(["tune"]) == 0
