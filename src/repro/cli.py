@@ -393,14 +393,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         max_queue=args.max_queue,
         default_deadline_ms=args.deadline_ms,
+        worker_processes=args.workers,
+        journal_path=args.journal,
     )
     server = make_server(app, host=args.host, port=args.port,
                          verbose=args.verbose)
     host, port = server.server_address[:2]
     cache_root = app.cache.root if app.cache is not None else "off"
+    if args.workers:
+        topology = f"fleet workers={args.workers}"
+    else:
+        topology = f"threads={args.jobs}"
+    journal = f", journal={args.journal}" if args.journal else ""
     print(f"repro serve listening on http://{host}:{port} "
-          f"(workers={args.jobs}, max-queue={args.max_queue}, "
-          f"cache={cache_root})", flush=True)
+          f"({topology}, max-queue={args.max_queue}, "
+          f"cache={cache_root}{journal})", flush=True)
     drained = run_server(server, app)
     print(f"repro serve: drained={'clean' if drained else 'timeout'}, bye",
           flush=True)
@@ -566,6 +573,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--port", type=int, default=8321,
                          help="listen port (0 picks an ephemeral port, "
                               "printed on startup)")
+    p_serve.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="run N supervised worker *subprocesses* "
+                              "(crash-isolated fleet with heartbeats, "
+                              "failover and circuit breakers) instead of "
+                              "in-process threads")
+    p_serve.add_argument("--journal", metavar="PATH", default=None,
+                         help="write-ahead sweep journal (JSONL); an "
+                              "interrupted server resumes incomplete "
+                              "sweeps from it on restart")
     p_serve.add_argument("--jobs", type=int, default=2,
                          help="worker threads executing kernel points")
     p_serve.add_argument("--cache-dir", metavar="DIR", default=None,

@@ -33,6 +33,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 from .. import __version__
@@ -54,6 +55,12 @@ CACHE_VERSION_SALT = f"repro-{__version__}/schema-{RESULT_CACHE_SCHEMA}"
 #: Environment variable naming a default cache directory; unset means
 #: no persistent cache unless one is passed explicitly.
 CACHE_DIR_ENV = "REPRO_RESULT_CACHE"
+
+#: A ``*.tmp`` staging file older than this is an orphan -- its writer
+#: was killed between ``mkstemp`` and the atomic rename -- and is
+#: reaped on cache construction.  Generous: no legitimate write holds
+#: a temp file for minutes.
+STALE_TMP_SECONDS = 600.0
 
 
 class SweepPoint(NamedTuple):
@@ -115,21 +122,54 @@ class DiskResultCache:
     """Persistent point store: one pickled outcome file per key.
 
     Writes are atomic (temp file + ``os.replace``), so concurrent
-    sweeps sharing a directory can only ever observe complete entries;
-    the worst case for a racing write of the same point is one wasted
-    computation, never a torn file.  Unreadable entries (truncated or
+    sweeps sharing a directory -- including multiple *processes*, e.g.
+    the serving fleet's workers and a co-resident CLI sweep -- can only
+    ever observe complete entries; the worst case for a racing write of
+    the same point is one wasted computation, never a torn file.
+    Orphaned staging files left by SIGKILL'd writers are reaped on
+    attach (see :meth:`_reap_stale`).  Unreadable entries (truncated or
     corrupt files) are quarantined aside as ``*.corrupt`` -- kept for
     post-mortems, never re-read -- and treated as misses; well-formed
     entries written by a different package version or payload schema
     miss without being touched.
     """
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, stale_tmp_seconds: float =
+                 STALE_TMP_SECONDS):
         self.root = root
         os.makedirs(root, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
+        self.reaped_stale = 0
+        self._reap_stale(stale_tmp_seconds)
+
+    def _reap_stale(self, max_age_seconds: float) -> None:
+        """Remove orphaned write-staging files (killed writers).
+
+        A SIGKILL between ``mkstemp`` and ``os.replace`` leaves a
+        ``*.tmp`` behind.  It can never be served (``get`` only reads
+        final names), but a fleet of crash-prone writers would slowly
+        fill the directory, so each cache attach sweeps temp files
+        older than the stale threshold.  Races with a live writer are
+        benign: only files comfortably older than any real write are
+        touched, and a concurrent reap losing ``os.remove`` is ignored.
+        """
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return
+        now = time.time()
+        for name in names:
+            if not name.endswith(".tmp"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                if now - os.path.getmtime(path) > max_age_seconds:
+                    os.remove(path)
+                    self.reaped_stale += 1
+            except OSError:
+                pass  # already reaped by a sibling, or racing writer won
 
     def path_for(self, point: SweepPoint) -> str:
         return os.path.join(self.root, point_key(point) + ".pkl")

@@ -16,18 +16,32 @@ pool across requests:
   enforced through the instruction-budget mechanism
 * :mod:`repro.serve.metrics`  -- counters, cache hit rate, guest MIPS
   and latency percentiles behind ``/metrics``
+* :mod:`repro.serve.fleet`    -- supervised multi-process worker
+  fleet: heartbeats, per-request watchdogs, restart with exponential
+  backoff + circuit breakers, bounded request failover and
+  poison-point quarantine (``repro serve --workers N``)
+* :mod:`repro.serve.journal`  -- write-ahead sweep journal (fsynced
+  JSONL) so a SIGKILL'd server resumes incomplete sweeps on restart,
+  re-executing only uncached points
+* :mod:`repro.serve.chaos`    -- scripted fault scenarios (worker
+  kills, stalls, corrupt cache entries, overload bursts) asserting
+  zero lost requests and bit-identical surviving results
 * :mod:`repro.serve.server`   -- the stdlib HTTP front end
   (``/healthz``, ``/metrics``, ``/v1/kernel``, ``/v1/sweep``,
   ``/v1/jobs/<id>``) with graceful SIGTERM drain
-* :mod:`repro.serve.client`   -- a small stdlib client
+* :mod:`repro.serve.client`   -- a small stdlib client with
+  full-jitter retry backoff for idempotent requests
 
 Start one with ``python -m repro serve --port 8321``; see
-``docs/serving.md`` for the API reference.
+``docs/serving.md`` for the API reference and the fleet failure
+matrix.
 """
 
 from .client import ServeClient, ServeClientError
 from .executor import KernelExecutor
+from .fleet import FleetConfig, FleetSupervisor
 from .jobs import Job, JobQueue
+from .journal import SweepJournal
 from .metrics import ServeMetrics
 from .schema import (
     SERVE_SCHEMA_VERSION,
@@ -44,6 +58,9 @@ __all__ = [
     "ServeClient",
     "ServeClientError",
     "KernelExecutor",
+    "FleetConfig",
+    "FleetSupervisor",
+    "SweepJournal",
     "Job",
     "JobQueue",
     "ServeMetrics",

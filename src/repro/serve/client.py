@@ -9,6 +9,7 @@ details.  ``urllib`` only -- usable anywhere the package itself is.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -16,6 +17,17 @@ from typing import Dict, List, Optional
 
 from .. import ReproError
 from .schema import SERVE_SCHEMA_VERSION
+
+#: Full-jitter backoff defaults for :meth:`ServeClient.run_kernel_retrying`.
+RETRY_BACKOFF_BASE = 0.1
+RETRY_BACKOFF_CAP = 5.0
+
+#: HTTP statuses worth retrying for an idempotent kernel request.
+#: 429 is explicit backpressure; 0 is the client's marker for a
+#: transport-level failure (connection refused/reset mid-restart --
+#: exactly what a supervised fleet produces while a worker or the
+#: whole server bounces).
+RETRYABLE_STATUSES = frozenset({0, 429})
 
 
 class ServeClientError(ReproError):
@@ -143,14 +155,43 @@ class ServeClient:
             time.sleep(poll_interval)
 
     def run_kernel_retrying(self, *args, max_attempts: int = 5,
-                            **kwargs) -> Dict:
-        """Like :meth:`run_kernel`, honouring 429 ``Retry-After`` hints."""
+                            max_elapsed: Optional[float] = None,
+                            backoff_base: float = RETRY_BACKOFF_BASE,
+                            backoff_cap: float = RETRY_BACKOFF_CAP,
+                            rng: Optional[random.Random] = None,
+                            sleep=time.sleep, **kwargs) -> Dict:
+        """:meth:`run_kernel` with retries for transient failures.
+
+        Kernel execution is idempotent (same point, same bits), so two
+        failure classes are safe to retry: explicit backpressure (429,
+        honouring the server's ``Retry-After`` hint) and transport
+        failures (connection refused/reset while a server or fleet
+        worker restarts).  Retries use full-jitter exponential backoff
+        -- ``uniform(0, min(cap, base * 2**attempt))`` -- so a thundering
+        herd of retrying clients decorrelates instead of resynchronizing
+        on the recovering server.  ``max_elapsed`` caps the total time
+        spent (including sleeps); whichever of ``max_attempts`` and
+        ``max_elapsed`` trips first ends the attempt with the last error
+        re-raised.
+        """
+        rng = rng if rng is not None else random
+        started = time.monotonic()
         attempt = 0
         while True:
             attempt += 1
             try:
                 return self.run_kernel(*args, **kwargs)
             except ServeClientError as exc:
-                if exc.status != 429 or attempt >= max_attempts:
+                if exc.status not in RETRYABLE_STATUSES \
+                        or attempt >= max_attempts:
                     raise
-                time.sleep(exc.retry_after or 1)
+                if exc.status == 429 and exc.retry_after is not None:
+                    delay = float(exc.retry_after)
+                else:
+                    delay = rng.uniform(
+                        0.0, min(backoff_cap,
+                                 backoff_base * (2.0 ** (attempt - 1))))
+                if max_elapsed is not None and \
+                        time.monotonic() - started + delay > max_elapsed:
+                    raise
+                sleep(delay)

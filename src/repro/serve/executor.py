@@ -44,6 +44,40 @@ MIN_DEADLINE_BUDGET = 1_000
 _POLL_SECONDS = 0.05
 
 
+class MipsEstimator:
+    """Shared EWMA of observed guest MIPS, for deadline -> budget maps.
+
+    Both executors (the in-process thread pool here and the
+    multi-process fleet in :mod:`repro.serve.fleet`) translate
+    wall-clock deadlines into instruction caps through one of these.
+    """
+
+    def __init__(self, initial: float = DEFAULT_MIPS_ESTIMATE,
+                 alpha: float = MIPS_EWMA_ALPHA):
+        self._lock = threading.Lock()
+        self._mips = initial
+        self._alpha = alpha
+
+    def estimate(self) -> float:
+        with self._lock:
+            return self._mips
+
+    def observe(self, observed: float) -> None:
+        if observed <= 0.0:
+            return
+        with self._lock:
+            self._mips += self._alpha * (observed - self._mips)
+
+    def budget_for(self, point: SweepPoint,
+                   deadline_remaining_s: Optional[float]) -> int:
+        """The effective ``max_instructions`` for one execution."""
+        if deadline_remaining_s is None:
+            return point.instruction_budget
+        cap = int(deadline_remaining_s * self.estimate() * 1e6)
+        cap = max(MIN_DEADLINE_BUDGET, cap)
+        return min(point.instruction_budget, cap)
+
+
 class KernelExecutor:
     """N worker threads over one :class:`JobQueue`."""
 
@@ -59,8 +93,7 @@ class KernelExecutor:
         self.cache = cache
         self.metrics = metrics
         self._runner = runner
-        self._mips_lock = threading.Lock()
-        self._mips = DEFAULT_MIPS_ESTIMATE
+        self._estimator = MipsEstimator()
         self._stop = threading.Event()
         self._busy = 0
         self._busy_lock = threading.Lock()
@@ -85,23 +118,15 @@ class KernelExecutor:
     # Deadline -> instruction budget
     # ------------------------------------------------------------------
     def mips_estimate(self) -> float:
-        with self._mips_lock:
-            return self._mips
+        return self._estimator.estimate()
 
     def _observe_mips(self, observed: float) -> None:
-        if observed <= 0.0:
-            return
-        with self._mips_lock:
-            self._mips += MIPS_EWMA_ALPHA * (observed - self._mips)
+        self._estimator.observe(observed)
 
     def budget_for(self, point: SweepPoint,
                    deadline_remaining_s: Optional[float]) -> int:
         """The effective ``max_instructions`` for one execution."""
-        if deadline_remaining_s is None:
-            return point.instruction_budget
-        cap = int(deadline_remaining_s * self.mips_estimate() * 1e6)
-        cap = max(MIN_DEADLINE_BUDGET, cap)
-        return min(point.instruction_budget, cap)
+        return self._estimator.budget_for(point, deadline_remaining_s)
 
     # ------------------------------------------------------------------
     # Worker loop

@@ -57,7 +57,14 @@ class Job:
         self.admitted_at = time.monotonic()
         #: How many *extra* requests attached to this execution.
         self.coalesced = 0
+        #: How many times a worker has picked this job up.  The fleet
+        #: supervisor bumps it per dispatch; a job whose worker died
+        #: re-enters the queue, and once the count exceeds the
+        #: redelivery bound the point is quarantined as poison.
+        self.deliveries = 0
         self._done = threading.Event()
+        self._callbacks_lock = threading.Lock()
+        self._callbacks: List = []
         self.outcome: Optional[SafeRunOutcome] = None
         self.profile_payload: Optional[dict] = None
         #: Set instead of ``outcome`` when the deadline cancelled the
@@ -77,10 +84,34 @@ class Job:
         self.outcome = outcome
         self.profile_payload = profile_payload
         self._done.set()
+        self._fire_callbacks()
 
     def resolve_timeout(self, detail: str) -> None:
         self.timeout_detail = detail
         self._done.set()
+        self._fire_callbacks()
+
+    def add_done_callback(self, callback) -> None:
+        """Run ``callback(job)`` once the job completes (immediately if
+        it already has).  Used by the sweep journal to record progress
+        without polling."""
+        fire_now = False
+        with self._callbacks_lock:
+            if self._done.is_set():
+                fire_now = True
+            else:
+                self._callbacks.append(callback)
+        if fire_now:
+            callback(self)
+
+    def _fire_callbacks(self) -> None:
+        with self._callbacks_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception:
+                pass  # a journal hiccup must never wedge a waiter
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         return self._done.wait(timeout)
@@ -137,12 +168,16 @@ class JobQueue:
             self._admit_locked(job)
             return job, ADMIT_NEW
 
-    def submit_all(self, jobs: List[Job]) -> Optional[List[Tuple[Job, str]]]:
+    def submit_all(self, jobs: List[Job],
+                   force: bool = False) -> Optional[List[Tuple[Job, str]]]:
         """Atomically admit a batch (a sweep), or refuse it whole.
 
         Coalesced entries don't consume queue slots; if the *new* jobs
         don't all fit, nothing is admitted and ``None`` is returned, so
-        a half-admitted sweep can never wedge the queue.
+        a half-admitted sweep can never wedge the queue.  ``force``
+        bypasses the depth cap (never the closed flag): journal replay
+        re-admits work that was already accepted before a crash, and
+        refusing it would break the durability promise.
         """
         with self._lock:
             if self._closed:
@@ -158,7 +193,7 @@ class JobQueue:
                     matched[job.key] = job
                     fresh.append(job)
                     verdicts.append((job, ADMIT_NEW))
-            if self._queued + len(fresh) > self.max_depth:
+            if not force and self._queued + len(fresh) > self.max_depth:
                 return None
             for job in fresh:
                 self._admit_locked(job)
@@ -187,6 +222,21 @@ class JobQueue:
             _, _, job = heapq.heappop(self._heap)
             self._queued -= 1
             return job
+
+    def requeue(self, job: Job) -> None:
+        """Put a popped-but-unfinished job back on the ready heap.
+
+        Failover path: the worker holding the job died, so the job --
+        still registered in the coalescing index, still awaited by its
+        admitted waiters -- goes back for another worker to pick up.
+        Bypasses admission control deliberately: the job was already
+        admitted once, and refusing a redelivery would strand waiters.
+        """
+        rank = PRIORITY_RANK.get(job.priority, len(PRIORITY_RANK))
+        with self._lock:
+            heapq.heappush(self._heap, (rank, next(self._seq), job))
+            self._queued += 1
+            self._ready.notify()
 
     def finish(self, job: Job) -> None:
         """Close the coalescing window for a completed job."""

@@ -1,0 +1,222 @@
+"""Durable sweep jobs: a write-ahead journal with replay-on-start.
+
+A sweep admitted by the server is a promise of work.  The queue and
+the workers hold that promise in memory only, so a SIGKILL'd server
+(OOM killer, node reclaim, operator error) used to forget every
+incomplete sweep.  This journal makes the promise durable:
+
+* ``begin`` is appended (and fsynced) before the sweep's submission is
+  acknowledged -- the job id a client polls is on disk first;
+* ``point_done`` is appended as each point resolves, *after* the
+  result entered the :class:`~repro.harness.parallel.DiskResultCache`
+  (the executors cache before resolving), so a journaled completion
+  implies a cached result for every cacheable outcome;
+* ``end`` closes the sweep.
+
+On startup :class:`SweepJournal` replays the log, compacts it down to
+the still-incomplete sweeps, and hands those to the server, which
+re-admits their points **cache-first**: points whose results were
+cached before the crash are answered without re-execution, and only
+the genuinely unfinished tail runs again.  A torn final record (the
+process died mid-append) is skipped, not fatal.
+
+The journal is plain JSONL so operators can read it with ``jq``; it
+records point *configurations*, never results (those live in the
+cache, content-addressed and version-salted).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..harness.parallel import SweepPoint
+
+#: Bump on any incompatible change to record shapes.
+JOURNAL_SCHEMA = 1
+
+
+@dataclass
+class JournaledSweep:
+    """One sweep reconstructed from the log."""
+
+    job_id: str
+    points: List[SweepPoint]
+    priority: str = "batch"
+    deadline_ms: Optional[int] = None
+    done_indices: Set[int] = field(default_factory=set)
+    ended: bool = False
+
+    @property
+    def complete(self) -> bool:
+        return self.ended or len(self.done_indices) >= len(self.points)
+
+
+def _point_record(point: SweepPoint) -> List:
+    return list(point)
+
+
+def _point_from_record(entry) -> SweepPoint:
+    return SweepPoint(entry[0], entry[1], entry[2], int(entry[3]),
+                      int(entry[4]), int(entry[5]))
+
+
+class SweepJournal:
+    """Append-only JSONL sweep log with fsync and startup compaction."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self.replayed: List[JournaledSweep] = []
+        self.skipped_records = 0
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        sweeps = self._load()
+        self.replayed = [sweep for sweep in sweeps.values()
+                         if not sweep.complete]
+        self._compact(self.replayed)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _load(self) -> "Dict[str, JournaledSweep]":
+        sweeps: Dict[str, JournaledSweep] = {}
+        try:
+            handle = open(self.path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            return sweeps
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    self._apply(sweeps, record)
+                except (ValueError, KeyError, IndexError, TypeError):
+                    # A torn or foreign line (e.g. the append the
+                    # SIGKILL interrupted): skip it, count it.
+                    self.skipped_records += 1
+        return sweeps
+
+    @staticmethod
+    def _apply(sweeps: Dict[str, JournaledSweep], record: Dict) -> None:
+        kind = record["type"]
+        job_id = record["job_id"]
+        if kind == "begin":
+            sweeps[job_id] = JournaledSweep(
+                job_id=job_id,
+                points=[_point_from_record(entry)
+                        for entry in record["points"]],
+                priority=record.get("priority", "batch"),
+                deadline_ms=record.get("deadline_ms"),
+            )
+        elif kind == "point_done":
+            sweep = sweeps.get(job_id)
+            if sweep is not None:
+                sweep.done_indices.add(int(record["index"]))
+        elif kind == "end":
+            sweep = sweeps.get(job_id)
+            if sweep is not None:
+                sweep.ended = True
+
+    def incomplete(self) -> List[JournaledSweep]:
+        """The sweeps the crash interrupted (set at construction)."""
+        return list(self.replayed)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _append(self, record: Dict) -> None:
+        record["ts"] = round(time.time(), 3)
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock:
+            handle = self._handle
+            if handle.closed:
+                return
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def record_begin(self, job_id: str, points: List[SweepPoint],
+                     priority: str = "batch",
+                     deadline_ms: Optional[int] = None) -> None:
+        self._append({
+            "type": "begin", "schema": JOURNAL_SCHEMA, "job_id": job_id,
+            "points": [_point_record(point) for point in points],
+            "priority": priority, "deadline_ms": deadline_ms,
+        })
+
+    def record_point_done(self, job_id: str, index: int,
+                          status: str) -> None:
+        self._append({"type": "point_done", "job_id": job_id,
+                      "index": index, "status": status})
+
+    def record_end(self, job_id: str) -> None:
+        self._append({"type": "end", "job_id": job_id})
+
+    def _compact(self, keep: List[JournaledSweep]) -> None:
+        """Rewrite the log with only the incomplete sweeps (atomic)."""
+        tmp = self.path + ".compact.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for sweep in keep:
+                handle.write(json.dumps({
+                    "type": "begin", "schema": JOURNAL_SCHEMA,
+                    "job_id": sweep.job_id,
+                    "points": [_point_record(p) for p in sweep.points],
+                    "priority": sweep.priority,
+                    "deadline_ms": sweep.deadline_ms,
+                }, separators=(",", ":")) + "\n")
+                for index in sorted(sweep.done_indices):
+                    handle.write(json.dumps({
+                        "type": "point_done", "job_id": sweep.job_id,
+                        "index": index, "status": "replayed",
+                    }, separators=(",", ":")) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+class SweepJournalWriter:
+    """Per-sweep progress hook: counts completions, closes the sweep.
+
+    One of these is attached to every journaled sweep; the executors'
+    job-done callbacks funnel through :meth:`point_done`, and the
+    ``end`` record lands exactly once when the last point resolves.
+    """
+
+    def __init__(self, journal: SweepJournal, job_id: str, total: int):
+        self.journal = journal
+        self.job_id = job_id
+        self.total = total
+        self._lock = threading.Lock()
+        self._done = 0
+
+    def point_done(self, index: int, status: str) -> None:
+        self.journal.record_point_done(self.job_id, index, status)
+        with self._lock:
+            self._done += 1
+            finished = self._done >= self.total
+        if finished:
+            self.journal.record_end(self.job_id)
+
+
+def job_status_label(job) -> str:
+    """Terminal label for a journal ``point_done`` record."""
+    if job is None:
+        return "cache"
+    if job.timed_out:
+        return "timeout"
+    if job.outcome is not None:
+        return job.outcome.status
+    return "unknown"

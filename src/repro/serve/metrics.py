@@ -138,7 +138,9 @@ class ServeMetrics:
             return self.guest_instructions / self.guest_sim_seconds / 1e6
 
     def snapshot(self, queue_depth: int, inflight: int, workers: int,
-                 cache: Optional[DiskResultCache]) -> Dict:
+                 cache: Optional[DiskResultCache],
+                 fleet: Optional[Dict] = None,
+                 journal: Optional[Dict] = None) -> Dict:
         mips = self.guest_mips()
         with self._lock:
             cache_hits = self.served.get("cache", 0)
@@ -178,5 +180,13 @@ class ServeMetrics:
                 "hits": cache.hits,
                 "misses": cache.misses,
                 "quarantined": cache.quarantined,
+                "reaped_stale": getattr(cache, "reaped_stale", 0),
             }
+        if fleet is not None:
+            # Per-worker supervision state (restarts, breaker trips,
+            # redeliveries, poison quarantine) from the fleet
+            # supervisor, so chaos runs are observable end to end.
+            payload["fleet"] = fleet
+        if journal is not None:
+            payload["journal"] = journal
         return payload

@@ -37,10 +37,12 @@ from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from .. import __version__
-from ..harness.parallel import resolve_cache
+from ..harness.parallel import SweepPoint, resolve_cache
 from .executor import KernelExecutor
+from .fleet import FleetConfig, FleetSupervisor
 from .jobs import (ADMIT_CLOSED, ADMIT_COALESCED, ADMIT_FULL, ADMIT_NEW,
                    Job, JobQueue)
+from .journal import SweepJournal, SweepJournalWriter, job_status_label
 from .metrics import ServeMetrics
 from .schema import (SERVE_SCHEMA_VERSION, KernelRequest,
                      RequestValidationError, error_payload,
@@ -108,6 +110,9 @@ class ReproServeApp:
         max_queue: int = 64,
         default_deadline_ms: Optional[int] = None,
         runner=None,
+        worker_processes: Optional[int] = None,
+        journal_path: Optional[str] = None,
+        fleet_config: Optional[FleetConfig] = None,
     ):
         # A service without a cache cannot amortize anything, so when
         # no directory is given (and no env default), use a private
@@ -127,25 +132,81 @@ class ReproServeApp:
         self.default_deadline_ms = default_deadline_ms
         self.metrics = ServeMetrics()
         self.queue = JobQueue(max_depth=max_queue)
-        kwargs = {} if runner is None else {"runner": runner}
-        self.executor = KernelExecutor(
-            self.queue, workers=workers, cache=self.cache,
-            metrics=self.metrics, **kwargs)
+        if worker_processes:
+            # Supervised multi-process fleet: crash-isolated workers,
+            # heartbeats, failover, circuit breakers (repro.serve.fleet).
+            self.executor = FleetSupervisor(
+                self.queue, workers=worker_processes, cache=self.cache,
+                metrics=self.metrics,
+                config=fleet_config or FleetConfig.from_env())
+        else:
+            kwargs = {} if runner is None else {"runner": runner}
+            self.executor = KernelExecutor(
+                self.queue, workers=workers, cache=self.cache,
+                metrics=self.metrics, **kwargs)
         self.draining = False
         self._jobs: "collections.OrderedDict[str, SweepJob]" = \
             collections.OrderedDict()
         self._jobs_lock = threading.Lock()
         self._job_seq = itertools.count(1)
+        self.journal: Optional[SweepJournal] = None
+        self.journal_replayed_sweeps = 0
+        if journal_path is not None:
+            self.journal = SweepJournal(journal_path)
+            for sweep in self.journal.incomplete():
+                self._replay_sweep(sweep)
+
+    def _replay_sweep(self, journaled) -> None:
+        """Re-admit one crash-interrupted sweep from the journal.
+
+        Cache-first admission means points that completed (and were
+        cached) before the crash are answered without re-execution;
+        only the unfinished tail is dispatched again.  Admission is
+        forced past the depth cap -- this work was already accepted.
+        """
+        result = self._admit_sweep(
+            [SweepPoint(*point) for point in journaled.points],
+            deadline_ms=journaled.deadline_ms,
+            priority=journaled.priority,
+            job_id=journaled.job_id,
+            journal_begin=False,  # the begin record survived the crash
+            force=True)
+        if isinstance(result, SweepJob):
+            self.journal_replayed_sweeps += 1
 
     # ------------------------------------------------------------------
     # Endpoint logic: each returns (http_status, headers, payload)
     # ------------------------------------------------------------------
+    @property
+    def _executor_available(self) -> bool:
+        return getattr(self.executor, "available", True)
+
+    def _fleet_snapshot(self) -> Optional[Dict]:
+        snapshot_fn = getattr(self.executor, "fleet_snapshot", None)
+        return snapshot_fn() if snapshot_fn is not None else None
+
+    def _journal_snapshot(self) -> Optional[Dict]:
+        if self.journal is None:
+            return None
+        return {
+            "path": self.journal.path,
+            "replayed_sweeps": self.journal_replayed_sweeps,
+            "skipped_records": self.journal.skipped_records,
+        }
+
     def healthz(self) -> Tuple[int, Dict, Dict]:
+        status = "draining" if self.draining else "ok"
+        if not self.draining and not self._executor_available:
+            status = "degraded"  # all circuit breakers open
         payload = {
-            "status": "draining" if self.draining else "ok",
+            "status": status,
             "version": __version__,
             "schema": SERVE_SCHEMA_VERSION,
         }
+        fleet = self._fleet_snapshot()
+        if fleet is not None:
+            payload["fleet"] = {"active_workers": fleet["active_workers"],
+                                "workers": len(fleet["workers"])}
         return 200, {}, payload
 
     def metrics_payload(self) -> Tuple[int, Dict, Dict]:
@@ -157,7 +218,9 @@ class ReproServeApp:
             queue_depth=self.queue.depth,
             inflight=self.queue.inflight,
             workers=self.executor.workers,
-            cache=self.cache))
+            cache=self.cache,
+            fleet=self._fleet_snapshot(),
+            journal=self._journal_snapshot()))
         return 200, {}, payload
 
     def _deadline_at(self, deadline_ms: Optional[int]) -> Optional[float]:
@@ -197,6 +260,12 @@ class ReproServeApp:
                     "result": outcome_payload(cached),
                 }
                 return 200, {}, payload
+
+        if not self._executor_available:
+            return 503, {}, error_payload(
+                "no_healthy_workers",
+                "every fleet worker has been ejected by its circuit "
+                "breaker; restart the server")
 
         job = Job(point, priority=request.priority,
                   deadline_at=self._deadline_at(request.deadline_ms),
@@ -243,10 +312,34 @@ class ReproServeApp:
 
     def submit_sweep(self, request) -> Tuple[int, Dict, Dict]:
         """Async sweep: admit every point (atomically), return a job id."""
-        deadline_at = self._deadline_at(request.deadline_ms)
+        if not self._executor_available:
+            return 503, {}, error_payload(
+                "no_healthy_workers",
+                "every fleet worker has been ejected by its circuit "
+                "breaker; restart the server")
+        result = self._admit_sweep(list(request.points),
+                                   deadline_ms=request.deadline_ms,
+                                   priority=request.priority)
+        if not isinstance(result, SweepJob):
+            return result
+        payload = result.status_payload(include_results=False)
+        payload["poll"] = f"/v1/jobs/{result.job_id}"
+        return 202, {}, payload
+
+    def _admit_sweep(self, points: List, deadline_ms: Optional[int],
+                     priority: str, job_id: Optional[str] = None,
+                     journal_begin: bool = True, force: bool = False):
+        """Admit a point list as one sweep; the journaled core.
+
+        Returns the registered :class:`SweepJob`, or an HTTP error
+        triple when admission is refused.  ``force`` (journal replay)
+        bypasses the depth cap -- the work was accepted before a crash
+        and refusing it again would break durability.
+        """
+        deadline_at = self._deadline_at(deadline_ms)
         rows: List[Dict] = []
         to_admit: List[Tuple[Dict, Job]] = []
-        for point in request.points:
+        for point in points:
             row: Dict = {"point": point}
             cached = self.cache.get(point) if self.cache is not None else None
             if cached is not None:
@@ -255,13 +348,13 @@ class ReproServeApp:
                 row["job"] = None
                 self.metrics.record_served(point.name, "cache", cached, 0.0)
             else:
-                job = Job(point, priority=request.priority,
-                          deadline_at=deadline_at)
+                job = Job(point, priority=priority, deadline_at=deadline_at)
                 to_admit.append((row, job))
             rows.append(row)
 
         if to_admit:
-            verdicts = self.queue.submit_all([job for _, job in to_admit])
+            verdicts = self.queue.submit_all(
+                [job for _, job in to_admit], force=force)
             if verdicts is None:
                 if self.queue.closed:
                     return 503, {}, error_payload(
@@ -278,15 +371,41 @@ class ReproServeApp:
                 row["source"] = ("coalesced" if verdict == ADMIT_COALESCED
                                  else "executed")
 
-        job_id = f"sweep-{next(self._job_seq):06d}-{os.urandom(3).hex()}"
+        if job_id is None:
+            job_id = f"sweep-{next(self._job_seq):06d}-{os.urandom(3).hex()}"
         sweep = SweepJob(job_id, rows)
         with self._jobs_lock:
             self._jobs[job_id] = sweep
             while len(self._jobs) > MAX_RETAINED_JOBS:
                 self._jobs.popitem(last=False)
-        payload = sweep.status_payload(include_results=False)
-        payload["poll"] = f"/v1/jobs/{job_id}"
-        return 202, {}, payload
+        self._journal_sweep(sweep, priority, deadline_ms, journal_begin)
+        return sweep
+
+    def _journal_sweep(self, sweep: SweepJob, priority: str,
+                       deadline_ms: Optional[int],
+                       journal_begin: bool) -> None:
+        """Make one admitted sweep durable (no-op without a journal).
+
+        The ``begin`` record is fsynced before the 202 leaves the
+        server; each row then reports its completion through one
+        :class:`SweepJournalWriter`, which emits ``end`` exactly once.
+        """
+        if self.journal is None:
+            return
+        if journal_begin:
+            self.journal.record_begin(
+                sweep.job_id, [row["point"] for row in sweep.rows],
+                priority=priority, deadline_ms=deadline_ms)
+        writer = SweepJournalWriter(self.journal, sweep.job_id,
+                                    len(sweep.rows))
+        for index, row in enumerate(sweep.rows):
+            job: Optional[Job] = row.get("job")
+            if job is None:
+                writer.point_done(index, "cache")
+            else:
+                job.add_done_callback(
+                    lambda done_job, i=index:
+                        writer.point_done(i, job_status_label(done_job)))
 
     def job_status(self, job_id: str) -> Tuple[int, Dict, Dict]:
         with self._jobs_lock:
@@ -307,6 +426,8 @@ class ReproServeApp:
         return self.executor.drain(timeout=timeout)
 
     def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
         tmp = getattr(self, "_cache_tmp", None)
         if tmp is not None:
             tmp.cleanup()

@@ -112,6 +112,71 @@ def test_disk_cache_migration_stale_version_misses(tmp_path):
     assert cache.get(POINT).detail == "current"
 
 
+def _hammer_cache(root, writer_index, iterations):
+    """Child-process body: concurrent puts/gets against one directory."""
+    cache = DiskResultCache(root)
+    shared = SweepPoint("gemm", "float16", "scalar")
+    private = SweepPoint("gemm", "float16", "scalar", seed=writer_index)
+    for i in range(iterations):
+        cache.put(shared, SafeRunOutcome(
+            status="error", detail=f"w{writer_index}-{i}"))
+        cache.put(private, SafeRunOutcome(
+            status="error", detail=f"private-{writer_index}"))
+        loaded = cache.get(shared)
+        # A concurrent reader sees a complete entry or nothing -- a
+        # torn read would quarantine and bump this counter.
+        if loaded is None or cache.quarantined:
+            os._exit(1)
+    os._exit(0)
+
+
+def test_disk_cache_two_writer_processes(tmp_path):
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    procs = [ctx.Process(target=_hammer_cache,
+                         args=(str(tmp_path), index, 40))
+             for index in (1, 2)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60.0)
+        assert proc.exitcode == 0
+
+    # The directory is clean afterwards: final entries readable, no
+    # staging files or quarantined casualties left behind.
+    cache = DiskResultCache(str(tmp_path))
+    shared = cache.get(SweepPoint("gemm", "float16", "scalar"))
+    assert shared is not None and shared.detail.startswith("w")
+    for writer_index in (1, 2):
+        private = cache.get(SweepPoint("gemm", "float16", "scalar",
+                                       seed=writer_index))
+        assert private.detail == f"private-{writer_index}"
+    assert cache.quarantined == 0
+    assert not [name for name in os.listdir(str(tmp_path))
+                if name.endswith((".tmp", ".corrupt"))]
+
+
+def test_disk_cache_reaps_stale_tmp(tmp_path):
+    import time
+
+    old = tmp_path / "deadbeef.tmp"
+    old.write_bytes(b"orphaned write")
+    stale_when = time.time() - 10_000
+    os.utime(old, (stale_when, stale_when))
+    fresh = tmp_path / "cafef00d.tmp"
+    fresh.write_bytes(b"in-flight write")
+
+    cache = DiskResultCache(str(tmp_path))
+    assert cache.reaped_stale == 1
+    assert not old.exists()       # orphan from a SIGKILL'd writer
+    assert fresh.exists()         # racing live writer left alone
+    # Final entries are never touched by the reaper.
+    cache.put(POINT, SafeRunOutcome(status="error", detail="kept"))
+    again = DiskResultCache(str(tmp_path))
+    assert again.get(POINT).detail == "kept"
+
+
 def test_point_key_covers_version_salt(monkeypatch):
     base = point_key(POINT)
     monkeypatch.setattr("repro.harness.parallel.CACHE_VERSION_SALT",

@@ -1,0 +1,55 @@
+"""Chaos harness smoke: the invariants hold on a seeded scenario.
+
+The full scenario (kills + corrupt probes + overload burst) is the
+committed benchmark gate (``benchmarks/bench_fleet_chaos.py``); here a
+smaller seeded scenario keeps the harness itself honest in tier-1.
+"""
+
+from repro.serve.chaos import ChaosScenario, run_chaos_scenario
+
+
+def test_seeded_scenario_zero_lost_and_digest_parity():
+    scenario = ChaosScenario(
+        seed=3,
+        workers=2,
+        kernel="atax",
+        distinct_points=2,
+        requests=8,
+        clients=2,
+        latency_ms=120.0,
+        kill_at=(2,),
+        corrupt_at=(5,),
+    )
+    report = run_chaos_scenario(scenario)
+
+    # Invariant 1: every admitted request got a terminal answer.
+    assert report["lost_requests"] == 0
+    assert report["chaos"]["answered"] == scenario.requests
+
+    # Invariant 2: surviving results match the no-chaos run bit-exactly.
+    assert report["results_with_outputs"] >= 1
+    assert report["digest_mismatches"] == []
+    assert report["ok"]
+
+    # The script actually fired: one kill, one corrupt-cache probe.
+    actions = {event["action"]: event["result"]
+               for event in report["chaos"]["events"]}
+    assert actions["kill"] == "killed"
+    assert actions["corrupt"].startswith("corrupted")
+
+    # The fleet noticed and recovered.
+    fleet = report["chaos"]["metrics"]["fleet"]
+    assert fleet["worker_failures"] >= 1
+    assert fleet["restarts"] >= 1
+    assert fleet["active_workers"] == scenario.workers
+
+
+def test_report_is_json_safe():
+    import json
+
+    scenario = ChaosScenario(workers=1, requests=2, distinct_points=1,
+                             clients=1, latency_ms=0.0, kill_at=(),
+                             corrupt_at=())
+    report = run_chaos_scenario(scenario)
+    assert report["ok"]
+    json.dumps(report)  # must not raise

@@ -1,0 +1,116 @@
+"""Client retry policy: full-jitter backoff for idempotent requests."""
+
+import random
+
+import pytest
+
+from repro.serve.client import (
+    RETRYABLE_STATUSES,
+    ServeClient,
+    ServeClientError,
+)
+
+
+class ScriptedClient(ServeClient):
+    """run_kernel yields the scripted sequence (exception -> raised)."""
+
+    def __init__(self, script):
+        super().__init__("http://scripted.invalid")
+        self.script = list(script)
+        self.calls = 0
+
+    def run_kernel(self, *args, **kwargs):
+        self.calls += 1
+        action = self.script.pop(0)
+        if isinstance(action, Exception):
+            raise action
+        return action
+
+
+def backpressure(retry_after=None):
+    return ServeClientError(429, "queue_full", "full",
+                            retry_after=retry_after)
+
+
+def unreachable():
+    return ServeClientError(0, "unreachable", "connection refused")
+
+
+class TestRetrying:
+    def test_succeeds_after_transient_failures(self):
+        client = ScriptedClient([backpressure(), unreachable(), {"ok": 1}])
+        sleeps = []
+        response = client.run_kernel_retrying(
+            "atax", rng=random.Random(0), sleep=sleeps.append)
+        assert response == {"ok": 1}
+        assert client.calls == 3
+        assert len(sleeps) == 2
+
+    def test_transport_failure_is_retryable(self):
+        # 0 is the client's marker for connection refused/reset --
+        # exactly what a restarting fleet produces.
+        assert 0 in RETRYABLE_STATUSES and 429 in RETRYABLE_STATUSES
+        client = ScriptedClient([unreachable(), {"ok": 1}])
+        response = client.run_kernel_retrying(
+            "atax", rng=random.Random(0), sleep=lambda _: None)
+        assert response == {"ok": 1}
+
+    def test_non_retryable_status_raises_immediately(self):
+        client = ScriptedClient(
+            [ServeClientError(400, "invalid_request", "bad")])
+        with pytest.raises(ServeClientError) as excinfo:
+            client.run_kernel_retrying("atax", sleep=lambda _: None)
+        assert excinfo.value.status == 400
+        assert client.calls == 1
+
+    def test_max_attempts_exhausted_reraises_last_error(self):
+        client = ScriptedClient([unreachable()] * 5)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.run_kernel_retrying("atax", max_attempts=3,
+                                       rng=random.Random(0),
+                                       sleep=lambda _: None)
+        assert excinfo.value.status == 0
+        assert client.calls == 3
+
+    def test_retry_after_hint_is_honoured(self):
+        client = ScriptedClient([backpressure(retry_after=7), {"ok": 1}])
+        sleeps = []
+        client.run_kernel_retrying("atax", rng=random.Random(0),
+                                   sleep=sleeps.append)
+        assert sleeps == [7.0]
+
+    def test_max_elapsed_caps_total_time(self):
+        # The server asks for a 100 s pause but the caller only has
+        # 1 s: the retry loop must give up rather than oversleep.
+        client = ScriptedClient([backpressure(retry_after=100)])
+        with pytest.raises(ServeClientError):
+            client.run_kernel_retrying("atax", max_elapsed=1.0,
+                                       sleep=lambda _: None)
+        assert client.calls == 1
+
+    def test_full_jitter_delay_bounds(self):
+        attempts = 6
+        client = ScriptedClient([unreachable()] * (attempts - 1)
+                                + [{"ok": 1}])
+        sleeps = []
+        base, cap = 0.25, 1.0
+        client.run_kernel_retrying("atax", max_attempts=attempts,
+                                   backoff_base=base, backoff_cap=cap,
+                                   rng=random.Random(1234),
+                                   sleep=sleeps.append)
+        assert len(sleeps) == attempts - 1
+        for attempt, delay in enumerate(sleeps, start=1):
+            ceiling = min(cap, base * 2.0 ** (attempt - 1))
+            assert 0.0 <= delay <= ceiling
+        # Full jitter, not fixed exponential: the draws must differ.
+        assert len({round(delay, 9) for delay in sleeps}) > 1
+
+    def test_deterministic_with_seeded_rng(self):
+        def run():
+            client = ScriptedClient([unreachable()] * 3 + [{"ok": 1}])
+            sleeps = []
+            client.run_kernel_retrying("atax", rng=random.Random(42),
+                                       sleep=sleeps.append)
+            return sleeps
+
+        assert run() == run()

@@ -1,0 +1,183 @@
+"""Write-ahead sweep journal: durability, compaction, torn records."""
+
+import json
+import threading
+
+from repro.harness.parallel import SweepPoint
+from repro.serve.journal import (
+    SweepJournal,
+    SweepJournalWriter,
+    job_status_label,
+)
+from repro.serve.jobs import Job
+from repro.harness.runner import SafeRunOutcome
+
+POINTS = [
+    SweepPoint("atax", "float16", "auto", 1, 11, 50_000_000),
+    SweepPoint("atax", "float16", "auto", 1, 12, 50_000_000),
+    SweepPoint("atax", "float8", "auto", 1, 13, 50_000_000),
+]
+
+
+def read_lines(path):
+    with open(path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestJournalRoundtrip:
+    def test_completed_sweep_compacts_away(self, tmp_path):
+        path = str(tmp_path / "sweeps.jsonl")
+        journal = SweepJournal(path)
+        journal.record_begin("job-1", POINTS)
+        for index in range(len(POINTS)):
+            journal.record_point_done("job-1", index, "ok")
+        journal.record_end("job-1")
+        journal.close()
+
+        reopened = SweepJournal(path)
+        assert reopened.incomplete() == []
+        # Startup compaction drops finished sweeps from the file too.
+        assert read_lines(path) == []
+        reopened.close()
+
+    def test_incomplete_sweep_replays_with_done_indices(self, tmp_path):
+        path = str(tmp_path / "sweeps.jsonl")
+        journal = SweepJournal(path)
+        journal.record_begin("done-job", POINTS[:1])
+        journal.record_point_done("done-job", 0, "ok")
+        journal.record_end("done-job")
+        journal.record_begin("crashed-job", POINTS)
+        journal.record_point_done("crashed-job", 0, "ok")
+        journal.close()  # the crash: no end record for crashed-job
+
+        reopened = SweepJournal(path)
+        incomplete = reopened.incomplete()
+        assert [sweep.job_id for sweep in incomplete] == ["crashed-job"]
+        sweep = incomplete[0]
+        assert sweep.points == POINTS  # config survives bit-exact
+        assert sweep.done_indices == {0}
+        assert not sweep.complete
+        reopened.close()
+
+    def test_all_points_done_without_end_counts_complete(self, tmp_path):
+        # The crash can land between the last point_done and the end
+        # record; replaying such a sweep would re-admit nothing useful.
+        path = str(tmp_path / "sweeps.jsonl")
+        journal = SweepJournal(path)
+        journal.record_begin("job-1", POINTS[:2])
+        journal.record_point_done("job-1", 0, "ok")
+        journal.record_point_done("job-1", 1, "ok")
+        journal.close()
+        reopened = SweepJournal(path)
+        assert reopened.incomplete() == []
+        reopened.close()
+
+    def test_compaction_preserves_progress_atomically(self, tmp_path):
+        path = str(tmp_path / "sweeps.jsonl")
+        journal = SweepJournal(path)
+        journal.record_begin("job-1", POINTS)
+        journal.record_point_done("job-1", 1, "ok")
+        journal.close()
+
+        reopened = SweepJournal(path)
+        records = read_lines(path)
+        assert [record["type"] for record in records] == ["begin",
+                                                          "point_done"]
+        assert records[1]["index"] == 1
+        assert records[1]["status"] == "replayed"
+        reopened.close()
+
+
+class TestTornRecords:
+    def test_torn_final_line_is_skipped_not_fatal(self, tmp_path):
+        path = str(tmp_path / "sweeps.jsonl")
+        journal = SweepJournal(path)
+        journal.record_begin("job-1", POINTS)
+        journal.record_point_done("job-1", 0, "ok")
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type":"point_done","job_id":"job-1","ind')
+
+        reopened = SweepJournal(path)
+        assert reopened.skipped_records == 1
+        [sweep] = reopened.incomplete()
+        assert sweep.done_indices == {0}  # the torn record is ignored
+        reopened.close()
+
+    def test_foreign_and_blank_lines_tolerated(self, tmp_path):
+        path = str(tmp_path / "sweeps.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n")
+            handle.write('{"type":"mystery"}\n')
+            handle.write("not json at all\n")
+        journal = SweepJournal(path)
+        assert journal.incomplete() == []
+        assert journal.skipped_records == 2  # blank lines are free
+        journal.close()
+
+    def test_point_done_for_unknown_job_ignored(self, tmp_path):
+        path = str(tmp_path / "sweeps.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"type": "point_done",
+                                     "job_id": "ghost", "index": 0,
+                                     "status": "ok"}) + "\n")
+        journal = SweepJournal(path)
+        assert journal.incomplete() == []
+        journal.close()
+
+
+class TestWriter:
+    def test_end_emitted_exactly_once_at_total(self, tmp_path):
+        path = str(tmp_path / "sweeps.jsonl")
+        journal = SweepJournal(path)
+        writer = SweepJournalWriter(journal, "job-1", total=3)
+        journal.record_begin("job-1", POINTS)
+        for index in range(3):
+            writer.point_done(index, "ok")
+        journal.close()
+        kinds = [record["type"] for record in read_lines(path)]
+        assert kinds == ["begin", "point_done", "point_done",
+                         "point_done", "end"]
+
+    def test_concurrent_point_done_single_end(self, tmp_path):
+        path = str(tmp_path / "sweeps.jsonl")
+        journal = SweepJournal(path)
+        journal.record_begin("job-1", POINTS)
+        writer = SweepJournalWriter(journal, "job-1", total=3)
+        threads = [threading.Thread(target=writer.point_done,
+                                    args=(index, "ok"))
+                   for index in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        journal.close()
+        kinds = [record["type"] for record in read_lines(path)]
+        assert kinds.count("end") == 1
+
+    def test_append_after_close_is_noop(self, tmp_path):
+        path = str(tmp_path / "sweeps.jsonl")
+        journal = SweepJournal(path)
+        journal.close()
+        journal.record_begin("job-1", POINTS)  # must not raise
+        assert read_lines(path) == []
+
+
+class TestStatusLabel:
+    def test_labels(self):
+        point = POINTS[0]
+        assert job_status_label(None) == "cache"
+
+        ok = Job(point)
+        ok.resolve(SafeRunOutcome(status="ok"))
+        assert job_status_label(ok) == "ok"
+
+        err = Job(point)
+        err.resolve(SafeRunOutcome(status="error", detail="x"))
+        assert job_status_label(err) == "error"
+
+        late = Job(point)
+        late.resolve_timeout("too slow")
+        assert job_status_label(late) == "timeout"
+
+        assert job_status_label(Job(point)) == "unknown"
