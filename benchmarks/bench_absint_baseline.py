@@ -1,0 +1,45 @@
+"""Abstract-interpretation baseline: every kernel, every configuration.
+
+Regenerates ``results/absint_baseline.json``.  The committed snapshot
+records, per kernel x ftype x mode, every risk the static precision
+verifier reports plus the analysis summary, so a transfer-function or
+widening change surfaces as a reviewable diff.  The assertions pin the
+paper-level story: narrow smallFloat accumulation loops are provably
+at risk of rounding to infinity, the analyzer names the expanding
+``fmacex``/``vfdotpex`` operations as the fix, and (with the error
+budget disarmed, its default) nothing rises to error severity.
+"""
+
+from conftest import save_result
+
+from repro.analysis.absint_baseline import compute_absint_baseline
+
+
+def test_absint_baseline(benchmark):
+    payload = benchmark(compute_absint_baseline)
+    save_result("absint_baseline", payload)
+
+    print(f"\nAbsint baseline -- {payload['config_count']} configurations")
+    print(f"  by kind: {payload['totals_by_kind']}")
+
+    # The headline diagnostic must fire: narrow accumulators provably
+    # risk overflowing to infinity under the trip-count contract.
+    assert payload["totals_by_kind"].get("overflow", 0) > 0
+    # The budget check is off by default, so no budget risks may appear
+    # in the committed snapshot.
+    assert payload["totals_by_kind"].get("budget", 0) == 0
+    # A float8 dot-product-shaped kernel names the expanding scalar
+    # accumulation as the fix for its flagged reduction.
+    atax = payload["configs"]["atax/float8/auto"]
+    assert any(r.get("suggestion", "").startswith("fmacex")
+               or r.get("suggestion", "").startswith("vfdotpex")
+               for r in atax["risks"])
+    # The manually vectorized mixed-precision SVM accumulates through
+    # the expanding vfdotpex into binary32: no smallFloat format is at
+    # risk of overflow (the whole point of the expanding operations),
+    # even though float8 inputs feed it.  Remaining overflow flags, if
+    # any, concern only the binary32 outer accumulation under the
+    # conservative 4096-trip extrapolation.
+    svm_mixed = payload["configs"]["svm_mixed/float8/manual"]
+    assert not any(r["kind"] == "overflow" and r["fmt"] != "binary32"
+                   for r in svm_mixed["risks"])

@@ -5,11 +5,11 @@ internally) so individual benchmarks stay fast; ``--benchmark-only``
 times the underlying simulation work via representative payloads.
 """
 
-import json
 import os
 
 import pytest
 
+from repro.analysis.serialize import write_canonical
 from repro.harness import experiments
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -22,11 +22,14 @@ def _results_dir():
 
 
 def save_result(name, payload):
-    """Persist an experiment's rows next to the benchmarks."""
+    """Persist an experiment's rows next to the benchmarks.
+
+    Uses the one canonical serializer (sorted keys, stable layout) so
+    committed snapshots diff cleanly regardless of which bench or
+    regeneration path wrote them.
+    """
     path = os.path.join(RESULTS_DIR, f"{name}.json")
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, default=str)
-    return path
+    return str(write_canonical(path, payload))
 
 
 @pytest.fixture(scope="session")

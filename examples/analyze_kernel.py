@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Static precision verification walkthrough: the abstract interpreter.
+
+Run:  python examples/analyze_kernel.py
+"""
+
+from repro.analysis.absint import (
+    AbsintConfig,
+    analyze_program,
+    collect_risks,
+)
+from repro.analysis.absint_validate import validate_kernel
+from repro.isa import assemble
+
+NARROW = """\
+dot8:
+    li t0, 0
+loop:
+    lbu t3, 0(a0)
+    lbu t4, 0(a1)
+    vfmac.b t2, t3, t4       # accumulates in binary8!
+    addi a0, a0, 4
+    addi a1, a1, 4
+    addi t0, t0, 1
+    blt t0, a2, loop
+    sb t2, 0(a3)
+    ret
+"""
+
+EXPANDING = NARROW.replace("vfmac.b t2, t3, t4       # accumulates in binary8!",
+                           "vfdotpex.s.b t2, t3, t4  # expands into binary32")
+
+
+def narrow_accumulation_demo() -> None:
+    print("== A provably-overflowing binary8 accumulation ==")
+    result = analyze_program(assemble(NARROW))
+    print(result.render_text(top=4))
+    for risk in collect_risks(result):
+        print(f"  [{risk.kind}] line {risk.site.line}: {risk.message}")
+        if risk.suggestion:
+            print(f"      fix: {risk.suggestion}")
+    print()
+
+
+def expanding_rewrite_demo() -> None:
+    print("== The vfdotpex rewrite, verified ==")
+    narrow = analyze_program(assemble(NARROW))
+    expanding = analyze_program(assemble(EXPANDING))
+    n_err = max(s.result.err for s in narrow.sites.values()
+                if s.site.kind == "vfmac")
+    e_err = max(s.result.err for s in expanding.sites.values()
+                if s.site.kind == "vfdotpex")
+    print(f"  narrow accumulator error bound:    {n_err}")
+    print(f"  expanding accumulator error bound: {e_err}")
+    print(f"  risks after rewrite: "
+          f"{[r.kind for r in collect_risks(expanding)]}\n")
+
+
+def error_budget_demo() -> None:
+    print("== Arming an error budget ==")
+    config = AbsintConfig(input_bound=1.0, trip_bound=64,
+                          error_budget=1e-3)
+    result = analyze_program(assemble(EXPANDING), config=config)
+    budget = [r for r in collect_risks(result) if r.kind == "budget"]
+    verdict = "rejected" if budget else "within budget"
+    print(f"  relative error budget 1e-3: {verdict}\n")
+
+
+def soundness_demo() -> None:
+    print("== Replaying static bounds against the simulator ==")
+    report = validate_kernel("atax", "float8", "auto")
+    print(f"  {report.render()}")
+    assert report.ok, "static bounds must contain every dynamic value"
+
+
+if __name__ == "__main__":
+    narrow_accumulation_demo()
+    expanding_rewrite_demo()
+    error_budget_demo()
+    soundness_demo()

@@ -15,8 +15,34 @@ The subsystem has three layers:
 :mod:`repro.analysis.validate` closes the loop: it replays static
 findings against a dynamic :class:`~repro.sim.tracer.Trace` to report
 which flagged instructions the program actually executes.
+
+On top of these sits :mod:`repro.analysis.absint` -- an abstract
+interpreter propagating per-register value intervals and rounding-error
+bounds with widening at loop heads (exposed as ``repro analyze`` and
+as the ``overflow-to-inf-risk``/``underflow-flush-risk``/
+``catastrophic-cancellation``/``error-budget-exceeded`` lints) -- and
+:mod:`repro.analysis.absint_validate`, which replays those bounds
+against a binary64 shadow execution and treats any escape as a hard
+soundness failure.
 """
 
+from .absint import (
+    AbsintConfig,
+    AbsintResult,
+    AbsVal,
+    Risk,
+    analyze_cfg,
+    analyze_program,
+    collect_risks,
+)
+from .absint_baseline import compute_absint_baseline
+from .absint_validate import (
+    AbsintObserver,
+    BoundViolation,
+    SoundnessReport,
+    validate_kernel,
+    validate_matrix,
+)
 from .cfg import CFG, BasicBlock, Loop, Site, build_cfg
 from .dataflow import (
     DataflowAnalysis,
@@ -39,6 +65,7 @@ from .lints import (
     parse_suppressions,
     severity_at_least,
 )
+from .serialize import dumps_canonical, write_canonical
 from .validate import (
     ValidatedFinding,
     ValidationReport,
@@ -47,6 +74,21 @@ from .validate import (
 )
 
 __all__ = [
+    "AbsintConfig",
+    "AbsintResult",
+    "AbsVal",
+    "Risk",
+    "analyze_cfg",
+    "analyze_program",
+    "collect_risks",
+    "compute_absint_baseline",
+    "AbsintObserver",
+    "BoundViolation",
+    "SoundnessReport",
+    "validate_kernel",
+    "validate_matrix",
+    "dumps_canonical",
+    "write_canonical",
     "CFG",
     "BasicBlock",
     "Loop",

@@ -1,8 +1,8 @@
 """The SmallFloat-aware static lint pass.
 
-Eight checks built on the CFG and dataflow layers.  Each one encodes a
-failure mode the paper's format-per-operation design space makes easy
-to hit:
+Twelve checks built on the CFG, dataflow and abstract-interpretation
+layers.  Each one encodes a failure mode the paper's
+format-per-operation design space makes easy to hit:
 
 ``use-before-def``
     A register is read on some path before anything writes it.
@@ -31,6 +31,23 @@ to hit:
     auto-vectorizer's :class:`VectorizeReport` when one is available.
 ``unreachable-code``
     Basic blocks no entry point reaches.
+``overflow-to-inf-risk``
+    The abstract interpreter (:mod:`repro.analysis.absint`) proves a
+    result's magnitude can exceed the format's largest finite value
+    under the documented input/trip contract -- rounding to infinity.
+    Loop accumulators flagged here name the expanding
+    ``fmacex``/``vfdotpex`` replacement whose binary32 accumulator
+    provably cannot overflow at the same magnitudes.
+``underflow-flush-risk``
+    Every possible result magnitude sits below the format's smallest
+    normal: the value lives in the subnormal range or flushes to zero.
+``catastrophic-cancellation``
+    An add/subtract whose operands carry accumulated rounding error can
+    cancel to near zero, where that carried error dominates the result.
+``error-budget-exceeded``
+    A stored value's statically bounded relative error exceeds the
+    budget configured in :class:`repro.analysis.absint.AbsintConfig`
+    (off by default).
 
 Findings carry the assembly source line (threaded through
 :class:`Program.lines`), the instruction address (used by the dynamic
@@ -51,6 +68,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 from ..isa.assembler import Program
 from ..isa.disassembler import format_instr
 from ..isa.registers import xreg_name
+from .absint import AbsintConfig, Risk, analyze_cfg, collect_risks
 from .cfg import CFG, Site, build_cfg
 from .dataflow import (
     CALLEE_SAVED,
@@ -77,6 +95,10 @@ CHECKS = (
     "uninitialized-load",
     "missed-vectorization",
     "unreachable-code",
+    "overflow-to-inf-risk",
+    "underflow-flush-risk",
+    "catastrophic-cancellation",
+    "error-budget-exceeded",
 )
 
 _WIDTH = {"s": 32, "h": 16, "ah": 16, "b": 8}
@@ -139,6 +161,10 @@ class LintConfig:
 
     disabled: Set[str] = field(default_factory=set)
     min_severity: str = "note"
+    #: Abstract-interpretation assumptions for the absint-backed checks
+    #: (``None`` uses the defaults; set ``error_budget`` to arm
+    #: ``error-budget-exceeded``).
+    absint: Optional[AbsintConfig] = None
 
     def wants(self, check: str) -> bool:
         return check not in self.disabled
@@ -191,9 +217,12 @@ class LintResult:
 class _Context:
     """Analyses solved once and shared by every check."""
 
-    def __init__(self, cfg: CFG, vector_report=None):
+    def __init__(self, cfg: CFG, vector_report=None,
+                 absint_config: Optional[AbsintConfig] = None):
         self.cfg = cfg
         self.vector_report = vector_report
+        self.absint_config = absint_config
+        self._absint_risks: Optional[List[Risk]] = None
         self.reachable = cfg.reachable()
         self.loops = cfg.natural_loops()
         rdefs_solution = ReachingDefs().solve(cfg)
@@ -220,6 +249,13 @@ class _Context:
                 block, uninit_solution[start][0],
                 lambda site, regs: self.uninit_at.__setitem__(
                     site.addr, regs))
+
+    def absint_risks(self) -> List[Risk]:
+        """Risks from the abstract interpreter, solved on first use."""
+        if self._absint_risks is None:
+            result = analyze_cfg(self.cfg, self.absint_config)
+            self._absint_risks = collect_risks(result, self.reachable)
+        return self._absint_risks
 
     def describe(self, site: Site) -> Tuple[Optional[int], Optional[str],
                                             Optional[str]]:
@@ -588,6 +624,37 @@ def _check_unreachable(ctx: _Context) -> List[LintFinding]:
     return findings
 
 
+# ----------------------------------------------------------------------
+# Abstract-interpretation-backed checks (repro.analysis.absint)
+# ----------------------------------------------------------------------
+def _absint_findings(ctx: _Context, risk_kind: str, check: str,
+                     severity: str) -> List[LintFinding]:
+    return [ctx.finding(check, severity, risk.message, risk.site,
+                        suggestion=risk.suggestion)
+            for risk in ctx.absint_risks() if risk.kind == risk_kind]
+
+
+def _check_overflow_to_inf(ctx: _Context) -> List[LintFinding]:
+    return _absint_findings(ctx, "overflow", "overflow-to-inf-risk",
+                            "warning")
+
+
+def _check_underflow_flush(ctx: _Context) -> List[LintFinding]:
+    return _absint_findings(ctx, "underflow", "underflow-flush-risk",
+                            "note")
+
+
+def _check_cancellation(ctx: _Context) -> List[LintFinding]:
+    return _absint_findings(ctx, "cancellation",
+                            "catastrophic-cancellation", "note")
+
+
+def _check_error_budget(ctx: _Context) -> List[LintFinding]:
+    # Only produces findings when an error budget is configured.
+    return _absint_findings(ctx, "budget", "error-budget-exceeded",
+                            "error")
+
+
 _CHECK_FNS = {
     "use-before-def": _check_use_before_def,
     "format-mismatch": _check_format_mismatch,
@@ -597,6 +664,10 @@ _CHECK_FNS = {
     "uninitialized-load": _check_uninitialized_load,
     "missed-vectorization": _check_missed_vectorization,
     "unreachable-code": _check_unreachable,
+    "overflow-to-inf-risk": _check_overflow_to_inf,
+    "underflow-flush-risk": _check_underflow_flush,
+    "catastrophic-cancellation": _check_cancellation,
+    "error-budget-exceeded": _check_error_budget,
 }
 
 
@@ -644,7 +715,8 @@ def lint_program(
     started = time.monotonic()
     config = config or LintConfig()
     cfg = build_cfg(program, entries=entries)
-    ctx = _Context(cfg, vector_report=vector_report)
+    ctx = _Context(cfg, vector_report=vector_report,
+                   absint_config=config.absint)
     suppressions = parse_suppressions(source) if source else {}
     findings: List[LintFinding] = []
     for check in CHECKS:

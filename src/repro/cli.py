@@ -8,6 +8,12 @@ Installed as ``python -m repro``.  Subcommands:
 * ``kernel NAME``         -- run one benchmark configuration
 * ``lint FILE``           -- static-analyze an assembly file (or a
                              built-in kernel with ``--kernel``)
+* ``analyze FILE``        -- abstract interpretation: value-range and
+                             rounding-error bounds, overflow/underflow/
+                             cancellation risks; ``--validate`` replays
+                             the bounds against the simulator and fails
+                             hard on any escape (with no target, the
+                             full kernel matrix is validated)
 * ``profile KERNEL``      -- cycle-attribution profile of one kernel
                              run: hot loops/blocks, stall causes, and
                              optional JSON / Chrome-trace / annotated
@@ -242,6 +248,119 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     failing = [f for f in result.findings
                if severity_at_least(f.severity, args.fail_on)]
     return 1 if failing else 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .analysis.absint import AbsintConfig, analyze_program
+    from .analysis.absint_validate import (AbsintObserver,
+                                           check_trip_contract,
+                                           validate_kernel, validate_matrix)
+
+    config = AbsintConfig(input_bound=args.input_bound,
+                          trip_bound=args.trip_bound,
+                          error_budget=args.budget)
+
+    # ------------------------------------------------------------------
+    # No target + --validate: replay the whole baseline matrix.
+    # ------------------------------------------------------------------
+    if args.kernel is None and args.file is None:
+        if not args.validate:
+            print("analyze: give an assembly FILE, --kernel NAME, or "
+                  "--validate for the full-matrix soundness replay",
+                  file=sys.stderr)
+            return 2
+        report = validate_matrix(config=config, seed=args.seed)
+        if args.json:
+            payload = {
+                "sound": report.ok,
+                "configs": [
+                    {
+                        "kernel": c.kernel, "ftype": c.ftype,
+                        "mode": c.mode, "ok": c.ok,
+                        "checked_values": c.checked_values,
+                        "violations": [v.render() for v in c.violations],
+                    }
+                    for c in report.configs
+                ],
+            }
+            print(_json.dumps(payload, indent=2))
+        else:
+            print(report.render_text())
+        return 0 if report.ok else 1
+
+    # ------------------------------------------------------------------
+    # Obtain a program (an assembly file, or a built-in kernel build).
+    # ------------------------------------------------------------------
+    violations = None
+    if args.kernel is not None:
+        from .compiler import compile_source
+        from .kernels import KERNELS
+
+        if args.kernel not in KERNELS:
+            print(f"unknown kernel {args.kernel!r}; choose from "
+                  f"{sorted(KERNELS)}", file=sys.stderr)
+            return 2
+        spec = KERNELS[args.kernel]
+        if args.mode == "manual":
+            if spec.manual_source_fn is None:
+                print(f"{args.kernel} has no manual-vectorized form",
+                      file=sys.stderr)
+                return 2
+            kernel = compile_source(spec.manual_source_fn(args.ftype),
+                                    lint=False)
+        else:
+            kernel = compile_source(spec.source_fn(args.ftype),
+                                    vectorize_loops=(args.mode == "auto"),
+                                    lint=False)
+        result = analyze_program(kernel.program, config=config)
+        if args.validate:
+            cv = validate_kernel(args.kernel, args.ftype, args.mode,
+                                 config=config, seed=args.seed)
+            violations = cv.violations
+    else:
+        from .isa import assemble
+        from .sim import Simulator
+
+        with open(args.file) as handle:
+            program = assemble(handle.read())
+        result = analyze_program(program, config=config)
+        if args.validate:
+            observer = AbsintObserver(config, result=result)
+            sim = Simulator(program)
+            entry = args.entry if args.entry in program.symbols else 0
+            run = sim.run(entry, step_hook=observer)
+            if run.trap is None:
+                observer.finish()
+            violations = list(observer.violations)
+            violations.extend(
+                check_trip_contract(result, run.trace, config))
+
+    # ------------------------------------------------------------------
+    # Report.
+    # ------------------------------------------------------------------
+    if args.json:
+        payload = result.to_payload()
+        payload["elapsed_ms"] = round(result.elapsed * 1e3, 3)
+        if violations is not None:
+            payload["validation"] = {
+                "sound": not violations,
+                "violations": [v.render() for v in violations],
+            }
+        print(_json.dumps(payload, indent=2))
+    else:
+        print(result.render_text(top=args.top))
+        if violations is not None:
+            if violations:
+                print(f"validation: UNSOUND -- {len(violations)} "
+                      f"violation(s):")
+                for violation in violations:
+                    print(f"  {violation.render()}")
+            else:
+                print("validation: SOUND -- no dynamic value or error "
+                      "escaped its static bound")
+    return 1 if violations else 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -525,6 +644,43 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the program and classify each finding "
                              "against the dynamic trace")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="abstract interpretation: value/error bounds, "
+                        "overflow risks, soundness validation")
+    p_analyze.add_argument("file", nargs="?", default=None,
+                           help="assembly file (omit when using --kernel "
+                                "or full-matrix --validate)")
+    p_analyze.add_argument("--kernel", default=None,
+                           help="analyze a built-in benchmark kernel")
+    p_analyze.add_argument("--ftype", default="float16",
+                           choices=["float", "float16", "float16alt",
+                                    "float8"])
+    p_analyze.add_argument("--mode", default="scalar",
+                           choices=["scalar", "auto", "manual"])
+    p_analyze.add_argument("--entry", default="main",
+                           help="entry symbol (file mode; default: infer)")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="emit the report as JSON")
+    p_analyze.add_argument("--input-bound", type=float, default=128.0,
+                           help="assumed magnitude bound on unknown-"
+                                "provenance operands (the input "
+                                "contract; default 128)")
+    p_analyze.add_argument("--trip-bound", type=int, default=4096,
+                           help="assumed max iterations per loop entry "
+                                "(the trip contract; default 4096)")
+    p_analyze.add_argument("--budget", type=float, default=None,
+                           help="relative error budget checked at store "
+                                "sites (arms error-budget-exceeded)")
+    p_analyze.add_argument("--top", type=int, default=8,
+                           help="rows in the largest-error-bound table")
+    p_analyze.add_argument("--seed", type=int, default=0,
+                           help="kernel data seed for --validate")
+    p_analyze.add_argument("--validate", action="store_true",
+                           help="replay the static bounds against the "
+                                "simulator; any escape exits non-zero "
+                                "(no FILE/--kernel: the full matrix)")
+    p_analyze.set_defaults(func=_cmd_analyze)
 
     p_exp = sub.add_parser("experiments",
                            help="regenerate paper tables/figures")

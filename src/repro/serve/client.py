@@ -103,7 +103,8 @@ class ServeClient:
                    instruction_budget: Optional[int] = None,
                    deadline_ms: Optional[int] = None,
                    priority: Optional[str] = None,
-                   profile: bool = False) -> Dict:
+                   profile: bool = False,
+                   verify: bool = False) -> Dict:
         """Run one point synchronously; returns the response payload."""
         body: Dict = {
             "schema": SERVE_SCHEMA_VERSION,
@@ -121,6 +122,8 @@ class ServeClient:
             body["priority"] = priority
         if profile:
             body["profile"] = True
+        if verify:
+            body["verify"] = True
         return self._request("POST", "/v1/kernel", body)
 
     def sweep(self, points: List[Dict],

@@ -71,6 +71,9 @@ class ServeMetrics:
         self.rejected = 0      # 400s (schema violations)
         self.timeouts = 0      # deadline-cancelled executions
         self.errors = 0        # host-side failures ('error' outcomes)
+        self.verifications = 0           # ?verify=1 admission checks
+        self.verification_rejects = 0    # 422s from the static gate
+        self.verification_cache_hits = 0  # verdicts served from cache
         self.latency = LatencyReservoir()
         self.guest_instructions = 0
         self.guest_sim_seconds = 0.0
@@ -99,6 +102,14 @@ class ServeMetrics:
     def count_timeout(self) -> None:
         with self._lock:
             self.timeouts += 1
+
+    def count_verification(self, rejected: bool, cached: bool) -> None:
+        with self._lock:
+            self.verifications += 1
+            if rejected:
+                self.verification_rejects += 1
+            if cached:
+                self.verification_cache_hits += 1
 
     def record_served(self, kernel: str, source: str,
                       outcome: Optional[SafeRunOutcome],
@@ -157,6 +168,11 @@ class ServeMetrics:
                 "rejected": self.rejected,
                 "timeouts": self.timeouts,
                 "errors": self.errors,
+                "verification": {
+                    "checks": self.verifications,
+                    "rejects": self.verification_rejects,
+                    "cache_hits": self.verification_cache_hits,
+                },
                 "cache": {
                     "hit_rate": (round(cache_hits / lookups, 4)
                                  if lookups else None),

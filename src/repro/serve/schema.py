@@ -53,6 +53,7 @@ class KernelRequest:
     deadline_ms: Optional[int] = None
     priority: str = "interactive"
     profile: bool = False
+    verify: bool = False
 
 
 @dataclass(frozen=True)
@@ -111,7 +112,7 @@ def _choice_field(payload: Dict, name: str, default: str, choices,
 _POINT_FIELDS = {"kernel", "ftype", "mode", "mem_latency", "seed",
                  "instruction_budget"}
 _KERNEL_FIELDS = _POINT_FIELDS | {"schema", "deadline_ms", "priority",
-                                  "profile"}
+                                  "profile", "verify"}
 _SWEEP_FIELDS = {"schema", "points", "deadline_ms", "priority"}
 
 
@@ -165,6 +166,10 @@ def parse_kernel_request(payload) -> KernelRequest:
     if not isinstance(profile, bool):
         raise RequestValidationError(
             f"{where}: profile must be a boolean, got {profile!r}")
+    verify = payload.get("verify", False)
+    if not isinstance(verify, bool):
+        raise RequestValidationError(
+            f"{where}: verify must be a boolean, got {verify!r}")
     return KernelRequest(
         point=parse_point({k: v for k, v in payload.items()
                            if k in _POINT_FIELDS}, where),
@@ -172,6 +177,7 @@ def parse_kernel_request(payload) -> KernelRequest:
         priority=_choice_field(payload, "priority", "interactive",
                                PRIORITIES, where),
         profile=profile,
+        verify=verify,
     )
 
 

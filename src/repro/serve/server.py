@@ -13,7 +13,10 @@ Endpoints::
     GET  /metrics           queue depth, cache hit rate, guest MIPS,
                             latency percentiles, per-kernel counters
     POST /v1/kernel         run one point; ?profile=1 attaches a
-                            repro.profile JSON payload
+                            repro.profile JSON payload; ?verify=1 gates
+                            admission on the static precision verifier
+                            (422 with findings when it proves the
+                            configuration unsafe)
     POST /v1/sweep          submit a point list; returns a job id
     GET  /v1/jobs/<id>      poll a sweep job
 
@@ -48,6 +51,7 @@ from .schema import (SERVE_SCHEMA_VERSION, KernelRequest,
                      RequestValidationError, error_payload,
                      outcome_payload, parse_kernel_request,
                      parse_sweep_request, point_payload)
+from .verify import StaticVerifier
 
 #: Ceiling on how long one synchronous /v1/kernel call may block.
 MAX_SYNC_WAIT_SECONDS = 300.0
@@ -113,6 +117,7 @@ class ReproServeApp:
         worker_processes: Optional[int] = None,
         journal_path: Optional[str] = None,
         fleet_config: Optional[FleetConfig] = None,
+        verify_config=None,
     ):
         # A service without a cache cannot amortize anything, so when
         # no directory is given (and no env default), use a private
@@ -144,6 +149,10 @@ class ReproServeApp:
             self.executor = KernelExecutor(
                 self.queue, workers=workers, cache=self.cache,
                 metrics=self.metrics, **kwargs)
+        # Static admission gate for ?verify=1 requests.  ``verify_config``
+        # (a repro.analysis LintConfig) tightens or relaxes the checks;
+        # the default arms every absint-backed lint with its defaults.
+        self.verifier = StaticVerifier(verify_config)
         self.draining = False
         self._jobs: "collections.OrderedDict[str, SweepJob]" = \
             collections.OrderedDict()
@@ -246,6 +255,24 @@ class ReproServeApp:
         started = time.monotonic()
         point = request.point
 
+        # Static pre-admission gate: prove the configuration safe (or
+        # refuse it) before it can consume a queue slot.  Verdicts are
+        # cached by program fingerprint, so the compile+lint cost is
+        # paid once per (kernel, ftype, mode).
+        verified = None
+        if request.verify:
+            verdict, from_cache = self.verifier.verify(point)
+            self.metrics.count_verification(rejected=not verdict.ok,
+                                            cached=from_cache)
+            if not verdict.ok:
+                return 422, {}, error_payload(
+                    "verification_failed", verdict.detail,
+                    fingerprint=verdict.fingerprint,
+                    findings=list(verdict.findings))
+            verified = {"fingerprint": verdict.fingerprint,
+                        "finding_count": verdict.finding_count,
+                        "cached_verdict": from_cache}
+
         # Cache-first admission: hits never touch the queue.
         if not request.profile and self.cache is not None:
             cached = self.cache.get(point)
@@ -259,6 +286,8 @@ class ReproServeApp:
                     "point": point_payload(point),
                     "result": outcome_payload(cached),
                 }
+                if verified is not None:
+                    payload["verified"] = verified
                 return 200, {}, payload
 
         if not self._executor_available:
@@ -308,6 +337,8 @@ class ReproServeApp:
             "point": point_payload(point),
             "result": outcome_payload(job.outcome, job.profile_payload),
         }
+        if verified is not None:
+            payload["verified"] = verified
         return 200, {}, payload
 
     def submit_sweep(self, request) -> Tuple[int, Dict, Dict]:
@@ -503,6 +534,9 @@ class _Handler(BaseHTTPRequestHandler):
                 if query.get("profile", ["0"])[-1] in ("1", "true"):
                     body = dict(body)
                     body["profile"] = True
+                if query.get("verify", ["0"])[-1] in ("1", "true"):
+                    body = dict(body)
+                    body["verify"] = True
                 request = parse_kernel_request(body)
                 self._send(*self._pack(app.run_kernel(request)))
             elif parsed.path == "/v1/sweep":

@@ -5,6 +5,7 @@ from .case_study import (
     evaluate_assignment,
     make_gesture_case,
     make_problem,
+    make_static_prescreen,
     run_case_study,
 )
 from .tuner import (
@@ -22,6 +23,7 @@ __all__ = [
     "evaluate_assignment",
     "make_gesture_case",
     "make_problem",
+    "make_static_prescreen",
     "run_case_study",
     "Assignment",
     "TunableVariable",

@@ -155,9 +155,43 @@ def _expand(assignment: Assignment) -> Assignment:
     return assignment
 
 
+def make_static_prescreen(case: GestureCase):
+    """Static overflow screen in the spirit of ``repro.analysis.absint``.
+
+    The accumulator's partial sums are bounded (in binary64, before any
+    quantization) by the running prefix sums of the products; a candidate
+    whose accumulator format cannot represent that swing -- padded by
+    the worst-case quantization inflation of the intermediate type --
+    provably rounds to infinity, so evaluating it is wasted work.  The
+    returned callable plugs into :class:`TuningProblem` as ``prescreen``.
+    """
+    products = case.samples[:, None, :] * case.weights[None, :, :]
+    swing = float(np.max(np.abs(np.cumsum(products, axis=2))))
+    mass = float(np.max(np.sum(np.abs(products), axis=2)))
+
+    def prescreen(assignment: Assignment) -> Optional[str]:
+        expanded = _expand(assignment)
+        a_fmt = _fmt(expanded["accumulator"])
+        p_fmt = _fmt(expanded["intermediate"])
+        # Quantizing products in the intermediate type perturbs each by
+        # at most eps * |product|, so prefix sums inflate by at most
+        # eps * (total absolute mass).
+        bound = swing + p_fmt.machine_epsilon * mass
+        if bound > a_fmt.max_value:
+            return (
+                f"accumulator={expanded['accumulator']}: partial sums "
+                f"provably reach {bound:.3g}, beyond the format's "
+                f"largest finite value {a_fmt.max_value:.5g}"
+            )
+        return None
+
+    return prescreen
+
+
 def make_problem(
     case: GestureCase,
     max_error: float = 0.0,
+    static_prescreen: bool = False,
 ) -> TuningProblem:
     """A tuning problem with a classification-error bound."""
     variables = [
@@ -168,6 +202,7 @@ def make_problem(
         variables,
         evaluate=lambda a: evaluate_assignment(case, _expand(a)),
         accept=lambda error: error <= max_error,
+        prescreen=make_static_prescreen(case) if static_prescreen else None,
     )
 
 
@@ -175,16 +210,21 @@ def run_case_study(
     case: Optional[GestureCase] = None,
     strict_error: float = 0.0,
     relaxed_error: float = 0.05,
+    static_prescreen: bool = False,
 ) -> Dict[str, TuningResult]:
     """The full Section V-C experiment: strict and relaxed constraints.
 
     Returns the tuned assignments under both constraints.  Expected
     (and asserted by the test-suite): strict keeps a binary32
     accumulator with float16 elsewhere; relaxed moves the accumulator
-    to float16alt.
+    to float16alt.  With ``static_prescreen`` the provably-overflowing
+    accumulator candidates are rejected before evaluation; the tuned
+    assignments are identical, just reached with fewer simulations.
     """
     case = case or make_gesture_case()
     return {
-        "strict": tune_greedy(make_problem(case, strict_error)),
-        "relaxed": tune_greedy(make_problem(case, relaxed_error)),
+        "strict": tune_greedy(
+            make_problem(case, strict_error, static_prescreen)),
+        "relaxed": tune_greedy(
+            make_problem(case, relaxed_error, static_prescreen)),
     }

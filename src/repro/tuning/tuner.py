@@ -15,6 +15,14 @@ Two dynamic strategies are provided, mirroring the cited tools:
 * :func:`tune_delta` -- first try narrowing *all* variables, then
   bisect the failing set, Precimonious/delta-debugging style, finishing
   with a greedy polish.
+
+Both strategies honour an optional *static pre-screen*: a callable
+mapping an assignment to a rejection reason (or ``None`` to admit).
+Candidates the pre-screen rejects are never evaluated -- the abstract
+interpreter in :mod:`repro.analysis.absint` can prove, e.g., that an
+accumulator format overflows to infinity without running a single
+simulation -- and are tallied in ``TuningResult.skipped`` /
+``skipped_candidates`` instead.
 """
 
 from __future__ import annotations
@@ -72,6 +80,11 @@ class TuningResult:
     history: List[Tuple[Assignment, float, bool]] = field(
         default_factory=list
     )
+    #: candidates rejected by the static pre-screen without evaluation
+    skipped: int = 0
+    skipped_candidates: List[Tuple[Assignment, str]] = field(
+        default_factory=list
+    )
 
 
 class TuningProblem:
@@ -79,7 +92,9 @@ class TuningProblem:
 
     ``evaluate(assignment)`` returns a QoR scalar; ``accept(qor)``
     decides whether it satisfies the application constraint (e.g.
-    "classification error == 0", "SQNR >= 40 dB").
+    "classification error == 0", "SQNR >= 40 dB").  ``prescreen``, when
+    given, maps an assignment to a rejection reason string (``None``
+    admits it); rejected candidates are skipped without evaluation.
     """
 
     def __init__(
@@ -88,6 +103,7 @@ class TuningProblem:
         evaluate: Callable[[Assignment], float],
         accept: Callable[[float], bool],
         cost: Callable[[Assignment], float] = default_cost,
+        prescreen: Optional[Callable[[Assignment], Optional[str]]] = None,
     ):
         if not variables:
             raise ValueError("a tuning problem needs at least one variable")
@@ -98,7 +114,10 @@ class TuningProblem:
         self._evaluate = evaluate
         self.accept = accept
         self.cost = cost
+        self.prescreen = prescreen
         self.evaluations = 0
+        self.skipped = 0
+        self.skipped_candidates: List[Tuple[Assignment, str]] = []
 
     # ------------------------------------------------------------------
     def widest(self) -> Assignment:
@@ -107,6 +126,16 @@ class TuningProblem:
     def evaluate(self, assignment: Assignment) -> float:
         self.evaluations += 1
         return self._evaluate(assignment)
+
+    def screen(self, assignment: Assignment) -> Optional[str]:
+        """Run the pre-screen; record and return any rejection reason."""
+        if self.prescreen is None:
+            return None
+        reason = self.prescreen(assignment)
+        if reason is not None:
+            self.skipped += 1
+            self.skipped_candidates.append((dict(assignment), reason))
+        return reason
 
     def narrower(self, variable: TunableVariable, current: str) -> Optional[str]:
         """The next narrower candidate for a variable, if any."""
@@ -124,6 +153,8 @@ def _result(problem: TuningProblem, assignment: Assignment, qor: float,
         cost=problem.cost(assignment),
         evaluations=problem.evaluations,
         history=history,
+        skipped=problem.skipped,
+        skipped_candidates=list(problem.skipped_candidates),
     )
 
 
@@ -152,6 +183,8 @@ def tune_greedy(problem: TuningProblem) -> TuningResult:
                 continue
             candidate = dict(current)
             candidate[variable.name] = narrower
+            if problem.screen(candidate) is not None:
+                continue
             qor_c = problem.evaluate(candidate)
             ok = problem.accept(qor_c)
             history.append((dict(candidate), qor_c, ok))
@@ -196,6 +229,8 @@ def tune_delta(problem: TuningProblem) -> TuningResult:
                 changed = True
         if not changed:
             return base, qor, False
+        if problem.screen(candidate) is not None:
+            return base, qor, False
         qor_c = problem.evaluate(candidate)
         ok = problem.accept(qor_c)
         history.append((dict(candidate), qor_c, ok))
@@ -221,8 +256,9 @@ def tune_delta(problem: TuningProblem) -> TuningResult:
         progress = current != before
 
     # Greedy polish catches narrowings enabled by earlier moves.
-    polish = TuningProblem(self_vars := problem.variables,
-                           problem._evaluate, problem.accept, problem.cost)
+    polish = TuningProblem(problem.variables, problem._evaluate,
+                           problem.accept, problem.cost,
+                           prescreen=problem.prescreen)
 
     def polish_from(start: Assignment):
         nonlocal current, qor
@@ -238,4 +274,6 @@ def tune_delta(problem: TuningProblem) -> TuningResult:
 
     polish_from(current)
     problem.evaluations += polish.evaluations
+    problem.skipped += polish.skipped
+    problem.skipped_candidates.extend(polish.skipped_candidates)
     return _result(problem, current, qor, history)

@@ -1,0 +1,264 @@
+"""The abstract interpreter: domains, transfers, widening, risks.
+
+The acceptance story lives here too: a narrow smallFloat accumulation
+loop is statically flagged as overflow-to-infinity with the expanding
+``vfdotpex`` named as the fix, and the rewritten loop both loses the
+flag and carries a provably smaller error bound.
+"""
+
+import math
+
+from repro.analysis.absint import (
+    AbsintConfig,
+    AbsVal,
+    _CompWiden,
+    analyze_program,
+    collect_risks,
+    join_vals,
+    top_value,
+)
+from repro.analysis.lints import LintConfig, lint_program
+from repro.isa.assembler import assemble
+
+_B8 = ("b", False)
+_B8V = ("b", True)
+
+NARROW_LOOP = """\
+main:
+    li t1, 0
+narrow:
+    vfmac.b t3, a2, a3
+    addi t1, t1, 1
+    blt t1, a0, narrow
+    sb t3, 0(a1)
+    ret
+"""
+
+EXPANDING_LOOP = """\
+main:
+    li t1, 0
+expanding:
+    vfdotpex.s.b t3, a2, a3
+    addi t1, t1, 1
+    blt t1, a0, expanding
+    sw t3, 0(a1)
+    ret
+"""
+
+
+def analyze_text(source, **config_kwargs):
+    return analyze_program(assemble(source),
+                           config=AbsintConfig(**config_kwargs))
+
+
+def risks_of(source, **config_kwargs):
+    return collect_risks(analyze_text(source, **config_kwargs))
+
+
+# ----------------------------------------------------------------------
+# Domain
+# ----------------------------------------------------------------------
+class TestDomain:
+    def test_join_same_format_hulls(self):
+        a = AbsVal(lo=-1.0, hi=2.0, err=0.5, fmt=_B8)
+        b = AbsVal(lo=0.0, hi=4.0, err=0.25, can_nan=True, fmt=_B8)
+        j = join_vals(a, b)
+        assert (j.lo, j.hi) == (-1.0, 4.0)
+        assert j.err == 0.5
+        assert j.can_nan and not j.can_inf
+        assert j.fmt == _B8
+
+    def test_join_conflicting_formats_goes_to_top(self):
+        a = AbsVal(lo=0.0, hi=1.0, err=0.0, fmt=_B8)
+        b = AbsVal(lo=0.0, hi=1.0, err=0.0, fmt=("h", False))
+        j = join_vals(a, b)
+        assert j.lo == -math.inf and j.hi == math.inf
+        assert math.isinf(j.err)
+        assert j.can_inf and j.can_nan
+
+    def test_top_value_is_maximal(self):
+        # With a concrete format, top is clamped to the representable
+        # range (anything beyond it would have overflowed to inf, which
+        # the can_inf flag carries separately).
+        top = top_value(_B8)
+        assert (top.lo, top.hi) == (-57344.0, 57344.0)  # +/- binary8 max
+        assert math.isinf(top.err)
+        assert top.can_inf and top.can_nan
+        unknown = top_value(None)
+        assert unknown.lo == -math.inf and unknown.hi == math.inf
+        assert math.isinf(unknown.err)
+
+    def test_maxmag_minmag(self):
+        v = AbsVal(lo=-3.0, hi=2.0, err=0.0, fmt=_B8)
+        assert v.maxmag() == 3.0
+        assert v.minmag() == 0.0
+        assert v.crosses_zero()
+        w = AbsVal(lo=1.0, hi=2.0, err=0.0, fmt=_B8)
+        assert w.minmag() == 1.0
+        assert not w.crosses_zero()
+
+
+# ----------------------------------------------------------------------
+# Widening
+# ----------------------------------------------------------------------
+class TestWidening:
+    def test_linear_growth_extrapolates_and_holds(self):
+        comp = _CompWiden()
+        trip = 100
+        comp.step(1.0, trip)
+        comp.step(2.0, trip)  # first observed delta
+        hold = comp.step(3.0, trip)
+        assert hold >= 3.0 + trip * 1.0  # covers `trip` more iterations
+        assert math.isfinite(hold)
+        # Arrivals inside the extrapolation are absorbed.
+        assert comp.step(4.0, trip) == hold
+        assert comp.step(hold - 1.0, trip) == hold
+
+    def test_accelerating_growth_reaches_infinity(self):
+        comp = _CompWiden()
+        x, delta = 0.0, 1.0
+        for _ in range(64):
+            x += delta
+            delta *= 4.0  # super-linear: no linear bound can hold
+            if math.isinf(comp.step(x, trip=10)):
+                break
+        assert math.isinf(comp.step(x, trip=10))
+
+
+# ----------------------------------------------------------------------
+# Transfers (end to end through tiny programs)
+# ----------------------------------------------------------------------
+class TestTransfers:
+    def test_straightline_add_bounds_value_and_error(self):
+        result = analyze_text("""\
+main:
+    fadd.b t3, a2, a3
+    sb t3, 0(a1)
+    ret
+""")
+        state = next(s for s in result.sites.values()
+                     if s.site.kind == "fadd")
+        val = state.result
+        # Both operands came from the input contract (|v| <= 128).
+        assert set(state.contract_regs) == {state.site.instr.rs1,
+                                            state.site.instr.rs2}
+        assert val.lo <= -256.0 <= 256.0 <= val.hi  # outward rounding
+        assert val.hi < 300.0
+        assert 0.0 < val.err < 300.0  # one binary8 rounding step
+
+    def test_underflow_flagged_when_inputs_provably_tiny(self):
+        risks = risks_of("""\
+main:
+    fmul.b t3, a2, a3
+    sb t3, 0(a1)
+    ret
+""", input_bound=1e-6)
+        kinds = [r.kind for r in risks]
+        assert "underflow" in kinds
+        flagged = next(r for r in risks if r.kind == "underflow")
+        assert flagged.fmt == "binary8"
+
+    def test_cancellation_flagged_on_error_carrying_subtraction(self):
+        risks = risks_of("""\
+main:
+    fmul.b t3, a2, a3
+    fmul.b t4, a4, a5
+    fsub.b t5, t3, t4
+    sb t5, 0(a1)
+    ret
+""")
+        cancel = [r for r in risks if r.kind == "cancellation"]
+        assert len(cancel) == 1
+        assert cancel[0].site.line == 4
+
+    def test_budget_risk_fires_at_integer_store(self):
+        # smallFloat values reach memory through plain sb/sw.
+        risks = risks_of(NARROW_LOOP, error_budget=1e-12)
+        budget = [r for r in risks if r.kind == "budget"]
+        assert budget and budget[0].site.kind == "sb"
+
+    def test_budget_off_by_default(self):
+        assert not any(r.kind == "budget" for r in risks_of(NARROW_LOOP))
+
+
+# ----------------------------------------------------------------------
+# Acceptance: narrow accumulation vs the expanding dot product
+# ----------------------------------------------------------------------
+class TestExpandingAccumulation:
+    def test_narrow_loop_flagged_with_expanding_suggestion(self):
+        risks = risks_of(NARROW_LOOP)
+        overflow = [r for r in risks if r.kind == "overflow"]
+        assert len(overflow) == 1
+        assert overflow[0].site.kind == "vfmac"
+        assert overflow[0].suggestion == "vfdotpex.s.b"
+        assert overflow[0].fmt == "binary8"
+
+    def test_expanding_rewrite_is_provably_safe(self):
+        assert not any(r.kind == "overflow"
+                       for r in risks_of(EXPANDING_LOOP))
+
+    def test_expanding_error_bound_provably_smaller(self):
+        # binary8's coarse epsilon (0.25) makes narrow accumulation
+        # error grow geometrically, so no finite bound exists even for
+        # tiny inputs; use the binary16 variants of the same loops,
+        # where both bounds are finite, to compare narrow per-lane
+        # rounding against a single binary32 rounding per expanding
+        # accumulation.
+        config = dict(input_bound=1.0, trip_bound=8)
+        narrow = analyze_text(NARROW_LOOP.replace(".b", ".h")
+                              .replace("sb", "sh"), **config)
+        expanding = analyze_text(EXPANDING_LOOP.replace(".s.b", ".s.h"),
+                                 **config)
+        narrow_err = max(s.result.err for s in narrow.sites.values()
+                         if s.site.kind == "vfmac")
+        expanding_err = max(s.result.err for s in expanding.sites.values()
+                            if s.site.kind == "vfdotpex")
+        assert math.isfinite(narrow_err) and math.isfinite(expanding_err)
+        assert expanding_err < narrow_err / 100.0
+
+    def test_narrow_error_bound_diverges_at_full_trip_contract(self):
+        narrow = analyze_text(NARROW_LOOP)
+        expanding = analyze_text(EXPANDING_LOOP)
+        narrow_err = max(s.result.err for s in narrow.sites.values()
+                         if s.site.kind == "vfmac")
+        expanding_err = max(s.result.err for s in expanding.sites.values()
+                            if s.site.kind == "vfdotpex")
+        assert math.isinf(narrow_err)  # no finite bound exists
+        assert math.isfinite(expanding_err)
+
+
+# ----------------------------------------------------------------------
+# Lint integration
+# ----------------------------------------------------------------------
+class TestLintIntegration:
+    def test_overflow_surfaces_as_warning_lint(self):
+        program = assemble(NARROW_LOOP)
+        result = lint_program(program, source=NARROW_LOOP)
+        found = result.by_check("overflow-to-inf-risk")
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+        assert found[0].suggestion == "vfdotpex.s.b"
+
+    def test_budget_lint_is_error_severity_when_armed(self):
+        program = assemble(NARROW_LOOP)
+        config = LintConfig(absint=AbsintConfig(error_budget=1e-12))
+        result = lint_program(program, source=NARROW_LOOP, config=config)
+        found = result.by_check("error-budget-exceeded")
+        assert found and all(f.severity == "error" for f in found)
+
+    def test_expanding_rewrite_passes_all_absint_lints(self):
+        program = assemble(EXPANDING_LOOP)
+        result = lint_program(program, source=EXPANDING_LOOP)
+        for check in ("overflow-to-inf-risk", "underflow-flush-risk",
+                      "catastrophic-cancellation",
+                      "error-budget-exceeded"):
+            assert result.by_check(check) == [], check
+
+    def test_report_payload_roundtrips(self):
+        result = analyze_text(NARROW_LOOP)
+        payload = result.to_payload()
+        assert payload["summary"]["widened_headers"] > 0
+        assert payload["summary"]["trip_bound"] == 4096
+        assert any(r["kind"] == "overflow" for r in payload["risks"])
+        text = result.render_text()
+        assert "overflow" in text

@@ -1,0 +1,125 @@
+"""CFG edge cases the abstract interpreter must survive.
+
+Irreducible loops (a cycle entered at two distinct blocks), code that
+only follows a trap, single-block self-loops, and the empty program are
+all legal inputs: the solver has to terminate with sound (possibly very
+conservative) states, never hang or crash.
+"""
+
+import time
+
+from repro.analysis.absint import (
+    AbsintConfig,
+    analyze_program,
+    collect_risks,
+)
+from repro.analysis.cfg import build_cfg
+from repro.isa.assembler import assemble
+
+IRREDUCIBLE = """\
+main:
+    beq a0, x0, right
+left:
+    vfmac.b t3, a2, a3
+    j right_body
+right:
+    vfmac.b t4, a4, a5
+right_body:
+    addi t1, t1, 1
+    blt t1, a0, left
+    sb t3, 0(a1)
+    ret
+"""
+
+SELF_LOOP = """\
+main:
+    vfmac.b t3, a2, a3
+    j main
+"""
+
+AFTER_TRAP = """\
+main:
+    ecall
+    fadd.b t3, a2, a3
+    sb t3, 0(a1)
+    ret
+"""
+
+UNREACHABLE = """\
+main:
+    ret
+dead:
+    fadd.b t3, a2, a3
+    sb t3, 0(a1)
+    ret
+"""
+
+
+class TestIrreducibleLoop:
+    def test_analysis_terminates_quickly(self):
+        # The cycle {left, right_body} is entered both through main's
+        # fall-through (left) and through right (right_body): there is
+        # no single natural-loop header.  The solver must still reach a
+        # fixpoint promptly via its iteration limit.
+        program = assemble(IRREDUCIBLE)
+        started = time.monotonic()
+        result = analyze_program(program)
+        assert time.monotonic() - started < 5.0
+        assert len(result.sites) > 0
+
+    def test_every_fp_site_has_a_state(self):
+        result = analyze_program(assemble(IRREDUCIBLE))
+        vfmac_states = [s for s in result.sites.values()
+                        if s.site.kind == "vfmac"]
+        assert len(vfmac_states) == 2
+        for state in vfmac_states:
+            assert state.result is not None
+
+    def test_cfg_shape(self):
+        cfg = build_cfg(assemble(IRREDUCIBLE))
+        assert len(cfg.blocks) == 5
+
+
+class TestSingleBlockSelfLoop:
+    def test_widening_fires_on_the_lone_block(self):
+        result = analyze_program(assemble(SELF_LOOP))
+        assert len(build_cfg(assemble(SELF_LOOP)).blocks) == 1
+        # The block is its own loop header; the accumulator register
+        # must have been widened there.
+        assert result.widened_headers
+        risks = collect_risks(result)
+        assert any(r.kind == "overflow" for r in risks)
+
+    def test_terminates_with_tight_trip_bound(self):
+        result = analyze_program(
+            assemble(SELF_LOOP), config=AbsintConfig(trip_bound=1))
+        assert len(result.sites) > 0
+
+
+class TestTrapAndUnreachable:
+    def test_code_after_trap_still_analyzed(self):
+        # ecall ends its block; the code after it still gets sound
+        # (conservative) states rather than being dropped.
+        result = analyze_program(assemble(AFTER_TRAP))
+        fadd = next(s for s in result.sites.values()
+                    if s.site.kind == "fadd")
+        assert fadd.result is not None
+        assert fadd.result.hi >= 256.0  # contract-bounded operands
+
+    def test_unreachable_block_gets_conservative_state(self):
+        result = analyze_program(assemble(UNREACHABLE))
+        fadd = next(s for s in result.sites.values()
+                    if s.site.kind == "fadd")
+        assert fadd.result is not None
+        assert collect_risks(result) == []
+
+
+class TestEmptyProgram:
+    def test_empty_program_analyzes_to_nothing(self):
+        program = assemble("")
+        assert len(build_cfg(program).blocks) == 0
+        result = analyze_program(program)
+        assert result.sites == {}
+        assert collect_risks(result) == []
+        summary = result.summary()
+        assert summary["sites"] == 0

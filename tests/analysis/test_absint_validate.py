@@ -1,0 +1,78 @@
+"""Soundness validation: static verdicts replayed against the simulator.
+
+The contract being tested: every value the simulator actually produces
+must fall inside the abstract interpreter's interval (plus error bound)
+for that site, inputs must respect the input contract, and loop trip
+counts must respect the trip contract.  A violation of any of these is
+an unsoundness -- a hard failure, not a tolerance.
+"""
+
+from repro.analysis.absint import AbsintConfig
+from repro.analysis.absint_validate import (
+    validate_kernel,
+    validate_matrix,
+)
+
+
+class TestSoundReplay:
+    def test_scalar_and_simd_kernels_validate_sound(self):
+        for mode in ("scalar", "auto", "manual"):
+            report = validate_kernel("atax", "float8", mode)
+            assert report.ok, report.render()
+            assert report.violation_count == 0
+            assert report.checked_values > 0
+            assert report.checked_sites > 0
+
+    def test_expanding_accumulation_kernel_is_sound(self):
+        report = validate_kernel("svm_mixed", "float8", "manual")
+        assert report.ok, report.render()
+        assert report.checked_values > 0
+
+    def test_render_names_the_configuration(self):
+        report = validate_kernel("atax", "float16", "auto")
+        assert report.ok
+        assert "atax/float16/auto: ok" in report.render()
+
+
+class TestUnsoundBoundsAreCaught:
+    def test_violated_input_contract_is_a_hard_failure(self):
+        # Shrink the assumed input bound far below the values the
+        # kernel actually feeds in: the replay must catch every
+        # offending operand, not wave it through.
+        report = validate_kernel(
+            "atax", "float8", "auto",
+            config=AbsintConfig(input_bound=1e-6))
+        assert not report.ok
+        assert report.violation_count > 0
+        kinds = {v.kind for v in report.violations}
+        assert "input-contract" in kinds
+        sample = next(v for v in report.violations
+                      if v.kind == "input-contract")
+        assert "input contract" in sample.detail
+
+    def test_violated_trip_contract_is_a_hard_failure(self):
+        report = validate_kernel(
+            "atax", "float8", "auto",
+            config=AbsintConfig(trip_bound=2))
+        assert not report.ok
+        assert any(v.kind == "trip-contract" for v in report.violations)
+        sample = next(v for v in report.violations
+                      if v.kind == "trip-contract")
+        assert "beyond the assumed bound" in sample.detail
+
+
+class TestMatrix:
+    def test_single_kernel_matrix_aggregates_all_modes(self):
+        report = validate_matrix(kernels=["atax"], ftypes=["float8"])
+        assert report.ok
+        assert len(report.configs) == 3  # scalar, auto, manual
+        text = report.render_text()
+        assert "SOUND" in text
+        assert "0 violation(s)" in text
+
+    def test_matrix_surfaces_unsound_configs(self):
+        report = validate_matrix(
+            kernels=["atax"], ftypes=["float8"],
+            config=AbsintConfig(trip_bound=1))
+        assert not report.ok
+        assert "UNSOUND" in report.render_text()

@@ -1,0 +1,116 @@
+"""Static pre-screening of tuner candidates: skip, never change outcome."""
+
+import pytest
+
+from repro.tuning import (
+    TunableVariable,
+    TuningProblem,
+    make_gesture_case,
+    make_static_prescreen,
+    tune_delta,
+    tune_greedy,
+)
+
+
+def _table_problem(qor_fn, prescreen=None):
+    variables = [TunableVariable("a"), TunableVariable("b")]
+    evaluated = []
+
+    def evaluate(assignment):
+        evaluated.append(dict(assignment))
+        return qor_fn(assignment)
+
+    problem = TuningProblem(
+        variables,
+        evaluate=evaluate,
+        accept=lambda q: q == 0.0,
+        prescreen=prescreen,
+    )
+    return problem, evaluated
+
+
+class TestScreen:
+    def test_no_prescreen_admits_everything(self):
+        problem, _ = _table_problem(lambda a: 0.0)
+        assert problem.screen({"a": "float8", "b": "float8"}) is None
+        assert problem.skipped == 0
+
+    def test_rejection_is_recorded_with_its_reason(self):
+        problem, _ = _table_problem(
+            lambda a: 0.0,
+            prescreen=lambda a: ("too narrow"
+                                 if a["a"] == "float8" else None))
+        assert problem.screen({"a": "float16", "b": "float"}) is None
+        assert problem.screen({"a": "float8", "b": "float"}) == "too narrow"
+        assert problem.skipped == 1
+        assert problem.skipped_candidates == [
+            ({"a": "float8", "b": "float"}, "too narrow")]
+
+
+class TestGreedyWithPrescreen:
+    def test_skipped_candidates_are_never_evaluated(self):
+        problem, evaluated = _table_problem(
+            lambda a: 0.0,
+            prescreen=lambda a: ("unsafe"
+                                 if a["a"] == "float8" else None))
+        result = tune_greedy(problem)
+        # a stops at float16 (float8 statically rejected); b narrows
+        # fully since the evaluator accepts everything.
+        assert result.assignment == {"a": "float16", "b": "float8"}
+        # Greedy retries the narrowing after other variables move, so
+        # the same doomed direction can be screened more than once.
+        assert result.skipped >= 1
+        assert all(a["a"] == "float8" for a, _ in result.skipped_candidates)
+        assert all(a["a"] != "float8" for a in evaluated)
+        # History only records evaluated candidates.
+        assert len(result.history) == result.evaluations
+
+    def test_prescreen_never_changes_the_outcome_when_agreeing(self):
+        # A pre-screen that rejects exactly what the evaluator would
+        # reject anyway: same assignment, fewer evaluations.
+        def qor(a):
+            return 1.0 if a["b"] == "float8" else 0.0
+
+        plain, _ = _table_problem(qor)
+        screened, _ = _table_problem(
+            qor, prescreen=lambda a: ("overflow"
+                                      if a["b"] == "float8" else None))
+        base = tune_greedy(plain)
+        fast = tune_greedy(screened)
+        assert fast.assignment == base.assignment
+        assert fast.evaluations < base.evaluations
+        assert fast.evaluations + fast.skipped >= base.evaluations
+
+
+class TestDeltaWithPrescreen:
+    def test_delta_skips_and_still_converges(self):
+        def qor(a):
+            return 1.0 if a["b"] == "float8" else 0.0
+
+        problem, evaluated = _table_problem(
+            qor, prescreen=lambda a: ("overflow"
+                                      if a["b"] == "float8" else None))
+        result = tune_delta(problem)
+        assert result.assignment["b"] != "float8"
+        assert result.skipped >= 1
+        assert all(a["b"] != "float8" for a in evaluated)
+
+
+class TestCaseStudyPrescreen:
+    @pytest.fixture(scope="class")
+    def prescreen(self):
+        return make_static_prescreen(make_gesture_case())
+
+    def test_wide_accumulators_admitted(self, prescreen):
+        for acc in ("float", "float16alt"):
+            assignment = {"inputs": "float16", "weights": "float16",
+                          "intermediate": "float16", "accumulator": acc}
+            assert prescreen(assignment) is None, acc
+
+    def test_narrow_accumulators_provably_overflow(self, prescreen):
+        for acc in ("float16", "float8"):
+            assignment = {"inputs": "float16", "weights": "float16",
+                          "intermediate": "float16", "accumulator": acc}
+            reason = prescreen(assignment)
+            assert reason is not None, acc
+            assert "accumulator" in reason
