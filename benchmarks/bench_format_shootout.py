@@ -1,0 +1,87 @@
+"""Format shootout: binary8 vs posit8 vs MX8, accuracy and energy.
+
+All contenders are one byte per element and ride the identical scalar
+pipeline, so differences come purely from how each format spends its
+8 bits.  The asserted structure: both non-IEEE guests beat binary8 on
+SQNR everywhere (posits taper precision toward 1.0 where these kernels
+live; MX8 moves range into a shared block scale), and every 8-bit
+build saves energy against the binary32 baseline.
+"""
+
+import math
+
+from conftest import save_result
+
+from repro.harness.experiments import cached_run, format_shootout
+
+BENCH_ORDER = ["svm", "gemm", "atax", "syrk", "syr2k", "fdtd2d"]
+FTYPES = ("float8", "posit8", "mx8")
+
+
+def test_format_shootout(benchmark, shootout_rows):
+    benchmark.pedantic(
+        lambda: cached_run("gemm", "posit8", "scalar").sqnr_db(),
+        rounds=1, iterations=1,
+    )
+    rows = shootout_rows
+    save_result("format_shootout", rows)
+
+    def row(bench, ftype):
+        return next(r for r in rows
+                    if r["benchmark"] == bench and r["ftype"] == ftype)
+
+    print("\nFormat shootout -- SQNR (dB) / energy vs float")
+    print("  " + " ".join(f"{b:>8s}" for b in [""] + BENCH_ORDER))
+    for ftype in FTYPES:
+        cells = [f"{row(b, ftype)['sqnr_db']:8.1f}" for b in BENCH_ORDER]
+        print(f"  {ftype:>10s} " + " ".join(cells))
+
+    # --- shape assertions -------------------------------------------------
+    assert {r["ftype"] for r in rows} == set(FTYPES)
+    assert {r["benchmark"] for r in rows} == set(BENCH_ORDER)
+    for r in rows:
+        point = (r["benchmark"], r["ftype"])
+        # Every format runs every kernel through the common pipeline.
+        assert r["status"] == "ok", point
+        assert math.isfinite(r["sqnr_db"]), point
+        assert r["cycles"] > 0, point
+        # One-byte storage beats binary32 on energy across the board.
+        assert r["energy_vs_float"] < 1.0, point
+    for bench in BENCH_ORDER:
+        f8 = row(bench, "float8")["sqnr_db"]
+        # binary8's 2-bit mantissa loses to both guests' encodings.
+        assert row(bench, "posit8")["sqnr_db"] > f8, bench
+        assert row(bench, "mx8")["sqnr_db"] > f8, bench
+
+
+def _load_committed():
+    import json
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "results",
+                        "format_shootout.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+#: Captured at import time, before save_result() refreshes the file --
+#: the comparison below must see what was committed, not what this
+#: session just wrote.
+_COMMITTED = _load_committed()
+
+
+def test_shootout_matches_committed_baseline(shootout_rows):
+    """Drift check: regenerated rows equal the committed snapshot.
+
+    The pipeline is deterministic (fixed seeds, exact bit-level
+    arithmetic), so any diff means a format's codec or the shared
+    machinery changed behaviour -- regenerate the baseline only with
+    an intentional change.
+    """
+    if _COMMITTED is None:
+        import pytest
+        pytest.skip("no committed baseline yet; this run generates it")
+    key = lambda r: (r["benchmark"], r["ftype"])  # noqa: E731
+    assert sorted(_COMMITTED, key=key) == sorted(shootout_rows, key=key)

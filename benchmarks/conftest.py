@@ -53,6 +53,11 @@ def table3_rows():
 
 
 @pytest.fixture(scope="session")
+def shootout_rows():
+    return experiments.format_shootout()
+
+
+@pytest.fixture(scope="session")
 def fig4_data():
     return experiments.fig4_breakdown()
 

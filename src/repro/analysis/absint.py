@@ -50,7 +50,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from ..fp.formats import FORMATS_BY_SUFFIX, FloatFormat
+from ..fp import registry
+from ..fp.formats import FORMATS_BY_SUFFIX
+from ..fp.registry import NumberFormat
 from ..isa.assembler import Program
 from .cfg import CFG, BasicBlock, Site, build_cfg
 from .dataflow import (
@@ -127,8 +129,8 @@ class AbsVal:
 Env = Dict[int, AbsVal]
 
 
-def _float_format(fmt: Format) -> FloatFormat:
-    return FORMATS_BY_SUFFIX[fmt[0]]
+def _float_format(fmt: Format) -> NumberFormat:
+    return registry.by_suffix(fmt[0])
 
 
 def contract_value(fmt: Format, config: AbsintConfig) -> AbsVal:
@@ -161,14 +163,14 @@ def _dn(x: float) -> float:
     return math.nextafter(x, -_INF)
 
 
-def _rnd(fmt: FloatFormat, mag: float) -> float:
+def _rnd(fmt: NumberFormat, mag: float) -> float:
     """Absolute error of rounding an exact value of magnitude <= ``mag``
-    into ``fmt`` (1 ulp relative, covering every rounding mode, plus
-    the minimum ulp for the subnormal range)."""
+    into ``fmt``, via the format's registry hook (IEEE: 1 ulp relative,
+    covering every rounding mode, plus the minimum ulp for the
+    subnormal range; posit: the tapered-precision grid gap at ``mag``)."""
     if not math.isfinite(mag):
         return _INF
-    ulp_min = 2.0 ** (fmt.emin - fmt.man_bits)
-    return _up(_up(fmt.machine_epsilon * mag) + ulp_min)
+    return fmt.rnd_abs(mag)
 
 
 def _hull(*vals: AbsVal) -> Tuple[float, float]:
@@ -378,11 +380,18 @@ def _resolve(env: Env, reg: int, expect: Format,
 # ----------------------------------------------------------------------
 # Arithmetic transfer helpers
 # ----------------------------------------------------------------------
-def _finish(fmt: FloatFormat, lo: float, hi: float, err: float,
+def _finish(fmt: NumberFormat, lo: float, hi: float, err: float,
             can_inf: bool, can_nan: bool,
             out_fmt: Format) -> Tuple[AbsVal, bool, Optional[float]]:
     """Clamp an exact-result interval into ``fmt``; returns
-    ``(value, overflowed_here, pre_clamp_magnitude)``."""
+    ``(value, overflowed_here, pre_clamp_magnitude)``.
+
+    Formats without infinities (``has_inf`` false) never produce one on
+    overflow: posits saturate at maxpos and MX8 materializes its NaN.
+    Both lose the error bound (saturation error is unbounded), so the
+    overflowed component degrades to ``err = inf`` with ``can_nan`` set
+    instead of ``can_inf``.
+    """
     overflow = False
     mag = max(abs(lo), abs(hi))
     if hi > fmt.max_value:
@@ -394,6 +403,9 @@ def _finish(fmt: FloatFormat, lo: float, hi: float, err: float,
     if lo > hi:  # degenerate after clamping (fully out of range)
         lo, hi = -fmt.max_value, fmt.max_value
     new_inf = overflow and not can_inf
+    if overflow and not fmt.has_inf:
+        return (AbsVal(lo, hi, _INF, can_inf, True, out_fmt),
+                new_inf, mag if new_inf else None)
     return (AbsVal(lo, hi, err, can_inf or overflow, can_nan, out_fmt),
             new_inf, mag if new_inf else None)
 
@@ -405,8 +417,8 @@ def _arith_flags(*vals: AbsVal) -> Tuple[bool, bool]:
     return can_inf, can_nan
 
 
-def _addsub(fmt: FloatFormat, out_fmt: Format, a: AbsVal, b: AbsVal,
-            round_fmt: Optional[FloatFormat] = None):
+def _addsub(fmt: NumberFormat, out_fmt: Format, a: AbsVal, b: AbsVal,
+            round_fmt: Optional[NumberFormat] = None):
     lo, hi = _add_iv(a, b)
     rfmt = round_fmt or fmt
     mag = max(abs(lo), abs(hi))
@@ -421,8 +433,8 @@ def _prod_err(a: AbsVal, b: AbsVal) -> float:
                + _up(a.err * b.err))
 
 
-def _mul(fmt: FloatFormat, out_fmt: Format, a: AbsVal, b: AbsVal,
-         round_fmt: Optional[FloatFormat] = None):
+def _mul(fmt: NumberFormat, out_fmt: Format, a: AbsVal, b: AbsVal,
+         round_fmt: Optional[NumberFormat] = None):
     lo, hi = _mul_iv(a, b)
     rfmt = round_fmt or fmt
     pe = _prod_err(a, b)
@@ -431,7 +443,7 @@ def _mul(fmt: FloatFormat, out_fmt: Format, a: AbsVal, b: AbsVal,
     return _finish(rfmt, lo, hi, err, can_inf, can_nan, out_fmt)
 
 
-def _div(fmt: FloatFormat, out_fmt: Format, a: AbsVal, b: AbsVal):
+def _div(fmt: NumberFormat, out_fmt: Format, a: AbsVal, b: AbsVal):
     if b.crosses_zero():
         val = top_value(out_fmt)
         return val, False, None
@@ -449,7 +461,7 @@ def _div(fmt: FloatFormat, out_fmt: Format, a: AbsVal, b: AbsVal):
     return _finish(fmt, lo, hi, err, can_inf, can_nan, out_fmt)
 
 
-def _sqrt(fmt: FloatFormat, out_fmt: Format, a: AbsVal):
+def _sqrt(fmt: NumberFormat, out_fmt: Format, a: AbsVal):
     can_nan = a.can_nan or a.lo < 0.0
     lo = math.sqrt(max(a.lo, 0.0))
     hi = math.sqrt(max(a.hi, 0.0))
@@ -467,9 +479,9 @@ def _sqrt(fmt: FloatFormat, out_fmt: Format, a: AbsVal):
     return _finish(fmt, lo, hi, err, a.can_inf, can_nan, out_fmt)
 
 
-def _fma(fmt: FloatFormat, out_fmt: Format, a: AbsVal, b: AbsVal,
+def _fma(fmt: NumberFormat, out_fmt: Format, a: AbsVal, b: AbsVal,
          c: AbsVal, negate_product: bool, negate_addend: bool,
-         round_fmt: Optional[FloatFormat] = None):
+         round_fmt: Optional[NumberFormat] = None):
     """Fused a*b +/- c with a single rounding in ``round_fmt``."""
     plo, phi = _mul_iv(a, b)
     if negate_product:
@@ -521,7 +533,7 @@ def _sign_inject(a: AbsVal, out_fmt: Format):
     return AbsVal(-m, m, a.err, a.can_inf, a.can_nan, out_fmt), False, None
 
 
-def _convert(dst: FloatFormat, out_fmt: Format, a: AbsVal):
+def _convert(dst: NumberFormat, out_fmt: Format, a: AbsVal):
     err = _up(a.err + _rnd(dst, a.maxmag() + a.err))
     return _finish(dst, a.lo, a.hi, err, a.can_inf, a.can_nan, out_fmt)
 
@@ -579,7 +591,7 @@ def transfer_site(site: Site, env: Env, config: AbsintConfig,
     kind = spec.kind
     elem = spec.fp_fmt
     vec = bool(spec.vec)
-    fmt = FORMATS_BY_SUFFIX[elem]
+    fmt = registry.by_suffix(elem)
 
     def resolve(reg: int, expect: Format) -> AbsVal:
         val, fresh = _resolve(env, reg, expect, config)
@@ -647,13 +659,13 @@ def transfer_site(site: Site, env: Env, config: AbsintConfig,
         write(instr.rd, _fma(fmt, out_fmt, a, b, c, np_, na_))
         return
     if kind == "fmulex":
-        src = FORMATS_BY_SUFFIX[spec.src_fmt or elem]
+        src = registry.by_suffix(spec.src_fmt or elem)
         a = resolve(instr.rs1, (src.suffix, False))
         b = resolve(instr.rs2, (src.suffix, False))
         write(instr.rd, _mul(src, out_fmt, a, b, round_fmt=_B32))
         return
     if kind == "fmacex":
-        src = FORMATS_BY_SUFFIX[spec.src_fmt or elem]
+        src = registry.by_suffix(spec.src_fmt or elem)
         a = resolve(instr.rs1, (src.suffix, False))
         b = resolve(instr.rs2, (src.suffix, False))
         acc = resolve(instr.rd, ("s", False))
@@ -661,11 +673,23 @@ def transfer_site(site: Site, env: Env, config: AbsintConfig,
                              round_fmt=_B32))
         return
     if kind == "vfdotpex":
-        src = FORMATS_BY_SUFFIX[spec.src_fmt or elem]
+        src = registry.by_suffix(spec.src_fmt or elem)
         a = resolve(instr.rs1, (src.suffix, True))
         b = resolve(instr.rs2, (src.suffix, not spec.repl))
         acc = resolve(instr.rd, ("s", False))
         lanes = _FLEN // src.width
+        write(instr.rd, _dotp(out_fmt, acc, a, b, lanes))
+        return
+    if kind == "vfdotpmx":
+        # Shared-exponent block dot product: each operand register holds
+        # a scale byte plus lanes.  The decoded lane values fall under
+        # the input contract (blocks arrive via integer loads, so no
+        # tracked history exists); one binary32 rounding at the end.
+        src = registry.by_suffix(spec.src_fmt or elem)
+        a = resolve(instr.rs1, (src.suffix, True))
+        b = resolve(instr.rs2, (src.suffix, True))
+        acc = resolve(instr.rd, ("s", False))
+        lanes = max(1, (_FLEN - 8) // src.width)
         write(instr.rd, _dotp(out_fmt, acc, a, b, lanes))
         return
     if kind in ("vfcpka", "vfcpkb"):
@@ -905,8 +929,9 @@ def analyze_program(
 # ----------------------------------------------------------------------
 # Risk extraction (shared by the lint checks and ``repro analyze``)
 # ----------------------------------------------------------------------
-_FMT_NAME = {"s": "binary32", "h": "binary16", "ah": "binary16alt",
-             "b": "binary8"}
+def _fmt_name(elem: str) -> str:
+    """Human name of a format suffix, from the registry."""
+    return registry.by_suffix(elem).name
 
 #: Kinds whose overflow suggests the expanding accumulate instead.
 _EXPANDING_FIX = {"vfmac": "vfdotpex.s.{fmt}", "vfadd": "vfdotpex.s.{fmt}",
@@ -993,27 +1018,30 @@ def collect_risks(result: AbsintResult,
                 ffmt = _float_format(fmt)
                 if state.new_inf:
                     overflow_sites.add(site.addr)
+                    outcome = ("the result can round to infinity"
+                               if ffmt.has_inf else
+                               "the result saturates or becomes NaN "
+                               "(no infinities in this format)")
                     risks.append(Risk(
                         kind="overflow", site=site,
                         message=(
                             f"result magnitude may reach "
                             f"{state.overflow_mag:.4g}, beyond "
-                            f"{_FMT_NAME[elem]}'s largest finite value "
-                            f"{ffmt.max_value:g}; the result can round "
-                            f"to infinity"),
+                            f"{_fmt_name(elem)}'s largest finite value "
+                            f"{ffmt.max_value:g}; {outcome}"),
                         suggestion=_overflow_suggestion(site, elem),
                         magnitude=state.overflow_mag,
-                        fmt=_FMT_NAME[elem]))
+                        fmt=_fmt_name(elem)))
                 mag = res.maxmag()
                 if 0.0 < mag < ffmt.min_normal_value:
                     risks.append(Risk(
                         kind="underflow", site=site,
                         message=(
                             f"every possible result magnitude "
-                            f"(<= {mag:.4g}) is below {_FMT_NAME[elem]}'s "
+                            f"(<= {mag:.4g}) is below {_fmt_name(elem)}'s "
                             f"smallest normal {ffmt.min_normal_value:g}; "
                             f"the value is subnormal or flushed to zero"),
-                        magnitude=mag, fmt=_FMT_NAME[elem]))
+                        magnitude=mag, fmt=_fmt_name(elem)))
             if site.kind in ("fadd", "fsub", "vfadd", "vfsub") \
                     and state.operands:
                 ops = [state.operands.get(site.instr.rs1),
@@ -1076,18 +1104,21 @@ def collect_risks(result: AbsintResult,
                 overflow_sites.add(site.addr)
                 elem = overflow.fmt[0]
                 ffmt = _float_format(overflow.fmt)
+                outcome = ("the accumulator can round to infinity"
+                           if ffmt.has_inf else
+                           "the accumulator saturates or becomes NaN "
+                           "(no infinities in this format)")
                 risks.append(Risk(
                     kind="overflow", site=site,
                     message=(
                         f"accumulated magnitude may reach "
                         f"{overflow.magnitude:.4g} over "
                         f"{config.trip_bound} loop iterations, beyond "
-                        f"{_FMT_NAME[elem]}'s largest finite value "
-                        f"{ffmt.max_value:g}; the accumulator can "
-                        f"round to infinity"),
+                        f"{_fmt_name(elem)}'s largest finite value "
+                        f"{ffmt.max_value:g}; {outcome}"),
                     suggestion=_overflow_suggestion(site, elem),
                     magnitude=overflow.magnitude,
-                    fmt=_FMT_NAME[elem]))
+                    fmt=_fmt_name(elem)))
 
     for count_key in sorted(cancel_best, key=lambda k: (k is None, k)):
         carried, risk, total = cancel_best[count_key]

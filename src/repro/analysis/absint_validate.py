@@ -31,8 +31,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..fp import registry
 from ..fp.convert import to_double
-from ..fp.formats import FORMATS_BY_SUFFIX
 from ..kernels import KERNELS
 from .absint import AbsintConfig, AbsintResult, SiteAbsState, analyze_program
 from .dataflow import Format, operand_formats, regs_written, result_format
@@ -141,7 +141,7 @@ class AbsintObserver:
             extra = float(machine.read_x(instr.rs1))
             self._check_int_contract(state, extra)
         elif kind == "vfcvt_f_x":
-            width = FORMATS_BY_SUFFIX[instr.spec.fp_fmt].width
+            width = registry.by_suffix(instr.spec.fp_fmt).width
             bits = machine.read_f(instr.rs1)
             mask = (1 << width) - 1
             extra = []
@@ -164,12 +164,11 @@ class AbsintObserver:
     # Operand resolution (mirrors ``absint._resolve``)
     # ------------------------------------------------------------------
     def _decode_lanes(self, machine, reg: int, fmt: Format) -> List[float]:
-        ffmt = FORMATS_BY_SUFFIX[fmt[0]]
+        ffmt = registry.by_suffix(fmt[0])
         if fmt[1]:
-            bits = machine.read_f(reg)
-            mask = (1 << ffmt.width) - 1
-            return [to_double((bits >> (i * ffmt.width)) & mask, ffmt)
-                    for i in range(_FLEN // ffmt.width)]
+            # Format hook: packed lanes for SIMD formats, a decoded
+            # shared-scale block for block formats like MX8.
+            return ffmt.decode_lanes(machine.read_f(reg), _FLEN)
         return [to_double(machine.read_f(reg, ffmt.width), ffmt)]
 
     def _operand_lanes(self, machine, reg: int, fmt: Format,
@@ -178,7 +177,7 @@ class AbsintObserver:
         if is_contract:
             lanes = self._decode_lanes(machine, reg, fmt)
             bound = min(self.config.input_bound,
-                        FORMATS_BY_SUFFIX[fmt[0]].max_value)
+                        registry.by_suffix(fmt[0]).max_value)
             limit = bound * (1.0 + 1e-6)
             for i, v in enumerate(lanes):
                 if not math.isfinite(v) or abs(v) > limit:
@@ -191,7 +190,7 @@ class AbsintObserver:
         tagged = self._shadow.get(reg)
         if tagged is not None and tagged[0][0] == fmt[0]:
             tfmt, tlanes = tagged
-            ffmt = FORMATS_BY_SUFFIX[fmt[0]]
+            ffmt = registry.by_suffix(fmt[0])
             if fmt[1] and not tfmt[1]:
                 # Scalar consumed as vector: narrow writes zero-extend.
                 return [tlanes[0]] + [0.0] * (_FLEN // ffmt.width - 1)
@@ -301,7 +300,14 @@ class AbsintObserver:
             return [acc[0] + a[0] * b[0]]
         if kind == "vfdotpex":
             src = instr.spec.src_fmt or instr.spec.fp_fmt
-            count = _FLEN // FORMATS_BY_SUFFIX[src].width
+            count = _FLEN // registry.by_suffix(src).width
+            a = lanes(instr.rs1, count)
+            b = lanes(instr.rs2, count)
+            acc = lanes(instr.rd, 1)
+            return [acc[0] + math.fsum(x * y for x, y in zip(a, b))]
+        if kind == "vfdotpmx":
+            src = instr.spec.src_fmt or instr.spec.fp_fmt
+            count = max(1, (_FLEN - 8) // registry.by_suffix(src).width)
             a = lanes(instr.rs1, count)
             b = lanes(instr.rs2, count)
             acc = lanes(instr.rd, 1)

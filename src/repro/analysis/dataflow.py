@@ -27,7 +27,8 @@ _READS_RS3 = {"frs3"}
 #: Instruction kinds that read their destination as an accumulator
 #: (fmacex/vfmac/vfdotpex) or partially update it (vfcpka/vfcpkb fill
 #: a lane pair and preserve the rest).
-ACCUMULATE_KINDS = {"fmacex", "vfmac", "vfdotpex", "vfcpka", "vfcpkb"}
+ACCUMULATE_KINDS = {"fmacex", "vfmac", "vfdotpex", "vfdotpmx",
+                    "vfcpka", "vfcpkb"}
 
 #: ABI state defined at a function entry in this model: x0, ra, sp and
 #: the argument registers a0-a7 (the harness passes kernel arguments
@@ -331,7 +332,7 @@ def result_format(instr: Instr) -> Optional[Format]:
         return None  # integer result
     if kind in ("fmulex", "fmacex"):
         return ("s", False)  # expanding: binary32 scalar result
-    if kind == "vfdotpex":
+    if kind in ("vfdotpex", "vfdotpmx"):
         return ("s", False)  # expanding dot product: scalar accumulator
     return (spec.fp_fmt, bool(spec.vec))
 
@@ -368,6 +369,12 @@ def operand_formats(instr: Instr) -> Dict[int, Format]:
         src = spec.src_fmt or elem
         put(instr.rs1, (src, True))
         put(instr.rs2, (src, not spec.repl))
+        put(instr.rd, ("s", False))
+        return out
+    if kind == "vfdotpmx":
+        src = spec.src_fmt or elem
+        put(instr.rs1, (src, True))
+        put(instr.rs2, (src, True))
         put(instr.rd, ("s", False))
         return out
     if kind in ("vfcpka", "vfcpkb"):

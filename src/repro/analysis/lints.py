@@ -65,6 +65,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
+from ..fp import registry
 from ..isa.assembler import Program
 from ..isa.disassembler import format_instr
 from ..isa.registers import xreg_name
@@ -101,10 +102,27 @@ CHECKS = (
     "error-budget-exceeded",
 )
 
-_WIDTH = {"s": 32, "h": 16, "ah": 16, "b": 8}
-_FMT_NAME = {"s": "binary32", "h": "binary16", "ah": "binary16alt",
-             "b": "binary8"}
-_NARROW = ("h", "ah", "b")
+def _width(suffix: str) -> int:
+    """Bit width of a format suffix, from the registry."""
+    return registry.by_suffix(suffix).width
+
+
+def _fmt_name(suffix: str) -> str:
+    """Human name of a format suffix, from the registry."""
+    return registry.by_suffix(suffix).name
+
+
+def _narrow(suffix: Optional[str]) -> bool:
+    """Is this a sub-32-bit format (accumulation loses precision)?"""
+    return suffix is not None and registry.by_suffix(suffix).width < 32
+
+
+def _narrow_vec(suffix: Optional[str]) -> bool:
+    """Narrow *and* packed-SIMD capable (vectorization is possible)."""
+    if suffix is None:
+        return False
+    fmt = registry.by_suffix(suffix)
+    return fmt.width < 32 and fmt.has_vector
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([\w,\s-]*)\])?")
 
@@ -333,9 +351,9 @@ def _check_format_mismatch(ctx: _Context) -> List[LintFinding]:
                     findings.append(ctx.finding(
                         "format-mismatch", severity,
                         f"register {xreg_name(reg)} holds a "
-                        f"{_FMT_NAME[elem_act]} (.{elem_act}) value but "
+                        f"{_fmt_name(elem_act)} (.{elem_act}) value but "
                         f"{site.mnemonic} consumes it as "
-                        f"{_FMT_NAME[elem_exp]} (.{elem_exp}) with no "
+                        f"{_fmt_name(elem_exp)} (.{elem_exp}) with no "
                         f"conversion in between",
                         site,
                         suggestion=f"fcvt.{elem_exp}.{elem_act} "
@@ -370,7 +388,7 @@ def _check_narrow_accumulation(ctx: _Context) -> List[LintFinding]:
             if instr is None or site.addr in seen:
                 continue
             fmt = instr.spec.fp_fmt
-            if fmt not in _NARROW:
+            if not _narrow(fmt):
                 continue
             kind = instr.spec.kind
             accumulates = (
@@ -399,8 +417,8 @@ def _check_narrow_accumulation(ctx: _Context) -> List[LintFinding]:
                           else f"fmacex.s.{fmt}")
             findings.append(ctx.finding(
                 "narrow-accumulation", "warning",
-                f"loop accumulates in {_FMT_NAME[fmt]} (.{fmt}); summing "
-                f"products in a {_WIDTH[fmt]}-bit format silently loses "
+                f"loop accumulates in {_fmt_name(fmt)} (.{fmt}); summing "
+                f"products in a {_width(fmt)}-bit format silently loses "
                 f"precision -- the expanding {suggestion} accumulates in "
                 f"binary32 instead",
                 site, suggestion=suggestion))
@@ -461,11 +479,11 @@ def _check_redundant_convert(ctx: _Context) -> List[LintFinding]:
                     break
             if not round_trip:
                 continue
-            lossless = _WIDTH[src] >= _WIDTH[dst]
+            lossless = _width(src) >= _width(dst)
             flavor = ("a lossless round-trip: the second conversion is "
                       "pure overhead" if lossless else
                       "a LOSSY round-trip: the value was already rounded "
-                      f"to {_FMT_NAME[src]}")
+                      f"to {_fmt_name(src)}")
             findings.append(ctx.finding(
                 "redundant-convert", "warning",
                 f"fcvt .{dst} -> .{src} -> .{dst} is {flavor}",
@@ -591,16 +609,16 @@ def _check_missed_vectorization(ctx: _Context) -> List[LintFinding]:
                 if spec.vec:
                     has_vector = True
                 elif spec.kind in _SCALAR_FP_ARITH and \
-                        spec.fp_fmt in _NARROW and scalar_site is None:
+                        _narrow_vec(spec.fp_fmt) and scalar_site is None:
                     scalar_site = site
                     scalar_fmt = spec.fp_fmt
         if scalar_site is not None and not has_vector \
                 and scalar_site.addr not in flagged:
             flagged.add(scalar_site.addr)
-            lanes = 32 // _WIDTH[scalar_fmt]
+            lanes = 32 // _width(scalar_fmt)
             findings.append(ctx.finding(
                 "missed-vectorization", "note",
-                f"loop performs scalar {_FMT_NAME[scalar_fmt]} arithmetic; "
+                f"loop performs scalar {_fmt_name(scalar_fmt)} arithmetic; "
                 f"packed-SIMD Xfvec processes {lanes} .{scalar_fmt} "
                 f"elements per instruction on this 32-bit datapath",
                 scalar_site,

@@ -6,6 +6,9 @@ Installed as ``python -m repro``.  Subcommands:
 * ``dis WORD [WORD...]``  -- disassemble instruction words
 * ``run FILE``            -- assemble and simulate a program
 * ``kernel NAME``         -- run one benchmark configuration
+* ``formats``             -- list registered number formats (the
+                             pluggable codec registry: IEEE smallFloat,
+                             posit, MX block formats)
 * ``lint FILE``           -- static-analyze an assembly file (or a
                              built-in kernel with ``--kernel``)
 * ``analyze FILE``        -- abstract interpretation: value-range and
@@ -33,6 +36,55 @@ import sys
 from typing import List, Optional
 
 from . import ReproError
+
+
+def _kernel_ftypes() -> List[str]:
+    """Registered kernel-capable type keywords, for ``--ftype`` choices."""
+    from .fp import registry
+
+    return list(registry.kernel_ftypes())
+
+
+def _cmd_formats(args: argparse.Namespace) -> int:
+    from .fp import registry
+
+    rows = []
+    for fmt in registry.all_formats():
+        rows.append({
+            "name": fmt.name,
+            "suffix": fmt.suffix,
+            "keyword": fmt.c_keyword,
+            "width": fmt.width,
+            "family": ("ieee" if fmt.ieee else "guest"),
+            "extension": fmt.ext_name or ("F" if fmt.suffix in ("s", "d")
+                                          else "Xsmallfloat"),
+            "vector": bool(fmt.has_vector and fmt.width <= 16),
+            "block_dotp": bool(fmt.has_block_dotp),
+            "has_inf": bool(fmt.has_inf),
+            "max_value": fmt.max_value,
+            "machine_epsilon": fmt.machine_epsilon,
+            "energy_row": fmt.energy_row(),
+        })
+    if args.json:
+        import json
+
+        print(json.dumps({"formats": rows}, indent=2, sort_keys=True))
+        return 0
+    header = (f"{'name':<12s} {'suffix':<6s} {'keyword':<11s} "
+              f"{'bits':>4s} {'family':<6s} {'extension':<12s} "
+              f"{'simd':<5s} {'max':>10s} {'eps':>10s}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        simd = ("block" if row["block_dotp"]
+                else "vec" if row["vector"] else "-")
+        print(f"{row['name']:<12s} .{row['suffix']:<5s} "
+              f"{row['keyword']:<11s} {row['width']:>4d} "
+              f"{row['family']:<6s} {row['extension']:<12s} "
+              f"{simd:<5s} {row['max_value']:>10.4g} "
+              f"{row['machine_epsilon']:>10.4g}")
+    print(f"{len(rows)} formats registered")
+    return 0
 
 
 def _cmd_asm(args: argparse.Namespace) -> int:
@@ -570,11 +622,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--max-instructions", type=int, default=50_000_000)
     p_run.set_defaults(func=_cmd_run)
 
+    p_formats = sub.add_parser(
+        "formats", help="list registered number formats")
+    p_formats.add_argument("--json", action="store_true",
+                           help="emit the registry as JSON")
+    p_formats.set_defaults(func=_cmd_formats)
+
     p_kernel = sub.add_parser("kernel", help="run one benchmark kernel")
     p_kernel.add_argument("name")
     p_kernel.add_argument("--ftype", default="float16",
-                          choices=["float", "float16", "float16alt",
-                                   "float8"])
+                          choices=_kernel_ftypes())
     p_kernel.add_argument("--mode", default="auto",
                           choices=["scalar", "auto", "manual"])
     p_kernel.add_argument("--latency", type=int, default=1)
@@ -590,8 +647,7 @@ def build_parser() -> argparse.ArgumentParser:
         "profile", help="cycle-attribution profile of one kernel run")
     p_profile.add_argument("name", metavar="KERNEL")
     p_profile.add_argument("--ftype", default="float16",
-                           choices=["float", "float16", "float16alt",
-                                    "float8"])
+                           choices=_kernel_ftypes())
     p_profile.add_argument("--mode", default="auto",
                            choices=["scalar", "auto", "manual", "vector"],
                            help="build to profile ('vector' is an alias "
@@ -624,7 +680,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--kernel", default=None,
                         help="lint a built-in benchmark kernel instead")
     p_lint.add_argument("--ftype", default="float16",
-                        choices=["float", "float16", "float16alt", "float8"])
+                        choices=_kernel_ftypes())
     p_lint.add_argument("--mode", default="scalar",
                         choices=["scalar", "auto", "manual"])
     p_lint.add_argument("--entry", default="main",
@@ -654,8 +710,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--kernel", default=None,
                            help="analyze a built-in benchmark kernel")
     p_analyze.add_argument("--ftype", default="float16",
-                           choices=["float", "float16", "float16alt",
-                                    "float8"])
+                           choices=_kernel_ftypes())
     p_analyze.add_argument("--mode", default="scalar",
                            choices=["scalar", "auto", "manual"])
     p_analyze.add_argument("--entry", default="main",

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from ..fp import registry
+from ..fp.registry import NumberFormat
 from .typesys import (
     FLOAT,
     FLOAT8,
@@ -22,6 +24,8 @@ from .typesys import (
     FLOAT16ALT,
     FLOAT16ALTV,
     FLOAT16V,
+    TYPE_KEYWORDS,
+    VEC_OF,
     Type,
 )
 
@@ -82,6 +86,45 @@ INTRINSICS = {
         Intrinsic("__vfmax_f16", (FLOAT16V, FLOAT16V), FLOAT16V, "vfmax.h"),
     ]
 }
+
+
+def _register_format_intrinsics(fmt: NumberFormat) -> None:
+    """Derive intrinsics for a guest format from its registry entry.
+
+    The paper's IEEE intrinsics above stay statically defined; guest
+    extensions (Xposit, Xmx8) get the same families keyed by their C
+    keyword: expanding multiply/mac, SIMD dot product when the format
+    packs into vectors, and the shared-exponent block dot product when
+    the format defines one.  Block operands travel as opaque 32-bit
+    values (``float``-typed in the kernel language: the merged register
+    file preserves raw bits through loads and moves).
+    """
+    if fmt.ieee or not fmt.kernel_type:
+        return
+    ty = TYPE_KEYWORDS.get(fmt.c_keyword)
+    if ty is None:  # kernel-language type not derived (no keyword)
+        return
+    sfx, kw = fmt.suffix, fmt.c_keyword
+    derived = [
+        Intrinsic(f"__macex_{kw}", (FLOAT, ty, ty), FLOAT,
+                  f"fmacex.s.{sfx}", style="macex"),
+        Intrinsic(f"__mulex_{kw}", (ty, ty), FLOAT, f"fmulex.s.{sfx}"),
+        Intrinsic(f"__sqrt_{kw}", (ty,), ty, f"fsqrt.{sfx}"),
+    ]
+    vty = VEC_OF.get(ty)
+    if vty is not None:
+        derived.append(Intrinsic(f"__dotpex_{kw}", (FLOAT, vty, vty), FLOAT,
+                                 f"vfdotpex.s.{sfx}", style="dotp"))
+        derived.append(Intrinsic(f"__vsqrt_{kw}", (vty,), vty,
+                                 f"vfsqrt.{sfx}"))
+    if fmt.has_block_dotp:
+        derived.append(Intrinsic(f"__dotp{sfx}", (FLOAT, FLOAT, FLOAT),
+                                 FLOAT, f"vfdotpmx.s.{sfx}", style="dotp"))
+    for intrinsic in derived:
+        INTRINSICS.setdefault(intrinsic.name, intrinsic)
+
+
+registry.on_register(_register_format_intrinsics)
 
 
 def lookup_intrinsic(name: str) -> Intrinsic:

@@ -8,7 +8,12 @@ from typing import Iterator, List
 from .. import ReproError
 from .typesys import TYPE_KEYWORDS
 
-KEYWORDS = set(TYPE_KEYWORDS) | {"for", "while", "if", "else", "return"}
+_CONTROL_KEYWORDS = {"for", "while", "if", "else", "return"}
+
+
+def KEYWORDS() -> set:
+    """Current keyword set (type keywords grow with the format registry)."""
+    return set(TYPE_KEYWORDS) | _CONTROL_KEYWORDS
 
 #: Multi-character operators, longest first so maximal munch works.
 _OPERATORS = [
@@ -107,7 +112,8 @@ def tokenize(source: str) -> List[Token]:
             while i < n and (source[i].isalnum() or source[i] == "_"):
                 i += 1
             word = source[start:i]
-            kind = "keyword" if word in KEYWORDS else "ident"
+            kind = ("keyword" if word in TYPE_KEYWORDS
+                    or word in _CONTROL_KEYWORDS else "ident")
             tokens.append(Token(kind, word, line, col))
             col += i - start
             continue

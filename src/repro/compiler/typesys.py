@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from .. import ReproError
+from ..fp import registry
 from ..fp.formats import (
     BINARY8,
     BINARY16,
@@ -31,6 +32,7 @@ from ..fp.formats import (
     BINARY32,
     FloatFormat,
 )
+from ..fp.registry import NumberFormat
 
 
 class TypeError_(ReproError):
@@ -133,6 +135,31 @@ VEC_OF = {FLOAT16: FLOAT16V, FLOAT16ALT: FLOAT16ALTV, FLOAT8: FLOAT8V}
 # Promotion ranks.  float16 and float16alt share a rank: neither
 # subsumes the other, so implicit mixing is rejected.
 _RANK = {FLOAT8: 0, FLOAT16: 1, FLOAT16ALT: 1, FLOAT: 2}
+
+
+def _register_format_types(fmt: NumberFormat) -> None:
+    """Derive kernel-language types for a newly registered format.
+
+    The IEEE formats above are statically defined (their singletons are
+    compared by identity across the compiler); everything else --
+    posit8, mx8, formats registered by tests -- gets a scalar type
+    keyed by its C keyword, a promotion rank by width (same-width
+    distinct formats are unordered, like float16 vs float16alt), and a
+    vector type when the format supports packed SIMD.
+    """
+    if not fmt.kernel_type or fmt.c_keyword in TYPE_KEYWORDS:
+        return
+    ty = FloatType(fmt.c_keyword, fmt)
+    TYPE_KEYWORDS[ty.name] = ty
+    FLOAT_BY_SUFFIX[fmt.suffix] = ty
+    _RANK[ty] = 0 if fmt.width <= 8 else (1 if fmt.width <= 16 else 2)
+    if fmt.has_vector and fmt.width <= 16:
+        vty = VecType(fmt.c_keyword + "v", elem=ty)
+        TYPE_KEYWORDS[vty.name] = vty
+        VEC_OF[ty] = vty
+
+
+registry.on_register(_register_format_types)
 
 
 def is_float(ty: Type) -> bool:

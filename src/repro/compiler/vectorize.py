@@ -56,7 +56,6 @@ from .astnodes import (
     While,
 )
 from .typesys import (
-    FLOAT,
     INT,
     FloatType,
     IntType,
@@ -67,8 +66,13 @@ from .typesys import (
     is_float,
 )
 
-_VECTORIZABLE = {FLOAT.name: False, "float16": True, "float16alt": True,
-                 "float8": True}
+def _vectorizable(name: str) -> bool:
+    """A scalar type is vectorizable iff it has a derived vector type
+    (sub-32-bit lanes and a format with packed-SIMD instruction forms)."""
+    from .typesys import TYPE_KEYWORDS
+
+    ty = TYPE_KEYWORDS.get(name)
+    return isinstance(ty, FloatType) and ty in VEC_OF
 
 
 @dataclass
@@ -311,7 +315,7 @@ class Vectorizer:
         if len(found) != 1:
             raise _Rejected
         name = found.pop()
-        if not _VECTORIZABLE.get(name, False):
+        if not _vectorizable(name):
             raise _Rejected
         from .typesys import TYPE_KEYWORDS
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..fp import registry
 from ..isa.instructions import InstrSpec, spec_by_mnemonic
 from ..sim.tracer import Trace
 
@@ -40,9 +41,35 @@ MEM_ACCESS_ENERGY = {1: 6.0, 10: 24.0, 100: 110.0}
 BACKGROUND_PJ_PER_CYCLE = 1.6
 
 
+def _column(key: str) -> Dict[str, float]:
+    """One energy column sourced from the format registry.
+
+    Every registered :class:`~repro.fp.registry.NumberFormat` publishes
+    its per-operation-class costs via ``energy_row()``; this collects
+    the given class across formats, keyed by suffix.  Formats that do
+    not publish a class simply have no entry -- :meth:`EnergyTable.op_energy`
+    then applies the documented width-scaled fallback.
+    """
+    return {
+        fmt.suffix: fmt.energy_row()[key]
+        for fmt in registry.all_formats()
+        if key in fmt.energy_row()
+    }
+
+
 @dataclass
 class EnergyTable:
-    """Per-operation energies in pJ, keyed by coarse operation class."""
+    """Per-operation energies in pJ, keyed by coarse operation class.
+
+    The per-format columns are sourced from the number-format registry
+    (each format's ``energy_row()``), so registering a new format
+    automatically prices its instructions.  The table snapshots the
+    registry at construction time; build a fresh :class:`EnergyModel`
+    after registering formats.  A format that publishes no cost for an
+    operation class falls back to the binary32 figure scaled linearly
+    by datapath width (with an 8-bit floor) -- crude, but monotone and
+    documented, and it never silently zeroes an op.
+    """
 
     int_alu: float = 2.0
     branch: float = 2.4
@@ -50,45 +77,43 @@ class EnergyTable:
     mul: float = 4.6
     div: float = 28.0
     csr: float = 2.0
-    #: Scalar FP arithmetic per format suffix.
-    fp_arith: Dict[str, float] = field(default_factory=lambda: {
-        "s": 6.6, "h": 3.7, "ah": 3.5, "b": 2.4,
-    })
-    #: Fused multiply-add (scalar) per format suffix.
-    fp_fma: Dict[str, float] = field(default_factory=lambda: {
-        "s": 8.4, "h": 4.6, "ah": 4.4, "b": 3.0,
-    })
-    #: Iterative divide/sqrt per format suffix (energy per op, total).
-    fp_div: Dict[str, float] = field(default_factory=lambda: {
-        "s": 28.0, "h": 14.0, "ah": 13.0, "b": 7.0,
-    })
-    #: Non-arithmetic scalar FP (cmp/minmax/sign/classify/moves).
-    fp_misc: Dict[str, float] = field(default_factory=lambda: {
-        "s": 3.0, "h": 2.0, "ah": 2.0, "b": 1.6,
-    })
+    #: Scalar FP arithmetic per format suffix (registry ``arith`` row).
+    fp_arith: Dict[str, float] = field(default_factory=lambda: _column("arith"))
+    #: Fused multiply-add (scalar) per format suffix (``fma`` row).
+    fp_fma: Dict[str, float] = field(default_factory=lambda: _column("fma"))
+    #: Iterative divide/sqrt per format suffix (``div`` row).
+    fp_div: Dict[str, float] = field(default_factory=lambda: _column("div"))
+    #: Non-arithmetic scalar FP (cmp/minmax/sign/classify; ``misc`` row).
+    fp_misc: Dict[str, float] = field(default_factory=lambda: _column("misc"))
     #: Scalar conversions (any pair of formats / int).
     fp_conv: float = 3.2
-    #: Packed-SIMD arithmetic per vector format (whole-register op).
-    vec_arith: Dict[str, float] = field(default_factory=lambda: {
-        "h": 6.2, "ah": 6.0, "b": 5.6, "s": 11.2,  # 2x f32 (FLEN=64)
-    })
-    #: Packed-SIMD FMA per vector format.
-    vec_fma: Dict[str, float] = field(default_factory=lambda: {
-        "h": 8.0, "ah": 7.8, "b": 7.0, "s": 14.5,
-    })
-    #: Packed-SIMD divide/sqrt per vector format.
-    vec_div: Dict[str, float] = field(default_factory=lambda: {
-        "h": 22.0, "ah": 21.0, "b": 16.0, "s": 48.0,
-    })
+    #: Packed-SIMD arithmetic per vector format (``vec_arith`` row).
+    vec_arith: Dict[str, float] = field(
+        default_factory=lambda: _column("vec_arith"))
+    #: Packed-SIMD FMA per vector format (``vec_fma`` row).
+    vec_fma: Dict[str, float] = field(default_factory=lambda: _column("vec_fma"))
+    #: Packed-SIMD divide/sqrt per vector format (``vec_div`` row).
+    vec_div: Dict[str, float] = field(default_factory=lambda: _column("vec_div"))
     #: SIMD conversions and cast-and-pack.
     vec_conv: float = 4.0
     #: Expanding operations (fmulex/fmacex scalar, vfdotpex SIMD).
     expand_scalar: float = 5.2
-    expand_dotp: Dict[str, float] = field(default_factory=lambda: {
-        "h": 8.6, "ah": 8.4, "b": 7.8,
-    })
+    #: Expanding / block dot products (``dotp`` row: vfdotpex, vfdotpmx).
+    expand_dotp: Dict[str, float] = field(default_factory=lambda: _column("dotp"))
 
     # ------------------------------------------------------------------
+    def _cost(self, column: Dict[str, float], suffix: str,
+              base: float) -> float:
+        """Column lookup with the documented width-scaled fallback."""
+        cost = column.get(suffix)
+        if cost is not None:
+            return cost
+        try:
+            width = registry.by_suffix(suffix).width
+        except KeyError:
+            width = 32
+        return column.get("s", base) * max(width, 8) / 32.0
+
     def op_energy(self, spec: InstrSpec) -> float:
         """Datapath energy of one instruction (memory charged separately)."""
         kind = spec.kind
@@ -107,30 +132,30 @@ class EnergyTable:
             return self.csr
         if kind == "fmacex" or kind == "fmulex":
             return self.expand_scalar
-        if kind == "vfdotpex":
+        if kind in ("vfdotpex", "vfdotpmx"):
             return self.expand_dotp.get(spec.src_fmt or "h", 7.0)
         if spec.vec:
             fmt = spec.fp_fmt or "h"
             if kind in ("vfadd", "vfsub", "vfmul", "vfmin", "vfmax"):
-                return self.vec_arith[fmt]
+                return self._cost(self.vec_arith, fmt, 11.2)
             if kind == "vfmac":
-                return self.vec_fma[fmt]
+                return self._cost(self.vec_fma, fmt, 14.5)
             if kind in ("vfdiv", "vfsqrt"):
-                return self.vec_div[fmt]
+                return self._cost(self.vec_div, fmt, 48.0)
             if kind.startswith("vfcvt") or kind.startswith("vfcpk"):
                 return self.vec_conv
             return self.vec_arith.get(fmt, 5.0)  # sgnj/compare etc.
         if spec.fp_fmt is not None:
             fmt = spec.fp_fmt
             if kind in ("fadd", "fsub", "fmul"):
-                return self.fp_arith[fmt]
+                return self._cost(self.fp_arith, fmt, 6.6)
             if kind in ("fmadd", "fmsub", "fnmsub", "fnmadd"):
-                return self.fp_fma[fmt]
+                return self._cost(self.fp_fma, fmt, 8.4)
             if kind in ("fdiv", "fsqrt"):
-                return self.fp_div[fmt]
+                return self._cost(self.fp_div, fmt, 28.0)
             if kind.startswith("fcvt") or kind.startswith("fmv"):
                 return self.fp_conv
-            return self.fp_misc[fmt]
+            return self._cost(self.fp_misc, fmt, 3.0)
         return self.int_alu
 
 

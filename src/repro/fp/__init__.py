@@ -10,9 +10,14 @@ Public surface:
 * Packed SIMD (Xfvec/Xfaux): :mod:`repro.fp.simd`.
 * Ergonomic values: :class:`SmallFloat`.
 * Fast emulation: :mod:`repro.fp.numpy_backend` (FlexFloat substitute).
+* Format registry: :mod:`repro.fp.registry` -- the pluggable
+  :class:`NumberFormat` protocol; :mod:`repro.fp.posit` (Xposit) and
+  :mod:`repro.fp.mx` (Xmx8) are the first guest codec families and
+  self-register on import below.
 """
 
-from . import arith, compare, convert, numpy_backend, simd
+from . import arith, compare, convert, numpy_backend, registry, simd
+from . import mx, posit  # noqa: F401  (self-registering guest formats)
 from .flags import DZ, NV, NX, OF, UF, flag_names, format_flags
 from .formats import (
     BINARY8,
@@ -31,11 +36,22 @@ from .rounding import RoundingMode, round_and_pack
 from .unpacked import Kind, Unpacked, unpack
 from .value import SmallFloat
 
+from .mx import MX8
+from .posit import POSIT8, POSIT16
+from .registry import NumberFormat
+
 __all__ = [
     "arith",
     "compare",
     "convert",
     "numpy_backend",
+    "registry",
+    "posit",
+    "mx",
+    "NumberFormat",
+    "POSIT8",
+    "POSIT16",
+    "MX8",
     "simd",
     "NV",
     "DZ",

@@ -19,7 +19,7 @@ from typing import Optional, Tuple
 from .flags import DZ, NV
 from .formats import FloatFormat
 from .rounding import RoundingMode, round_and_pack
-from .unpacked import Kind, Unpacked, unpack
+from .unpacked import Unpacked, unpack
 
 Result = Tuple[int, int]
 
@@ -104,7 +104,7 @@ def fsub(fmt: FloatFormat, a: int, b: int, rm: RoundingMode) -> Result:
         # Flipping a NaN's sign bit must not quiet it; recompute directly.
         ua = unpack(a, fmt)
         return _nan_result(fmt, ua, ub)
-    return fadd(fmt, a, b ^ fmt.sign_mask, rm)
+    return fadd(fmt, a, fmt.neg_bits(b), rm)
 
 
 # ----------------------------------------------------------------------

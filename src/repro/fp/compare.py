@@ -17,7 +17,7 @@ from typing import Tuple
 
 from .flags import NV
 from .formats import FloatFormat
-from .unpacked import Kind, Unpacked, unpack
+from .unpacked import Unpacked, unpack
 
 Result = Tuple[int, int]
 
@@ -107,32 +107,34 @@ def fmax(fmt: FloatFormat, a: int, b: int) -> Result:
 # ----------------------------------------------------------------------
 # Classification (fclass)
 # ----------------------------------------------------------------------
-CLASS_NEG_INF = 1 << 0
-CLASS_NEG_NORMAL = 1 << 1
-CLASS_NEG_SUBNORMAL = 1 << 2
-CLASS_NEG_ZERO = 1 << 3
-CLASS_POS_ZERO = 1 << 4
-CLASS_POS_SUBNORMAL = 1 << 5
-CLASS_POS_NORMAL = 1 << 6
-CLASS_POS_INF = 1 << 7
-CLASS_SNAN = 1 << 8
-CLASS_QNAN = 1 << 9
+# The class-mask constants live in the registry module (guest codecs
+# need them to implement classify()); re-exported here for backwards
+# compatibility with existing importers.
+from .registry import (  # noqa: E402
+    CLASS_NEG_INF,
+    CLASS_NEG_NORMAL,
+    CLASS_NEG_SUBNORMAL,
+    CLASS_NEG_ZERO,
+    CLASS_POS_INF,
+    CLASS_POS_NORMAL,
+    CLASS_POS_SUBNORMAL,
+    CLASS_POS_ZERO,
+    CLASS_QNAN,
+    CLASS_SNAN,
+)
+
+__all__ = [
+    "CLASS_NEG_INF", "CLASS_NEG_NORMAL", "CLASS_NEG_SUBNORMAL",
+    "CLASS_NEG_ZERO", "CLASS_POS_ZERO", "CLASS_POS_SUBNORMAL",
+    "CLASS_POS_NORMAL", "CLASS_POS_INF", "CLASS_SNAN", "CLASS_QNAN",
+    "feq", "flt", "fle", "fmin", "fmax", "fclass",
+    "fsgnj", "fsgnjn", "fsgnjx",
+]
 
 
 def fclass(fmt: FloatFormat, a: int) -> int:
     """The RISC-V ``fclass`` 10-bit one-hot classification mask."""
-    u = unpack(a, fmt)
-    if u.is_nan:
-        return CLASS_SNAN if u.signaling else CLASS_QNAN
-    if u.is_inf:
-        return CLASS_NEG_INF if u.sign else CLASS_POS_INF
-    if u.is_zero:
-        return CLASS_NEG_ZERO if u.sign else CLASS_POS_ZERO
-    biased = (a >> fmt.man_bits) & fmt.exp_mask
-    subnormal = biased == 0
-    if u.sign:
-        return CLASS_NEG_SUBNORMAL if subnormal else CLASS_NEG_NORMAL
-    return CLASS_POS_SUBNORMAL if subnormal else CLASS_POS_NORMAL
+    return fmt.classify(a)
 
 
 # ----------------------------------------------------------------------
@@ -140,14 +142,14 @@ def fclass(fmt: FloatFormat, a: int) -> int:
 # ----------------------------------------------------------------------
 def fsgnj(fmt: FloatFormat, a: int, b: int) -> int:
     """Copy ``b``'s sign onto ``a``'s magnitude (also fmv when a == b)."""
-    return (a & ~fmt.sign_mask & fmt.bits_mask) | (b & fmt.sign_mask)
+    return fmt.with_sign(a, fmt.sign_of(b))
 
 
 def fsgnjn(fmt: FloatFormat, a: int, b: int) -> int:
     """Copy the negation of ``b``'s sign (fneg when a == b)."""
-    return (a & ~fmt.sign_mask & fmt.bits_mask) | ((b ^ fmt.sign_mask) & fmt.sign_mask)
+    return fmt.with_sign(a, 1 - fmt.sign_of(b))
 
 
 def fsgnjx(fmt: FloatFormat, a: int, b: int) -> int:
     """XOR the signs (fabs when a == b has a cleared sign... fabs uses b=a)."""
-    return a ^ (b & fmt.sign_mask)
+    return fmt.with_sign(a, fmt.sign_of(a) ^ fmt.sign_of(b))

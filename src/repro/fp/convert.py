@@ -18,7 +18,7 @@ from typing import Tuple
 from .flags import NV, NX
 from .formats import BINARY32, BINARY64, FloatFormat
 from .rounding import RoundingMode, round_and_pack
-from .unpacked import Kind, Unpacked, unpack
+from .unpacked import Unpacked, unpack
 
 Result = Tuple[int, int]
 

@@ -19,12 +19,28 @@ subnormals, signed zeroes/infinities and quiet/signaling NaNs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from . import registry
+from .registry import (
+    CLASS_NEG_INF,
+    CLASS_NEG_NORMAL,
+    CLASS_NEG_SUBNORMAL,
+    CLASS_NEG_ZERO,
+    CLASS_POS_INF,
+    CLASS_POS_NORMAL,
+    CLASS_POS_SUBNORMAL,
+    CLASS_POS_ZERO,
+    CLASS_QNAN,
+    CLASS_SNAN,
+    NumberFormat,
+)
+
 
 @dataclass(frozen=True)
-class FloatFormat:
+class FloatFormat(NumberFormat):
     """An IEEE-754-style binary interchange format.
 
     Attributes:
@@ -49,6 +65,16 @@ class FloatFormat:
     man_bits: int
     suffix: str
     c_keyword: str
+    #: rs2 sub-code naming this format as a conversion operand
+    #: (the paper's SRC_CODE table; not part of format identity).
+    cvt_code: int = field(default=0, compare=False)
+
+    # IEEE formats are the host family: encoded in OP-FP, vectorized by
+    # the fast numpy backend, with true infinities.
+    ieee = True
+    is_guest = False
+    has_inf = True
+    has_vector = True
 
     # ------------------------------------------------------------------
     # Derived geometry (filled in by __post_init__)
@@ -137,6 +163,36 @@ class FloatFormat:
         return (self.sign_mask | self.max_finite) if sign else self.max_finite
 
     # ------------------------------------------------------------------
+    # NumberFormat codec hooks (IEEE semantics; the implementations
+    # live in unpacked/rounding, imported late to keep this module at
+    # the bottom of the dependency stack)
+    # ------------------------------------------------------------------
+    def decode(self, bits: int):
+        from .unpacked import ieee_decode
+
+        return ieee_decode(bits, self)
+
+    def round_pack(self, sign: int, sig: int, exp: int, rm) -> Tuple[int, int]:
+        from .rounding import ieee_round_and_pack
+
+        return ieee_round_and_pack(self, sign, sig, exp, rm)
+
+    def classify(self, bits: int) -> int:
+        from .unpacked import unpack
+
+        u = unpack(bits, self)
+        if u.is_nan:
+            return CLASS_SNAN if u.signaling else CLASS_QNAN
+        if u.is_inf:
+            return CLASS_NEG_INF if u.sign else CLASS_POS_INF
+        if u.is_zero:
+            return CLASS_NEG_ZERO if u.sign else CLASS_POS_ZERO
+        subnormal = ((bits >> self.man_bits) & self.exp_mask) == 0
+        if u.sign:
+            return CLASS_NEG_SUBNORMAL if subnormal else CLASS_NEG_NORMAL
+        return CLASS_POS_SUBNORMAL if subnormal else CLASS_POS_NORMAL
+
+    # ------------------------------------------------------------------
     # Exact values (for tests, metrics and documentation)
     # ------------------------------------------------------------------
     @property
@@ -155,12 +211,33 @@ class FloatFormat:
         return float(2.0 ** -self.man_bits)
 
     @property
+    def min_positive_value(self) -> float:
+        """The smallest positive (subnormal) value as a Python float."""
+        return float(2.0 ** (self.emin - self.man_bits))
+
+    @property
     def dynamic_range_db(self) -> float:
         """Dynamic range max/min-subnormal in dB (20*log10)."""
-        import math
+        return 20.0 * math.log10(self.max_value / self.min_positive_value)
 
-        smallest = 2.0 ** (self.emin - self.man_bits)
-        return 20.0 * math.log10(self.max_value / smallest)
+    # ------------------------------------------------------------------
+    # Analysis / energy hooks
+    # ------------------------------------------------------------------
+    def rnd_abs(self, mag: float) -> float:
+        """Sound absolute rounding-error bound over ``[-mag, mag]``.
+
+        Relative error ``eps * mag`` plus one minimum-subnormal ulp to
+        cover the flush into the subnormal range, each step widened one
+        binary64 ulp upward so the bound stays sound under the float
+        arithmetic computing it.
+        """
+        up = math.inf
+        ulp_min = 2.0 ** (self.emin - self.man_bits)
+        return math.nextafter(
+            math.nextafter(self.machine_epsilon * mag, up) + ulp_min, up)
+
+    def energy_row(self) -> Dict[str, float]:
+        return _IEEE_ENERGY.get(self.suffix, {})
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -170,15 +247,40 @@ class FloatFormat:
 
 
 # ----------------------------------------------------------------------
+# Per-format energy rows (UMC65 FPnew numbers; see repro.energy.model
+# for provenance).  Keyed by suffix; consumed through energy_row().
+# ----------------------------------------------------------------------
+_IEEE_ENERGY: Dict[str, Dict[str, float]] = {
+    "s": {"arith": 6.6, "fma": 8.4, "div": 28.0, "misc": 3.0,
+          "vec_arith": 11.2, "vec_fma": 14.5, "vec_div": 48.0},
+    "h": {"arith": 3.7, "fma": 4.6, "div": 14.0, "misc": 2.0,
+          "vec_arith": 6.2, "vec_fma": 8.0, "vec_div": 22.0, "dotp": 8.6},
+    "ah": {"arith": 3.5, "fma": 4.4, "div": 13.0, "misc": 2.0,
+           "vec_arith": 6.0, "vec_fma": 7.8, "vec_div": 21.0, "dotp": 8.4},
+    "b": {"arith": 2.4, "fma": 3.0, "div": 7.0, "misc": 1.6,
+          "vec_arith": 5.6, "vec_fma": 7.0, "vec_div": 16.0, "dotp": 7.8},
+}
+
+
+# ----------------------------------------------------------------------
 # The format zoo of the smallFloat extensions
 # ----------------------------------------------------------------------
-BINARY8 = FloatFormat("binary8", exp_bits=5, man_bits=2, suffix="b", c_keyword="float8")
-BINARY16 = FloatFormat("binary16", exp_bits=5, man_bits=10, suffix="h", c_keyword="float16")
+BINARY8 = FloatFormat("binary8", exp_bits=5, man_bits=2, suffix="b",
+                      c_keyword="float8", cvt_code=3)
+BINARY16 = FloatFormat("binary16", exp_bits=5, man_bits=10, suffix="h",
+                       c_keyword="float16", cvt_code=2)
 BINARY16ALT = FloatFormat(
-    "binary16alt", exp_bits=8, man_bits=7, suffix="ah", c_keyword="float16alt"
+    "binary16alt", exp_bits=8, man_bits=7, suffix="ah", c_keyword="float16alt",
+    cvt_code=6
 )
-BINARY32 = FloatFormat("binary32", exp_bits=8, man_bits=23, suffix="s", c_keyword="float")
-BINARY64 = FloatFormat("binary64", exp_bits=11, man_bits=52, suffix="d", c_keyword="double")
+BINARY32 = FloatFormat("binary32", exp_bits=8, man_bits=23, suffix="s",
+                       c_keyword="float", cvt_code=0)
+BINARY64 = FloatFormat("binary64", exp_bits=11, man_bits=52, suffix="d",
+                       c_keyword="double", cvt_code=1)
+
+for _fmt in (BINARY8, BINARY16, BINARY16ALT, BINARY32, BINARY64):
+    registry.register(_fmt)
+del _fmt
 
 #: All formats known to the library, keyed by name.
 FORMATS: Dict[str, FloatFormat] = {
@@ -195,8 +297,12 @@ FORMATS_BY_KEYWORD: Dict[str, FloatFormat] = {f.c_keyword: f for f in FORMATS.va
 SMALLFLOAT_FORMATS: Tuple[FloatFormat, ...] = (BINARY16, BINARY16ALT, BINARY8)
 
 
-def lookup(spec) -> FloatFormat:
-    """Resolve a format from a ``FloatFormat``, name, suffix or keyword.
+def lookup(spec) -> NumberFormat:
+    """Resolve a format from a ``NumberFormat``, name, suffix or keyword.
+
+    Delegates to the format registry, so guest formats (posit, MX) are
+    resolved too.  Unknown specs raise :class:`registry.FormatLookupError`
+    (a ``ReproError``) enumerating every registered name/suffix/keyword.
 
     >>> lookup("binary16") is BINARY16
     True
@@ -205,12 +311,7 @@ def lookup(spec) -> FloatFormat:
     >>> lookup("float8") is BINARY8
     True
     """
-    if isinstance(spec, FloatFormat):
-        return spec
-    for table in (FORMATS, FORMATS_BY_SUFFIX, FORMATS_BY_KEYWORD):
-        if spec in table:
-            return table[spec]
-    raise KeyError(f"unknown floating-point format: {spec!r}")
+    return registry.lookup(spec)
 
 
 # ----------------------------------------------------------------------
@@ -235,6 +336,8 @@ def vector_lanes(fmt: FloatFormat, flen: int) -> Optional[int]:
     """
     if flen not in (16, 32, 64):
         raise ValueError(f"FLEN must be 16, 32 or 64, got {flen}")
+    if not fmt.has_vector:
+        return None
     if fmt.width >= flen:
         return None
     return flen // fmt.width

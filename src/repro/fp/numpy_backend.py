@@ -25,8 +25,8 @@ from typing import Union
 
 import numpy as np
 
-from .convert import bits_to_double, double_to_bits, from_double, to_double
-from .formats import BINARY64, FloatFormat
+from .convert import from_double, to_double
+from .formats import FloatFormat
 from .rounding import RoundingMode
 
 ArrayLike = Union[np.ndarray, float, int]
@@ -47,7 +47,9 @@ def quantize(
     arr = _as_f64(x)
     if fmt.name == "binary64":
         return arr.copy()
-    if rm != RoundingMode.RNE:
+    if rm != RoundingMode.RNE or not getattr(fmt, "ieee", True):
+        # Directed rounding modes and non-IEEE guest formats (posit,
+        # MX8) take the bit-exact per-element path through the codec.
         flat = np.array(
             [to_double(from_double(float(v), fmt, rm), fmt) for v in arr.ravel()],
             dtype=np.float64,
@@ -117,6 +119,11 @@ def to_bits(x: ArrayLike, fmt: FloatFormat) -> np.ndarray:
     arr = quantize(x, fmt)
     if fmt.name == "binary64":
         return arr.view(np.uint64).copy()
+    if not getattr(fmt, "ieee", True):
+        # Guest formats have no IEEE field layout: encode per element.
+        flat = np.array([from_double(float(v), fmt, RoundingMode.RNE)
+                         for v in arr.ravel()], dtype=np.uint64)
+        return flat.reshape(arr.shape)
     out = np.zeros(arr.shape, dtype=np.uint64)
     sign = np.signbit(arr).astype(np.uint64) << np.uint64(fmt.width - 1)
 
@@ -161,6 +168,10 @@ def from_bits(bits: ArrayLike, fmt: FloatFormat) -> np.ndarray:
     b = np.asarray(bits, dtype=np.uint64)
     if fmt.name == "binary64":
         return b.view(np.float64).copy()
+    if not getattr(fmt, "ieee", True):
+        flat = np.array([to_double(int(v), fmt) for v in b.ravel()],
+                        dtype=np.float64)
+        return flat.reshape(b.shape)
     sign = ((b >> np.uint64(fmt.width - 1)) & np.uint64(1)).astype(np.int64)
     exp_field = ((b >> np.uint64(fmt.man_bits)) & np.uint64(fmt.exp_mask)).astype(
         np.int64

@@ -132,7 +132,15 @@ def round_and_pack(
         raise ValueError("significand must be non-negative")
     if sig == 0:
         return fmt.zero(sign), 0
+    # Dispatch through the format's codec: IEEE formats land in
+    # ieee_round_and_pack below, guest formats bring their own packer.
+    return fmt.round_pack(sign, sig, exp, rm)
 
+
+def ieee_round_and_pack(
+    fmt: FloatFormat, sign: int, sig: int, exp: int, rm: RoundingMode
+) -> Tuple[int, int]:
+    """Round-and-pack for IEEE-754-style formats (the FloatFormat codec)."""
     p = fmt.precision
     nbits = sig.bit_length()
     # Exponent of the value's most significant bit.

@@ -109,6 +109,13 @@ def _unpack_uncached(bits: int, fmt: FloatFormat) -> Unpacked:
         raise ValueError(
             f"bit pattern {bits:#x} out of range for {fmt.name} ({fmt.width} bits)"
         )
+    # Dispatch through the format's codec: IEEE formats land in
+    # ieee_decode below, guest formats (posit, MX) bring their own.
+    return fmt.decode(bits)
+
+
+def ieee_decode(bits: int, fmt: FloatFormat) -> Unpacked:
+    """Decode an IEEE-754-style encoding (the FloatFormat codec)."""
     sign = (bits >> (fmt.width - 1)) & 1
     biased = (bits >> fmt.man_bits) & fmt.exp_mask
     mantissa = bits & fmt.man_mask

@@ -79,7 +79,7 @@ class SmallFloat:
 
     @property
     def sign(self) -> int:
-        return (self.bits >> (self.fmt.width - 1)) & 1
+        return self.fmt.sign_of(self.bits)
 
     def convert(self, fmt, rm: RoundingMode = RoundingMode.RNE) -> "SmallFloat":
         """Convert to another format (may round, overflow or underflow)."""
@@ -134,11 +134,10 @@ class SmallFloat:
         return SmallFloat.from_float(float(other), self.fmt, self.rm) / self
 
     def __neg__(self) -> "SmallFloat":
-        return SmallFloat(self.bits ^ self.fmt.sign_mask, self.fmt, self.rm)
+        return SmallFloat(self.fmt.neg_bits(self.bits), self.fmt, self.rm)
 
     def __abs__(self) -> "SmallFloat":
-        return SmallFloat(self.bits & ~self.fmt.sign_mask & self.fmt.bits_mask,
-                          self.fmt, self.rm)
+        return SmallFloat(self.fmt.abs_bits(self.bits), self.fmt, self.rm)
 
     def sqrt(self) -> "SmallFloat":
         """Correctly rounded square root."""

@@ -444,6 +444,51 @@ def table3_sqnr(
 
 
 # ----------------------------------------------------------------------
+# Format shootout -- QoR/energy across registered storage formats
+# ----------------------------------------------------------------------
+def format_shootout(
+    benchmarks: Optional[List[str]] = None,
+    ftypes: Tuple[str, ...] = ("float8", "posit8", "mx8"),
+    seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> List[Dict]:
+    """Accuracy vs energy for competing storage formats, per kernel.
+
+    Every format is driven through the identical scalar pipeline --
+    compile, simulate, score against the binary64 reference, price with
+    the energy model -- so the comparison has no per-format special
+    cases: any name in :func:`repro.fp.registry.kernel_ftypes` works.
+    ``energy_vs_float`` normalizes to the binary32 build of the same
+    kernel (< 1.0 means the narrow format saves energy).
+    """
+    benchmarks = benchmarks or list(BENCHMARK_NAMES)
+    _maybe_prewarm(
+        [(bench, ftype, "scalar", 1, seed, DEFAULT_POINT_BUDGET)
+         for bench in benchmarks for ftype in ("float",) + tuple(ftypes)],
+        jobs, cache_dir)
+    rows: List[Dict] = []
+    for bench in benchmarks:
+        base = safe_cached_run(bench, "float", "scalar", seed=seed)
+        for ftype in ftypes:
+            outcome = safe_cached_run(bench, ftype, "scalar", seed=seed)
+            row = {"benchmark": bench, "ftype": ftype, "sqnr_db": None,
+                   "cycles": None, "energy_pj": None,
+                   "energy_vs_float": None}
+            row.update(_point_row(outcome))
+            if outcome.ok:
+                run = outcome.run
+                row["sqnr_db"] = run.sqnr_db()
+                row["cycles"] = run.trace.cycles
+                row["energy_pj"] = run.energy.total
+                if base.ok:
+                    row["energy_vs_float"] = (run.energy.total
+                                              / base.run.energy.total)
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Fig. 4 -- SVM instruction-count breakdown under mixed precision
 # ----------------------------------------------------------------------
 def fig4_breakdown(seed: int = 0, jobs: int = 1,

@@ -35,12 +35,16 @@ _CAUSE_SLOT = {cause: 2 + index for index, cause in enumerate(STALL_CAUSES)}
 _MEM_BYTES = {"lb": 1, "lbu": 1, "sb": 1, "lh": 2, "lhu": 2, "sh": 2,
               "lw": 4, "sw": 4, "flw": 4, "fsw": 4}
 
-#: FP format suffix -> storage width in bits.
-_FMT_WIDTH = {"s": 32, "h": 16, "ah": 16, "b": 8}
+def _fmt_info(suffix: str) -> Tuple[Optional[str], int]:
+    """(report name, storage width) of a format suffix, via the registry."""
+    from ..fp import registry
 
-#: FP format suffix -> the format name used in reports.
-FMT_NAMES = {"s": "binary32", "h": "binary16", "ah": "binary16alt",
-             "b": "binary8"}
+    try:
+        fmt = registry.by_suffix(suffix)
+    except KeyError:
+        return None, 32
+    return fmt.name, fmt.width
+
 
 _ARITH_KINDS = {"fadd", "fsub", "fmul", "fdiv", "fsqrt", "fmulex"}
 _FMA_KINDS = {"fmadd", "fmsub", "fnmsub", "fnmadd", "fmacex"}
@@ -62,18 +66,21 @@ def _flops_of(instr: "Instr", flen: int) -> Tuple[Optional[str], int]:
     fmt = spec.src_fmt or spec.fp_fmt
     if fmt is None:
         return None, 0
-    name = FMT_NAMES.get(fmt)
+    name, width = _fmt_info(fmt)
     if kind in _ARITH_KINDS:
         return name, 1
     if kind in _FMA_KINDS:
         return name, 2
-    lanes = max(1, flen // _FMT_WIDTH.get(fmt, flen))
+    lanes = max(1, flen // width)
     if kind in _VEC_ARITH_KINDS:
         return name, lanes
     if kind == "vfmac":
         return name, 2 * lanes
     if kind == "vfdotpex":
         return name, 2 * lanes
+    if kind == "vfdotpmx":
+        # One shared-exponent block: scale byte + the remaining lanes.
+        return name, 2 * max(1, (flen - 8) // width)
     return name, 0
 
 

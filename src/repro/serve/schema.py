@@ -21,14 +21,18 @@ import numpy as np
 
 from .. import ReproError
 from ..harness.parallel import SweepPoint
+from ..fp import registry
 from ..harness.runner import MODES, SafeRunOutcome
 from ..kernels import KERNELS
 
 #: Bump on any incompatible change to request or response bodies.
 SERVE_SCHEMA_VERSION = 1
 
-#: FP types the harness accepts (mirrors the CLI choices).
-FTYPES = ("float", "float16", "float16alt", "float8")
+#: FP types the harness accepts (mirrors the CLI choices).  Sourced
+#: from the format registry so guest extensions (posit8, mx8...) are
+#: servable without schema edits; the tuple is built at import, after
+#: ``repro.fp`` has registered every built-in format.
+FTYPES = tuple(registry.kernel_ftypes())
 
 #: Request priorities, best first.  Interactive kernel calls preempt
 #: queued sweep batch work.

@@ -45,9 +45,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
-from ..fp import arith, compare, simd
+from ..fp import arith, compare, registry, simd
 from ..fp.flags import ALL as FFLAGS_MASK
-from ..fp.formats import FORMATS_BY_SUFFIX
 from ..fp.rounding import RoundingMode
 from ..isa.compressed import IllegalCompressed
 from ..isa.instructions import Instr, UnknownInstruction
@@ -512,7 +511,7 @@ def _bind_flw(i, m, pc):
         return None
     from .executor import _WIDTH_BYTES
 
-    size = _WIDTH_BYTES[i.spec.fp_fmt]
+    size = _WIDTH_BYTES(i.spec.fp_fmt)
     rd, rs1, imm = i.rd, i.rs1, i.imm
     mem = m.memory
 
@@ -528,7 +527,7 @@ def _bind_fsw(i, m, pc):
         return None
     from .executor import _WIDTH_BYTES
 
-    size = _WIDTH_BYTES[i.spec.fp_fmt]
+    size = _WIDTH_BYTES(i.spec.fp_fmt)
     mask = (1 << (8 * size)) - 1
     rs1, rs2, imm = i.rs1, i.rs2, i.imm
     mem = m.memory
@@ -604,7 +603,7 @@ def _resolve_static_rm(i):
 def _fp_guard(i, m):
     if not m.merged_regfile or m.flen != 32:
         return None
-    return FORMATS_BY_SUFFIX[i.spec.fp_fmt]
+    return registry.by_suffix(i.spec.fp_fmt)
 
 
 def _bind_fp_binop(op):

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from ..fp import arith, compare, simd
+from ..fp import arith, compare, registry, simd
 from ..fp.convert import fcvt_f2f, fcvt_from_int, fcvt_to_int
-from ..fp.formats import FORMATS_BY_SUFFIX, FloatFormat
+from ..fp.formats import FORMATS_BY_SUFFIX
+from ..fp.registry import NumberFormat
 from ..fp.rounding import RoundingMode
 from ..isa.instructions import Instr
 from .machine import MASK32, Machine
@@ -72,12 +73,12 @@ def _signed(value: int) -> int:
     return value - (1 << 32) if value & 0x80000000 else value
 
 
-def _fmt(instr: Instr) -> FloatFormat:
-    return FORMATS_BY_SUFFIX[instr.spec.fp_fmt]
+def _fmt(instr: Instr) -> NumberFormat:
+    return registry.by_suffix(instr.spec.fp_fmt)
 
 
-def _src_fmt(instr: Instr) -> FloatFormat:
-    return FORMATS_BY_SUFFIX[instr.spec.src_fmt]
+def _src_fmt(instr: Instr) -> NumberFormat:
+    return registry.by_suffix(instr.spec.src_fmt)
 
 
 def _rm(machine: Machine, instr: Instr) -> RoundingMode:
@@ -98,7 +99,7 @@ def _rm(machine: Machine, instr: Instr) -> RoundingMode:
     return mode
 
 
-def _vec_b_operand(machine: Machine, instr: Instr, fmt: FloatFormat) -> int:
+def _vec_b_operand(machine: Machine, instr: Instr, fmt: NumberFormat) -> int:
     """Second vector operand; ``.r`` variants replicate lane 0 of rs2."""
     value = machine.read_f(instr.rs2)
     if instr.spec.repl:
@@ -430,19 +431,21 @@ def _csrrci(m, i):
 # ----------------------------------------------------------------------
 # FP loads/stores
 # ----------------------------------------------------------------------
-_WIDTH_BYTES = {"s": 4, "h": 2, "ah": 2, "b": 1}
+def _WIDTH_BYTES(suffix: str) -> int:
+    """Access width in bytes of an FP load/store operating on ``suffix``."""
+    return registry.by_suffix(suffix).width // 8
 
 
 @handler("flw")
 def _flw(m, i):
-    size = _WIDTH_BYTES[i.spec.fp_fmt]
+    size = _WIDTH_BYTES(i.spec.fp_fmt)
     addr = (m.read_x(i.rs1) + i.imm) & MASK32
     m.write_f(i.rd, m.memory.read(addr, size), width=8 * size)
 
 
 @handler("fsw")
 def _fsw(m, i):
-    size = _WIDTH_BYTES[i.spec.fp_fmt]
+    size = _WIDTH_BYTES(i.spec.fp_fmt)
     addr = (m.read_x(i.rs1) + i.imm) & MASK32
     m.memory.write(addr, m.read_f(i.rs2, width=8 * size), size)
 
@@ -754,5 +757,20 @@ def _vfdotpex(m, i):
     a = m.read_f(i.rs1)
     b = _vec_b_operand(m, i, src)
     bits, flags = simd.vfdotpex(src, dst, m.flen, acc, a, b, _rm(m, i))
+    m.csr.accrue(flags)
+    m.write_f(i.rd, bits, dst.width)
+
+
+@handler("vfdotpmx")
+def _vfdotpmx(m, i):
+    """Shared-exponent block dot product: rs1/rs2 each hold one packed
+    block; the exact lane-product sum accumulates into a binary32 rd
+    with a single rounding (dispatched to the source format's codec)."""
+    src = _src_fmt(i)
+    dst = FORMATS_BY_SUFFIX["s"]
+    acc = m.read_f(i.rd, dst.width)
+    a = m.read_f(i.rs1)
+    b = m.read_f(i.rs2)
+    bits, flags = src.block_dotp(acc, a, b, _rm(m, i))
     m.csr.accrue(flags)
     m.write_f(i.rd, bits, dst.width)

@@ -10,7 +10,6 @@ from repro.fp import (
     BINARY16,
     BINARY16ALT,
     BINARY32,
-    BINARY64,
     NV,
     NX,
     RoundingMode,

@@ -1,0 +1,191 @@
+"""The Xmx8 guest extension: E4M3FN elements and shared-exponent blocks.
+
+MX8 follows the OCP Microscaling layout: a block shares one E8M0 scale
+byte across its element lanes, and ``vfdotpmx`` accumulates block dot
+products into binary32 with a single rounding.  Element-level encoding
+round-trips live in ``test_registry.py``; these tests pin the E4M3FN
+value table and the block-level properties.
+"""
+
+import math
+import random
+import struct
+
+import pytest
+
+from repro.fp import mx
+from repro.fp.convert import from_double, to_double
+from repro.fp.mx import (
+    BLOCK_LANES,
+    MX8,
+    block_dotp,
+    choose_scale,
+    decode_block,
+    pack_block,
+    quantize_block,
+    unpack_block,
+)
+from repro.fp.rounding import RoundingMode
+
+RNE = RoundingMode.RNE
+
+#: (bits, value) anchors for E4M3FN (no infinities, NaN = S.1111.111).
+E4M3_TABLE = [
+    (0x00, 0.0),
+    (0x01, 2.0 ** -9),    # smallest subnormal
+    (0x07, 7 * 2.0 ** -9),
+    (0x08, 2.0 ** -6),    # smallest normal
+    (0x38, 1.0),
+    (0x39, 1.125),
+    (0x40, 2.0),
+    (0x7E, 448.0),        # largest finite (exp field all ones!)
+    (0x80, -0.0),
+    (0xB8, -1.0),
+    (0xFE, -448.0),
+]
+
+
+def _f32(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits))[0]
+
+
+class TestElementFormat:
+    @pytest.mark.parametrize("bits,value", E4M3_TABLE)
+    def test_decode(self, bits, value):
+        got = to_double(bits, MX8)
+        assert got == value and math.copysign(1.0, got) == \
+            math.copysign(1.0, value)
+
+    def test_only_two_nan_patterns(self):
+        nans = [b for b in range(256) if math.isnan(to_double(b, MX8))]
+        assert nans == [0x7F, 0xFF]
+
+    def test_no_infinities(self):
+        assert not MX8.has_inf
+        assert all(not math.isinf(to_double(b, MX8)) for b in range(256))
+
+    def test_overflow_rounds_to_nan_not_inf(self):
+        bits = from_double(1.0e6, MX8, RNE)
+        assert math.isnan(to_double(bits, MX8))
+
+    def test_max_value(self):
+        assert MX8.max_value == 448.0
+
+
+class TestBlockLayout:
+    def test_pack_unpack_roundtrip(self):
+        rng = random.Random(20260808)
+        for _ in range(200):
+            scale = rng.randrange(256)
+            elems = [rng.randrange(256) for _ in range(BLOCK_LANES)]
+            assert unpack_block(pack_block(scale, elems)) == (scale, elems)
+
+    def test_scale_occupies_top_byte(self):
+        word = pack_block(0xAB, [0x11, 0x22, 0x33])
+        assert word == 0xAB_33_22_11
+
+    def test_too_many_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            pack_block(0, [0] * (BLOCK_LANES + 1))
+
+
+class TestSharedExponent:
+    def test_choose_scale_puts_max_in_top_binade(self):
+        rng = random.Random(7)
+        for _ in range(300):
+            vals = [rng.uniform(-1e4, 1e4) for _ in range(BLOCK_LANES)]
+            scale = choose_scale(vals)
+            shift = mx.block_scale_value(scale)
+            amax = max(abs(v) for v in vals)
+            # Largest element lands within the element format's range.
+            assert abs(amax) / 2.0 ** shift <= 2.0 * MX8.max_value
+
+    def test_quantize_decode_error_bound(self):
+        rng = random.Random(99)
+        for _ in range(300):
+            vals = [rng.uniform(-100.0, 100.0) for _ in range(BLOCK_LANES)]
+            word = quantize_block(vals)
+            shift = mx.block_scale_value(unpack_block(word)[0])
+            decoded = decode_block(word)
+            for v, d in zip(vals, decoded):
+                # Clamp at the top binade costs up to 2**-3 relative;
+                # plus the subnormal absolute floor at the shared scale.
+                assert abs(d - v) <= abs(v) * 2.0 ** -3 + 2.0 ** (shift - 9)
+
+    def test_all_zero_block(self):
+        word = quantize_block([0.0] * BLOCK_LANES)
+        assert decode_block(word) == [0.0] * BLOCK_LANES
+
+    def test_nan_scale_poisons_block(self):
+        word = pack_block(0xFF, [0x38, 0x38, 0x38])
+        assert all(math.isnan(v) for v in decode_block(word))
+
+
+class TestBlockDotProduct:
+    def test_exact_small_integers(self):
+        # Integer lane values with an exact-in-binary32 result: the
+        # single-rounding contract means the answer must be exact.
+        a = quantize_block([1.0, 2.0, -3.0])
+        b = quantize_block([4.0, 5.0, 6.0])
+        acc = struct.unpack("<I", struct.pack("<f", 10.0))[0]
+        bits, flags = block_dotp(acc, a, b, RNE)
+        assert _f32(bits) == 10.0 + (4.0 + 10.0 - 18.0)
+        assert flags == 0
+
+    def test_scales_multiply(self):
+        # 2**4-scaled block times 2**2-scaled block: products carry 2**6.
+        a = quantize_block([16.0, 32.0, 64.0])
+        b = quantize_block([4.0, 4.0, 4.0])
+        bits, _ = block_dotp(0, a, b, RNE)
+        assert _f32(bits) == 16.0 * 4 + 32.0 * 4 + 64.0 * 4
+
+    def test_commutative(self):
+        rng = random.Random(13)
+        for _ in range(100):
+            a = quantize_block([rng.uniform(-50, 50)
+                                for _ in range(BLOCK_LANES)])
+            b = quantize_block([rng.uniform(-50, 50)
+                                for _ in range(BLOCK_LANES)])
+            assert block_dotp(0, a, b, RNE) == block_dotp(0, b, a, RNE)
+
+    def test_single_rounding_error_bound(self):
+        rng = random.Random(21)
+        for _ in range(200):
+            va = [rng.uniform(-10, 10) for _ in range(BLOCK_LANES)]
+            vb = [rng.uniform(-10, 10) for _ in range(BLOCK_LANES)]
+            a, b = quantize_block(va), quantize_block(vb)
+            exact = math.fsum(x * y for x, y in
+                              zip(decode_block(a), decode_block(b)))
+            bits, _ = block_dotp(0, a, b, RNE)
+            got = _f32(bits)
+            # One binary32 rounding of the exact sum (the binary64
+            # fsum oracle adds at most another half-ulp of slack).
+            assert abs(got - exact) <= \
+                max(abs(exact), 2.0 ** -126) * 2.0 ** -23
+
+    def test_nan_element_poisons_result(self):
+        a = pack_block(mx.SCALE_BIAS, [0x7F, 0x38, 0x38])
+        b = quantize_block([1.0, 1.0, 1.0])
+        bits, _ = block_dotp(0, a, b, RNE)
+        assert math.isnan(_f32(bits))
+
+    def test_nan_accumulator_poisons_result(self):
+        a = quantize_block([1.0, 1.0, 1.0])
+        nan_acc = 0x7FC00000
+        bits, _ = block_dotp(nan_acc, a, a, RNE)
+        assert math.isnan(_f32(bits))
+
+    def test_inf_accumulator_passes_through(self):
+        a = quantize_block([1.0, 1.0, 1.0])
+        inf_acc = 0x7F800000
+        bits, _ = block_dotp(inf_acc, a, a, RNE)
+        assert bits == inf_acc
+
+    def test_format_hook_matches_module_function(self):
+        a = quantize_block([1.5, -2.0, 0.25])
+        b = quantize_block([2.0, 0.5, 8.0])
+        assert MX8.block_dotp(0, a, b, RNE) == block_dotp(0, a, b, RNE)
+
+    def test_decode_lanes_is_block_decode(self):
+        word = quantize_block([3.0, -1.0, 0.5])
+        assert MX8.decode_lanes(word) == decode_block(word)

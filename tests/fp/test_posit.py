@@ -1,0 +1,161 @@
+"""The Xposit guest codecs: known values, algebra, and saturation.
+
+posit8 (es=0) values are verified against a hand-derived table -- the
+regime/fraction split is easy to compute on paper for 8 bits -- and
+posit16 (es=1) against the 2022-standard anchor points.  The encoding
+round-trip for every posit8 pattern lives in ``test_registry.py``.
+"""
+
+import math
+
+import pytest
+
+from repro.fp import registry
+from repro.fp.arith import fadd, fdiv, fmul
+from repro.fp.convert import from_double, to_double
+from repro.fp.flags import NX, OF, UF
+from repro.fp.posit import POSIT8, POSIT16
+from repro.fp.rounding import RoundingMode
+
+RNE = RoundingMode.RNE
+
+#: (bits, value) anchors for posit8, es=0.  Negatives are the two's
+#: complement of the positive encoding.
+POSIT8_TABLE = [
+    (0x00, 0.0),
+    (0x01, 2.0 ** -6),   # minpos
+    (0x10, 0.25),
+    (0x20, 0.5),
+    (0x30, 0.75),
+    (0x40, 1.0),
+    (0x48, 1.25),
+    (0x50, 1.5),
+    (0x60, 2.0),
+    (0x70, 4.0),
+    (0x7F, 64.0),        # maxpos
+    (0xC0, -1.0),
+    (0xD0, -0.75),
+    (0xA0, -2.0),
+    (0x81, -64.0),       # -maxpos
+]
+
+#: Anchors for posit16, es=1 (useed = 4).
+POSIT16_TABLE = [
+    (0x0000, 0.0),
+    (0x4000, 1.0),
+    (0x5000, 2.0),
+    (0x6000, 4.0),
+    (0x3000, 0.5),
+    (0x7FFF, 2.0 ** 28),   # maxpos
+    (0x0001, 2.0 ** -28),  # minpos
+    (0xC000, -1.0),
+    (0x4400, 1.25),
+    (0x4800, 1.5),
+]
+
+
+class TestKnownValues:
+    @pytest.mark.parametrize("bits,value", POSIT8_TABLE)
+    def test_posit8_decode(self, bits, value):
+        assert to_double(bits, POSIT8) == value
+
+    @pytest.mark.parametrize("bits,value", POSIT8_TABLE)
+    def test_posit8_encode(self, bits, value):
+        assert from_double(value, POSIT8, RNE) == bits
+
+    @pytest.mark.parametrize("bits,value", POSIT16_TABLE)
+    def test_posit16_decode(self, bits, value):
+        assert to_double(bits, POSIT16) == value
+
+    @pytest.mark.parametrize("bits,value", POSIT16_TABLE)
+    def test_posit16_encode(self, bits, value):
+        assert from_double(value, POSIT16, RNE) == bits
+
+    def test_nar_is_sign_mask(self):
+        assert POSIT8.quiet_nan == 0x80
+        assert POSIT16.quiet_nan == 0x8000
+        assert math.isnan(to_double(0x80, POSIT8))
+
+
+class TestAlgebra:
+    def test_negation_is_twos_complement(self):
+        for bits in range(256):
+            neg = POSIT8.neg_bits(bits)
+            assert neg == (-bits) & 0xFF
+            v = to_double(bits, POSIT8)
+            if not math.isnan(v):
+                assert to_double(neg, POSIT8) == -v or (v == 0.0 and neg == 0)
+
+    def test_zero_and_nar_are_self_negations(self):
+        assert POSIT8.neg_bits(0x00) == 0x00
+        assert POSIT8.neg_bits(0x80) == 0x80
+
+    def test_addition_known(self):
+        a = from_double(1.0, POSIT8, RNE)
+        b = from_double(1.5, POSIT8, RNE)
+        bits, flags = fadd(POSIT8, a, b, RNE)
+        assert to_double(bits, POSIT8) == 2.5
+        assert flags == 0
+
+    def test_multiplication_known(self):
+        a = from_double(2.5, POSIT8, RNE)
+        b = from_double(1.5, POSIT8, RNE)
+        bits, _ = fmul(POSIT8, a, b, RNE)
+        assert to_double(bits, POSIT8) == 3.75
+
+    def test_nar_propagates(self):
+        one = from_double(1.0, POSIT8, RNE)
+        bits, _ = fadd(POSIT8, 0x80, one, RNE)
+        assert bits == 0x80
+
+    def test_division_by_zero_is_nar(self):
+        one = from_double(1.0, POSIT8, RNE)
+        bits, _ = fdiv(POSIT8, one, 0x00, RNE)
+        assert bits == 0x80
+
+
+class TestSaturation:
+    def test_overflow_saturates_to_maxpos(self):
+        big = from_double(64.0, POSIT8, RNE)
+        bits, flags = fmul(POSIT8, big, big, RNE)
+        assert bits == 0x7F  # maxpos, never NaR
+        assert flags & OF and flags & NX
+
+    def test_underflow_saturates_to_minpos(self):
+        tiny = from_double(2.0 ** -6, POSIT8, RNE)
+        bits, flags = fmul(POSIT8, tiny, tiny, RNE)
+        assert bits == 0x01  # minpos, never zero
+        assert flags & UF and flags & NX
+
+    def test_encode_beyond_range_saturates(self):
+        assert from_double(1.0e9, POSIT8, RNE) == 0x7F
+        assert from_double(-1.0e9, POSIT8, RNE) == 0x81
+        assert from_double(1.0e-9, POSIT8, RNE) == 0x01
+
+
+class TestTaperedPrecision:
+    def test_epsilon_matches_fraction_bits_near_one(self):
+        # Epsilon is the grid gap just *below* 1.0, where the regime
+        # costs two bits: n-2-es fraction bits remain.
+        assert POSIT8.machine_epsilon == 2.0 ** -6
+        assert POSIT16.machine_epsilon == 2.0 ** -13
+        # Above 1.0 the hidden bit moves up a binade: gap doubles.
+        assert to_double(from_double(1.0, POSIT8, RNE), POSIT8) == 1.0
+        assert to_double(0x41, POSIT8) == 1.0 + 2.0 ** -5
+
+    def test_rnd_abs_grows_with_magnitude(self):
+        near_one = POSIT8.rnd_abs(1.0)
+        near_max = POSIT8.rnd_abs(48.0)
+        assert near_max > near_one
+
+    def test_rnd_abs_bounds_actual_rounding_error(self):
+        # The analysis hook must over-approximate every concrete error.
+        for mantissa in range(1, 64):
+            for exp in (-5, -2, 0, 3, 5):
+                value = math.ldexp(1.0 + mantissa / 64.0, exp)
+                rounded = to_double(from_double(value, POSIT8, RNE), POSIT8)
+                assert abs(rounded - value) <= POSIT8.rnd_abs(abs(value))
+
+    def test_registry_width_filter(self):
+        assert registry.by_suffix("p8").width == 8
+        assert registry.by_suffix("p16").width == 16

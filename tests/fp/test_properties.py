@@ -4,7 +4,6 @@ These hold for *every* format, including the non-standard binary16alt
 and binary8 where no numpy oracle exists.
 """
 
-import numpy as np
 import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st

@@ -1,0 +1,143 @@
+"""The number-format registry: lookup, collisions, and conformance.
+
+The registry is the extension point every other layer (ISA, simulator,
+analysis, energy, compiler) hangs off, so its contract is tested
+directly: registration rejects ambiguous identities, lookup failures
+enumerate what *is* registered, and every registered 8-bit codec
+round-trips its full 256-pattern encoding space.
+"""
+
+import math
+
+import pytest
+
+from repro.fp import registry
+from repro.fp.convert import from_double, to_double
+from repro.fp.registry import (
+    FormatLookupError,
+    FormatRegistryError,
+    NumberFormat,
+)
+from repro.fp.rounding import RoundingMode
+
+
+class TestLookup:
+    def test_lookup_by_name_suffix_and_keyword(self):
+        fmt = registry.by_name("posit8")
+        assert registry.by_suffix("p8") is fmt
+        assert registry.by_keyword("posit8") is fmt
+        assert registry.lookup("p8") is fmt
+        assert registry.lookup(fmt) is fmt
+
+    def test_builtins_present(self):
+        names = {f.name for f in registry.all_formats()}
+        assert {"binary8", "binary16", "binary16alt", "binary32",
+                "posit8", "posit16", "mx8"} <= names
+
+    def test_guest_formats(self):
+        guests = {f.name for f in registry.guest_formats()}
+        assert guests >= {"posit8", "posit16", "mx8"}
+        assert "binary16" not in guests
+
+    def test_kernel_ftypes_exclude_wide_formats(self):
+        ftypes = registry.kernel_ftypes()
+        assert "posit8" in ftypes and "mx8" in ftypes
+        assert "double" not in ftypes  # binary64 does not fit a register
+
+    def test_unknown_spec_raises_structured_error(self):
+        with pytest.raises(FormatLookupError) as excinfo:
+            registry.lookup("binary128")
+        message = str(excinfo.value)
+        assert "binary128" in message
+        # The error enumerates every axis a caller might have meant.
+        assert "posit8" in message      # names
+        assert "p16" in message         # suffixes
+        assert "float16alt" in message  # keywords
+
+    def test_unknown_suffix_raises_same_error(self):
+        with pytest.raises(FormatLookupError):
+            registry.by_suffix("q4")
+
+
+class _Fake(NumberFormat):
+    def __init__(self, name, suffix, keyword, width=8):
+        self.name = name
+        self.suffix = suffix
+        self.c_keyword = keyword
+        self.width = width
+
+
+class TestCollisions:
+    @pytest.mark.parametrize("name,suffix,keyword,axis", [
+        ("posit8", "zz1", "zzkw1", "name"),
+        ("zzfmt2", "p8", "zzkw2", "suffix"),
+        ("zzfmt3", "zz3", "posit8", "C keyword"),
+    ])
+    def test_duplicate_identity_rejected(self, name, suffix, keyword, axis):
+        with pytest.raises(FormatRegistryError) as excinfo:
+            registry.register(_Fake(name, suffix, keyword))
+        assert axis in str(excinfo.value)
+        assert "posit8" in str(excinfo.value)
+
+    def test_reregistering_same_object_is_noop(self):
+        fmt = registry.by_name("mx8")
+        before = len(registry.all_formats())
+        assert registry.register(fmt) is fmt
+        assert len(registry.all_formats()) == before
+
+
+class TestOnRegister:
+    def test_callback_replayed_for_known_formats(self):
+        seen = []
+        registry.on_register(seen.append)
+        names = {f.name for f in seen}
+        assert {"binary32", "posit8", "mx8"} <= names
+
+
+def _eight_bit_formats():
+    return [f for f in registry.all_formats() if f.width == 8]
+
+
+@pytest.mark.parametrize(
+    "fmt", _eight_bit_formats(), ids=lambda f: f.name)
+class TestEightBitConformance:
+    """All 256 encodings of every 8-bit codec round-trip exactly."""
+
+    def test_roundtrip_all_256_patterns(self, fmt):
+        for bits in range(256):
+            value = to_double(bits, fmt)
+            back = from_double(value, fmt, RoundingMode.RNE)
+            if math.isnan(value):
+                # NaN payloads canonicalize; the class must survive.
+                assert math.isnan(to_double(back, fmt))
+                continue
+            assert back == bits, (
+                f"{fmt.name}: {bits:#04x} -> {value!r} -> {back:#04x}")
+
+    def test_decode_is_injective_on_values(self, fmt):
+        seen = {}
+        for bits in range(256):
+            value = to_double(bits, fmt)
+            if math.isnan(value):
+                continue
+            key = (value, math.copysign(1.0, value))
+            assert key not in seen, (
+                f"{fmt.name}: {bits:#04x} and {seen[key]:#04x} both "
+                f"decode to {value!r}")
+            seen[key] = bits
+
+    def test_classify_covers_all_patterns(self, fmt):
+        for bits in range(256):
+            cls = fmt.classify(bits)
+            assert cls.bit_count() == 1  # exactly one fclass category
+
+    def test_decode_lanes_matches_scalar_decode(self, fmt):
+        if fmt.has_block_dotp:
+            pytest.skip("block formats decode registers as blocks")
+        word = 0xC3_81_40_01
+        lanes = fmt.decode_lanes(word)
+        assert len(lanes) == 4
+        for i, lane in enumerate(lanes):
+            expected = to_double((word >> (8 * i)) & 0xFF, fmt)
+            assert lane == expected or (
+                math.isnan(lane) and math.isnan(expected))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.fp import BINARY8, BINARY16, BINARY32, NX, OF, UF, RoundingMode
+from repro.fp import BINARY8, BINARY16, NX, OF, UF, RoundingMode
 from repro.fp.convert import from_double, to_double
 from repro.fp.rounding import resolve_rm, round_and_pack
 

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.fp import BINARY8, BINARY16, BINARY16ALT, BINARY32, NV, RoundingMode
-from repro.fp.arith import fadd, fmul
+from repro.fp.arith import fmul
 from repro.fp.convert import from_double, to_double
 from repro.fp.simd import (
     join_lanes,

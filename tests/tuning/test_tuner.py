@@ -132,6 +132,11 @@ class TestValidation:
         with pytest.raises(ValueError):
             TunableVariable("x", ("int",))
 
+    def test_registered_guest_formats_accepted(self):
+        # Any keyword the format registry minted is a legal candidate.
+        v = TunableVariable("x", ("float", "posit16", "posit8", "mx8"))
+        assert v.candidates == ("float", "posit16", "posit8", "mx8")
+
     def test_empty_candidates_rejected(self):
         with pytest.raises(ValueError):
             TunableVariable("x", ())
