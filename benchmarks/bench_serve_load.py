@@ -42,6 +42,13 @@ CLIENTS = 4              # closed-loop client threads
 REQUESTS_PER_CLIENT = 6
 REPEATED_POINTS = 2      # distinct points in the repeat phase
 
+SWEEP_KERNEL = "gemm"    # warm-sweep phase: enough work per point to
+SWEEP_SEEDS = 24         # make batching visible over HTTP overhead
+#: A seed-varied sweep through the lockstep-coalescing executor must
+#: beat the same sweep with coalescing disabled by at least this
+#: factor on any host (acceptance floor; both legs share a host).
+MIN_SWEEP_LOCKSTEP_SPEEDUP = 1.2
+
 
 def run_phase(client_count, requests_per_client, port, seed_fn):
     """Drive the server closed-loop; returns throughput + latency."""
@@ -90,6 +97,54 @@ def run_phase(client_count, requests_per_client, port, seed_fn):
     }
 
 
+def measure_warm_sweep(lockstep):
+    """One seed-varied sweep, all points simulating, batched or not.
+
+    'Warm' means compiler and import caches are hot (run after the
+    closed-loop phases); the result cache is fresh per call, so every
+    point executes.  With ``lockstep`` enabled, the executor coalesces
+    the queued sweep points into batched lockstep runs at pop time;
+    a single worker thread keeps the queue deep so the batch forms at
+    full width.  The scalar/lockstep wall ratio is the serve-side value
+    of batching on exactly the workload it targets.
+    """
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-swp-") as cache_dir:
+        app = ReproServeApp(workers=1, cache_dir=cache_dir, max_queue=128,
+                            lockstep=lockstep)
+        server = make_server(app)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        try:
+            client = ServeClient(f"http://127.0.0.1:{port}", timeout=300.0)
+            points = [{"kernel": SWEEP_KERNEL, "ftype": "float16",
+                       "mode": "auto", "seed": seed}
+                      for seed in range(SWEEP_SEEDS)]
+            start = time.perf_counter()
+            job = client.sweep(points, priority="batch")
+            client.wait_job(job["job_id"], timeout=300.0)
+            wall = time.perf_counter() - start
+            metrics = client.metrics()
+        finally:
+            server.shutdown()
+            thread.join(timeout=5.0)
+            server.server_close()
+            app.queue.close()
+            app.executor.drain(timeout=10.0)
+            app.close()
+    return {
+        "lockstep": lockstep,
+        "points": SWEEP_SEEDS,
+        "wall_seconds": round(wall, 4),
+        "points_per_second": round(SWEEP_SEEDS / wall, 3),
+        "batching": metrics["lockstep"],
+    }
+
+
 def collect():
     import tempfile
 
@@ -129,16 +184,24 @@ def collect():
             app.executor.drain(timeout=10.0)
             app.close()
 
+    # Warm-sweep batched throughput: same sweep with the pop-time
+    # lockstep coalescer off, then on (imports/compiler now warm).
+    sweep_scalar = measure_warm_sweep(lockstep=0)
+    sweep_batched = measure_warm_sweep(lockstep=SWEEP_SEEDS)
+
     reused = (repeat["served_from"].get("cache", 0)
               + repeat["served_from"].get("coalesced", 0))
     return {
-        "schema": 1,
+        "schema": 2,
         "kernel": KERNEL,
         "clients": CLIENTS,
         "requests_per_client": REQUESTS_PER_CLIENT,
         "repeated_points": REPEATED_POINTS,
         "cold": cold,
         "repeat": repeat,
+        "warm_sweep": {"scalar": sweep_scalar, "lockstep": sweep_batched},
+        "sweep_lockstep_speedup": round(
+            sweep_scalar["wall_seconds"] / sweep_batched["wall_seconds"], 3),
         "repeat_speedup_rps": round(repeat["rps"] / cold["rps"], 3),
         "repeat_reuse_fraction": round(reused / repeat["requests"], 3),
         "server_metrics": {
@@ -171,7 +234,8 @@ def test_serve_load(capsys):
               f"{payload['repeat']['rps']} rps "
               f"(p95 {payload['repeat']['p95_ms']} ms) -> "
               f"{payload['repeat_speedup_rps']}x, "
-              f"{payload['repeat_reuse_fraction']:.0%} reused")
+              f"{payload['repeat_reuse_fraction']:.0%} reused; "
+              f"warm sweep {payload['sweep_lockstep_speedup']}x batched")
 
     # Acceptance floor: coalescing + cache reuse must be a clear win
     # on a repeated-point workload, on any host.
@@ -179,6 +243,12 @@ def test_serve_load(capsys):
 
     # The repeated phase must actually exercise reuse, not recompute.
     assert payload["repeat_reuse_fraction"] >= 0.5
+
+    # The batched warm sweep must actually batch, and must win.
+    batching = payload["warm_sweep"]["lockstep"]["batching"]
+    assert batching["batches"] >= 1
+    assert batching["lanes"] >= 2 * batching["batches"]
+    assert payload["sweep_lockstep_speedup"] >= MIN_SWEEP_LOCKSTEP_SPEEDUP
 
     # Regression gate against the committed baseline (ratio only;
     # absolute rps is informational).

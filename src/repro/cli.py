@@ -434,33 +434,39 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             print(f"  FLEN={flen}: {row}")
     jobs = getattr(args, "jobs", 1)
     cache_dir = getattr(args, "cache_dir", None)
+    lockstep = getattr(args, "lockstep", 0)
     if name in ("fig1", "all"):
         print("Fig. 1 (speedup averages):")
-        for row in E.fig1_speedup(jobs=jobs, cache_dir=cache_dir):
+        for row in E.fig1_speedup(jobs=jobs, cache_dir=cache_dir,
+                              lockstep=lockstep):
             if row["benchmark"] == "average":
                 print(f"  {row['ftype']:<12s} {row['mode']:<7s} "
                       f"{row['speedup']:.2f}x")
     if name in ("fig2", "all"):
         print("Fig. 2 (latency gains over L1):")
-        rows = E.fig2_latency_speedup(jobs=jobs, cache_dir=cache_dir)
+        rows = E.fig2_latency_speedup(jobs=jobs, cache_dir=cache_dir,
+                                      lockstep=lockstep)
         for ftype, gains in E.fig2_latency_gains(rows).items():
             print(f"  {ftype}: L2 {gains['L2_vs_L1']:+.1%}, "
                   f"L3 {gains['L3_vs_L1']:+.1%}")
     if name in ("fig3", "all"):
         print("Fig. 3 (energy savings vs float):")
-        rows = E.fig3_energy(jobs=jobs, cache_dir=cache_dir)
+        rows = E.fig3_energy(jobs=jobs, cache_dir=cache_dir,
+                             lockstep=lockstep)
         for ftype, savings in E.fig3_average_savings(rows).items():
             row = ", ".join(f"{k} {v:.0%}" for k, v in savings.items())
             print(f"  {ftype}: {row}")
     if name in ("table3", "all"):
         print("Table III (SQNR dB):")
-        for row in E.table3_sqnr(jobs=jobs, cache_dir=cache_dir):
+        for row in E.table3_sqnr(jobs=jobs, cache_dir=cache_dir,
+                             lockstep=lockstep):
             print(f"  {row['benchmark']:<8s} {row['ftype']:<12s} "
                   f"{row['sqnr_db']:6.1f}")
     if name in ("fig4", "all"):
         print("Fig. 4 (SVM instruction breakdown):")
         for variant, counts in E.fig4_breakdown(
-                jobs=jobs, cache_dir=cache_dir).items():
+                jobs=jobs, cache_dir=cache_dir,
+                lockstep=lockstep).items():
             print(f"  {variant}: {counts}")
     if name in ("fig5", "all"):
         result = E.fig5_codegen()
@@ -469,7 +475,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
               f"({result['reduction']:.0%} reduction)")
     if name in ("fig6", "all"):
         print("Fig. 6 (mixed precision):")
-        for row in E.fig6_mixed_precision(jobs=jobs, cache_dir=cache_dir):
+        for row in E.fig6_mixed_precision(jobs=jobs, cache_dir=cache_dir,
+                                      lockstep=lockstep):
             print(f"  {row['scheme']:<15s} speedup {row['speedup']:.2f}, "
                   f"energy {row['energy_normalized']:.2f}, "
                   f"error {row['classification_error']:.1%}")
@@ -566,6 +573,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline_ms=args.deadline_ms,
         worker_processes=args.workers,
         journal_path=args.journal,
+        lockstep=args.lockstep,
     )
     server = make_server(app, host=args.host, port=args.port,
                          verbose=args.verbose)
@@ -744,6 +752,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "fig3", "fig4", "fig5", "fig6"])
     p_exp.add_argument("--jobs", type=int, default=1,
                        help="compute sweep points in N worker processes")
+    p_exp.add_argument("--lockstep", type=int, default=0, metavar="N",
+                       help="batch seed-varied sweep points into lockstep "
+                            "runs of up to N lanes (bit-identical per "
+                            "point; 0 disables)")
     p_exp.add_argument("--cache-dir", metavar="DIR", default=None,
                        help="persistent per-point result cache "
                             "(default: $REPRO_RESULT_CACHE if set)")
@@ -795,6 +807,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "sweeps from it on restart")
     p_serve.add_argument("--jobs", type=int, default=2,
                          help="worker threads executing kernel points")
+    p_serve.add_argument("--lockstep", type=int, default=8, metavar="N",
+                         help="coalesce up to N compatible queued sweep "
+                              "points (seed-only variation, no deadline "
+                              "or profile) into one lockstep batch; "
+                              "0 disables (thread executor only)")
     p_serve.add_argument("--cache-dir", metavar="DIR", default=None,
                          help="persistent per-point result cache "
                               "(default: $REPRO_RESULT_CACHE, else a "

@@ -56,8 +56,10 @@ def quantize(
         )
         return flat.reshape(arr.shape)
 
-    bits = arr.view(np.uint64) if arr.flags.c_contiguous else arr.copy().view(np.uint64)
-    bits = arr.astype(np.float64).view(np.uint64)
+    # ``view`` needs a contiguous last axis; copy only when it isn't.
+    if not arr.flags.c_contiguous:
+        arr = np.ascontiguousarray(arr)
+    bits = arr.view(np.uint64)
     sign = bits >> np.uint64(63)
     exp_field = (bits >> np.uint64(52)) & np.uint64(0x7FF)
     man_field = bits & np.uint64((1 << 52) - 1)

@@ -79,7 +79,7 @@ def safe_cached_run(
 
 def prewarm(
     points: Iterable[Tuple], jobs: int = 1,
-    cache_dir: Optional[str] = None,
+    cache_dir: Optional[str] = None, lockstep: int = 0,
 ) -> int:
     """Compute sweep points up front and seed the in-process memo.
 
@@ -89,7 +89,8 @@ def prewarm(
     process pool; with a cache directory (or ``REPRO_RESULT_CACHE``
     set) finished points persist across processes.  Returns the number
     of points that were actually computed (as opposed to served from
-    either cache).
+    either cache).  ``lockstep >= 2`` batches seed-varied points into
+    shared lockstep runs (see :func:`repro.harness.parallel.run_points`).
     """
     from .parallel import SweepPoint, resolve_cache, run_points
 
@@ -98,7 +99,8 @@ def prewarm(
         missing = [SweepPoint(*p) for p in dict.fromkeys(points)
                    if tuple(p) not in _CACHE]
     before = cache.hits if cache is not None else 0
-    results = run_points(missing, jobs=jobs, cache=cache)
+    results = run_points(missing, jobs=jobs, cache=cache,
+                         lockstep=lockstep)
     with _CACHE_LOCK:
         for point, outcome in results.items():
             _CACHE.setdefault(tuple(point), outcome)
@@ -107,11 +109,11 @@ def prewarm(
 
 
 def _maybe_prewarm(points: List[Tuple], jobs: int,
-                   cache_dir: Optional[str]) -> None:
-    """Prewarm when parallelism or a persistent cache is in play."""
-    if jobs > 1 or cache_dir is not None or (
+                   cache_dir: Optional[str], lockstep: int = 0) -> None:
+    """Prewarm when parallelism, batching or a cache is in play."""
+    if jobs > 1 or lockstep >= 2 or cache_dir is not None or (
             os.environ.get("REPRO_RESULT_CACHE", "").strip()):
-        prewarm(points, jobs=jobs, cache_dir=cache_dir)
+        prewarm(points, jobs=jobs, cache_dir=cache_dir, lockstep=lockstep)
 
 
 def cached_run(name: str, ftype: str, mode: str, mem_latency: int = 1,
@@ -197,6 +199,7 @@ def fig1_speedup(
     instruction_budget: int = DEFAULT_POINT_BUDGET,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    lockstep: int = 0,
 ) -> List[Dict]:
     """Speedup of each smallFloat type over float, auto vs manual.
 
@@ -211,7 +214,7 @@ def fig1_speedup(
     """
     benchmarks = benchmarks or list(BENCHMARK_NAMES)
     _maybe_prewarm(fig1_points(benchmarks, ftypes, seed,
-                               instruction_budget), jobs, cache_dir)
+                               instruction_budget), jobs, cache_dir, lockstep)
     rows: List[Dict] = []
     sums: Dict[Tuple[str, str], List[float]] = {}
     for bench in benchmarks:
@@ -290,6 +293,7 @@ def fig2_latency_speedup(
     seed: int = 0,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    lockstep: int = 0,
 ) -> List[Dict]:
     """Speedup vs the float baseline *at the same latency level*.
 
@@ -299,7 +303,8 @@ def fig2_latency_speedup(
     benchmarks = benchmarks or [
         b for b in BENCHMARK_NAMES if KERNELS[b].manual_source_fn
     ]
-    _maybe_prewarm(fig23_points(benchmarks, ftypes, seed), jobs, cache_dir)
+    _maybe_prewarm(fig23_points(benchmarks, ftypes, seed), jobs,
+                   cache_dir, lockstep)
     rows: List[Dict] = []
     for bench in benchmarks:
         for level, latency in LATENCY_LEVELS.items():
@@ -354,12 +359,14 @@ def fig3_energy(
     seed: int = 0,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    lockstep: int = 0,
 ) -> List[Dict]:
     """Energy of the manual smallFloat builds normalized to float."""
     benchmarks = benchmarks or [
         b for b in BENCHMARK_NAMES if KERNELS[b].manual_source_fn
     ]
-    _maybe_prewarm(fig23_points(benchmarks, ftypes, seed), jobs, cache_dir)
+    _maybe_prewarm(fig23_points(benchmarks, ftypes, seed), jobs,
+                   cache_dir, lockstep)
     rows: List[Dict] = []
     for bench in benchmarks:
         for level, latency in LATENCY_LEVELS.items():
@@ -424,13 +431,14 @@ def table3_sqnr(
     seed: int = 0,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    lockstep: int = 0,
 ) -> List[Dict]:
     """SQNR (dB) of program outputs vs the binary64 reference."""
     benchmarks = benchmarks or list(BENCHMARK_NAMES)
     _maybe_prewarm(
         [(bench, ftype, "scalar", 1, seed, DEFAULT_POINT_BUDGET)
          for bench in benchmarks for ftype in ftypes],
-        jobs, cache_dir)
+        jobs, cache_dir, lockstep)
     rows: List[Dict] = []
     for bench in benchmarks:
         for ftype in ftypes:
@@ -452,6 +460,7 @@ def format_shootout(
     seed: int = 0,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    lockstep: int = 0,
 ) -> List[Dict]:
     """Accuracy vs energy for competing storage formats, per kernel.
 
@@ -466,7 +475,7 @@ def format_shootout(
     _maybe_prewarm(
         [(bench, ftype, "scalar", 1, seed, DEFAULT_POINT_BUDGET)
          for bench in benchmarks for ftype in ("float",) + tuple(ftypes)],
-        jobs, cache_dir)
+        jobs, cache_dir, lockstep)
     rows: List[Dict] = []
     for bench in benchmarks:
         base = safe_cached_run(bench, "float", "scalar", seed=seed)
@@ -492,13 +501,14 @@ def format_shootout(
 # Fig. 4 -- SVM instruction-count breakdown under mixed precision
 # ----------------------------------------------------------------------
 def fig4_breakdown(seed: int = 0, jobs: int = 1,
-                   cache_dir: Optional[str] = None) -> Dict[str, Dict[str, int]]:
+                   cache_dir: Optional[str] = None,
+                   lockstep: int = 0) -> Dict[str, Dict[str, int]]:
     """Instruction mixes: original float vs auto vs manual mixed SVM."""
     _maybe_prewarm(
         [("svm", "float", "scalar", 1, seed, DEFAULT_POINT_BUDGET),
          ("svm_mixed", "float16", "auto", 1, seed, DEFAULT_POINT_BUDGET),
          ("svm_mixed", "float16", "manual", 1, seed, DEFAULT_POINT_BUDGET)],
-        jobs, cache_dir)
+        jobs, cache_dir, lockstep)
     original = cached_run("svm", "float", "scalar", seed=seed)
     auto = cached_run("svm_mixed", "float16", "auto", seed=seed)
     manual = cached_run("svm_mixed", "float16", "manual", seed=seed)
@@ -565,7 +575,8 @@ def fig5_codegen() -> Dict[str, object]:
 # Fig. 6 -- mixed-precision case study: speedup, energy, accuracy
 # ----------------------------------------------------------------------
 def fig6_mixed_precision(seed: int = 0, jobs: int = 1,
-                         cache_dir: Optional[str] = None) -> List[Dict]:
+                         cache_dir: Optional[str] = None,
+                         lockstep: int = 0) -> List[Dict]:
     """Speedup/energy/accuracy of SVM precision schemes vs float.
 
     Rows: float (baseline), uniform float16, uniform float8, and the
@@ -578,7 +589,7 @@ def fig6_mixed_precision(seed: int = 0, jobs: int = 1,
          ("svm", "float8", "auto", 1, seed, DEFAULT_POINT_BUDGET),
          ("svm_mixed", "float16", "auto", 1, seed, DEFAULT_POINT_BUDGET),
          ("svm_mixed", "float16", "manual", 1, seed, DEFAULT_POINT_BUDGET)],
-        jobs, cache_dir)
+        jobs, cache_dir, lockstep)
     base = cached_run("svm", "float", "scalar", seed=seed)
     rows: List[Dict] = []
 

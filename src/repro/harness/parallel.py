@@ -38,7 +38,8 @@ from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 from .. import __version__
 from ..kernels import KERNELS
-from .runner import SafeRunOutcome, run_kernel_safe
+from .runner import (SafeRunOutcome, classify_run, run_kernel_batch,
+                     run_kernel_safe)
 
 #: Bump when the pickled payload layout (or anything it transitively
 #: contains) changes shape; old entries then miss instead of
@@ -277,11 +278,59 @@ def _worker(point_tuple: Tuple) -> Tuple[Tuple, SafeRunOutcome]:
             status="error", detail=f"worker: {type(exc).__name__}: {exc}")
 
 
+def lockstep_groups(points: Iterable[SweepPoint],
+                    min_width: int = 2) -> List[List[SweepPoint]]:
+    """Group points that can share one lockstep instruction stream.
+
+    Compatible points differ only in ``seed``: same kernel, FP type,
+    vectorization mode, memory latency and budget all compile to the
+    same program and timing model.  Groups narrower than ``min_width``
+    are returned as singletons (scalar path).
+    """
+    by_stream: Dict[Tuple, List[SweepPoint]] = {}
+    for point in points:
+        key = (point.name, point.ftype, point.mode, point.mem_latency,
+               point.instruction_budget)
+        by_stream.setdefault(key, []).append(point)
+    groups: List[List[SweepPoint]] = []
+    for members in by_stream.values():
+        if len(members) >= min_width:
+            groups.append(members)
+        else:
+            groups.extend([m] for m in members)
+    return groups
+
+
+def run_group_lockstep(group: List[SweepPoint],
+                       **overrides) -> Dict[SweepPoint, SafeRunOutcome]:
+    """Run one compatible group batched, crash-isolated.
+
+    Returns an outcome per point; a host-side error in the batched
+    engine is folded into per-point ``error`` outcomes the same way
+    :func:`run_point` folds scalar ones (callers may then retry the
+    points individually on the scalar path).
+    """
+    head = group[0]
+    kwargs = dict(mem_latency=head.mem_latency,
+                  max_instructions=head.instruction_budget,
+                  seeds=[p.seed for p in group], trap_ok=True)
+    kwargs.update(overrides)
+    try:
+        runs = run_kernel_batch(KERNELS[head.name], head.ftype, head.mode,
+                                **kwargs)
+        return {p: classify_run(run) for p, run in zip(group, runs)}
+    except BaseException as exc:
+        detail = f"lockstep: {type(exc).__name__}: {exc}"
+        return {p: SafeRunOutcome(status="error", detail=detail)
+                for p in group}
+
+
 def run_points(
     points: Iterable[SweepPoint],
     jobs: int = 1,
     cache: Optional[DiskResultCache] = None,
     on_result: Optional[Callable[[SweepPoint, SafeRunOutcome], None]] = None,
+    lockstep: int = 0,
 ) -> Dict[SweepPoint, SafeRunOutcome]:
     """Compute every point, in parallel when ``jobs > 1``.
 
@@ -289,6 +338,12 @@ def run_points(
     without spawning a worker.  ``on_result`` fires once per unique
     point as its outcome lands (cached points first), letting callers
     stream progress.  The returned dict covers every requested point.
+
+    ``lockstep >= 2`` turns on batched execution: uncached points that
+    differ only in seed share one lockstep run of up to ``lockstep``
+    lanes (bit-identical per point to the scalar path).  Points whose
+    batch errors out host-side fall back to the scalar path, and
+    left-over singleton points use the normal worker pool.
     """
     unique: List[SweepPoint] = []
     seen = set()
@@ -315,6 +370,24 @@ def run_points(
             cache.put(point, outcome)
         if on_result is not None:
             on_result(point, outcome)
+
+    if lockstep >= 2 and len(pending) > 1:
+        leftover: List[SweepPoint] = []
+        for group in lockstep_groups(pending):
+            if len(group) < 2:
+                leftover.extend(group)
+                continue
+            for chunk_at in range(0, len(group), lockstep):
+                chunk = group[chunk_at:chunk_at + lockstep]
+                if len(chunk) < 2:
+                    leftover.extend(chunk)
+                    continue
+                for point, outcome in run_group_lockstep(chunk).items():
+                    if outcome.status == "error":
+                        leftover.append(point)  # scalar-path retry
+                    else:
+                        finish(point, outcome)
+        pending = leftover
 
     if jobs <= 1 or len(pending) <= 1:
         for point in pending:

@@ -9,18 +9,19 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Union
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Sequence,
+                    Tuple, Union)
 
 import numpy as np
 
 from .. import ReproError
 from ..compiler import compile_source
-from ..compiler.typesys import FLOAT_BY_SUFFIX, TYPE_KEYWORDS, FloatType
+from ..compiler.typesys import TYPE_KEYWORDS, FloatType
 from ..energy import EnergyModel, EnergyReport
 from ..fp.convert import from_double
 from ..fp.formats import FloatFormat
 from ..fp.numpy_backend import from_bits, to_bits
-from ..kernels import ArgSpec, KernelSpec
+from ..kernels import KernelSpec
 from ..metrics import classification_error, sqnr_db
 from ..sim import Simulator, Trace
 from ..sim.traps import TrapInfo
@@ -140,6 +141,60 @@ class KernelRun:
         )
 
 
+def _stage_args(spec: KernelSpec, ftype: str, run_params: Dict[str, int],
+                data: Dict) -> tuple:
+    """Lay out one point's kernel arguments.
+
+    Returns ``(regs, stores, array_at)``: the initial register file,
+    the ``(addr, bytes)`` bulk writes to apply before execution, and
+    the ``name -> (addr, count, fmt-or-None)`` output map.
+    """
+    if len(spec.args) > len(_ARG_REGS):
+        raise HarnessError(f"{spec.name}: too many arguments")
+    cursor = ARRAY_BASE
+    array_at: Dict[str, tuple] = {}  # name -> (addr, count, fmt-or-None)
+    regs: Dict[int, int] = {}
+    stores: list = []
+    for arg, reg in zip(spec.args, _ARG_REGS):
+        if arg.kind == "param":
+            key = arg.name if arg.elem == "auto" else arg.elem
+            regs[reg] = int(run_params[key]) & 0xFFFFFFFF
+        elif arg.kind == "scalar":
+            fmt = _format_of(ftype if arg.elem == "auto" else arg.elem)
+            regs[reg] = from_double(float(data[arg.name]), fmt)
+        elif arg.kind == "array":
+            fmt = _format_of(ftype if arg.elem == "auto" else arg.elem)
+            values = np.asarray(data[arg.name], dtype=np.float64).ravel()
+            bits = to_bits(values, fmt).astype(_dtype_for(fmt.width))
+            stores.append((cursor, bits.tobytes()))
+            array_at[arg.name] = (cursor, values.size, fmt)
+            regs[reg] = cursor
+            cursor += ((values.size * fmt.width // 8 + 15) // 16) * 16 + 16
+        elif arg.kind == "iarray":
+            values = np.asarray(data[arg.name], dtype="<i4").ravel()
+            stores.append((cursor, values.tobytes()))
+            array_at[arg.name] = (cursor, values.size, None)
+            regs[reg] = cursor
+            cursor += ((values.size * 4 + 15) // 16) * 16 + 16
+        else:
+            raise HarnessError(f"unknown arg kind {arg.kind!r}")
+    return regs, stores, array_at
+
+
+def _read_outputs(spec: KernelSpec, memory, array_at) -> Dict[str, np.ndarray]:
+    outputs: Dict[str, np.ndarray] = {}
+    for name in spec.outputs:
+        addr, count, fmt = array_at[name]
+        if fmt is None:
+            raw = memory.read_block(addr, count * 4)
+            outputs[name] = np.frombuffer(raw, dtype="<i4").copy()
+        else:
+            raw = memory.read_block(addr, count * fmt.width // 8)
+            bits = np.frombuffer(raw, dtype=_dtype_for(fmt.width))
+            outputs[name] = from_bits(bits.astype(np.uint64), fmt)
+    return outputs
+
+
 def run_kernel(
     spec: KernelSpec,
     ftype: str = "float",
@@ -205,34 +260,9 @@ def run_kernel(
     # ------------------------------------------------------------------
     # Stage arguments
     # ------------------------------------------------------------------
-    if len(spec.args) > len(_ARG_REGS):
-        raise HarnessError(f"{spec.name}: too many arguments")
-    cursor = ARRAY_BASE
-    array_at: Dict[str, tuple] = {}  # name -> (addr, count, fmt-or-None)
-    regs: Dict[int, int] = {}
-    for arg, reg in zip(spec.args, _ARG_REGS):
-        if arg.kind == "param":
-            key = arg.name if arg.elem == "auto" else arg.elem
-            regs[reg] = int(run_params[key]) & 0xFFFFFFFF
-        elif arg.kind == "scalar":
-            fmt = _format_of(ftype if arg.elem == "auto" else arg.elem)
-            regs[reg] = from_double(float(data[arg.name]), fmt)
-        elif arg.kind == "array":
-            fmt = _format_of(ftype if arg.elem == "auto" else arg.elem)
-            values = np.asarray(data[arg.name], dtype=np.float64).ravel()
-            bits = to_bits(values, fmt).astype(_dtype_for(fmt.width))
-            sim.machine.memory.write_block(cursor, bits.tobytes())
-            array_at[arg.name] = (cursor, values.size, fmt)
-            regs[reg] = cursor
-            cursor += ((values.size * fmt.width // 8 + 15) // 16) * 16 + 16
-        elif arg.kind == "iarray":
-            values = np.asarray(data[arg.name], dtype="<i4").ravel()
-            sim.machine.memory.write_block(cursor, values.tobytes())
-            array_at[arg.name] = (cursor, values.size, None)
-            regs[reg] = cursor
-            cursor += ((values.size * 4 + 15) // 16) * 16 + 16
-        else:
-            raise HarnessError(f"unknown arg kind {arg.kind!r}")
+    regs, stores, array_at = _stage_args(spec, ftype, run_params, data)
+    for addr, payload in stores:
+        sim.machine.memory.write_block(addr, payload)
 
     sim_start = time.perf_counter()
     result = sim.run(spec.entry, args=regs, max_instructions=max_instructions,
@@ -248,16 +278,7 @@ def run_kernel(
     # ------------------------------------------------------------------
     # Read outputs and score
     # ------------------------------------------------------------------
-    outputs: Dict[str, np.ndarray] = {}
-    for name in spec.outputs:
-        addr, count, fmt = array_at[name]
-        if fmt is None:
-            raw = sim.machine.memory.read_block(addr, count * 4)
-            outputs[name] = np.frombuffer(raw, dtype="<i4").copy()
-        else:
-            raw = sim.machine.memory.read_block(addr, count * fmt.width // 8)
-            bits = np.frombuffer(raw, dtype=_dtype_for(fmt.width))
-            outputs[name] = from_bits(bits.astype(np.uint64), fmt)
+    outputs = _read_outputs(spec, sim.machine.memory, array_at)
 
     golden = spec.golden(data, run_params)
     model = energy_model or EnergyModel()
@@ -285,6 +306,97 @@ def run_kernel(
         profile=collector.finish() if collector is not None else None,
         sim_seconds=sim_seconds,
     )
+
+
+def run_kernel_batch(
+    spec: KernelSpec,
+    ftype: str = "float",
+    mode: str = "scalar",
+    mem_latency: int = 1,
+    params: Optional[Dict[str, int]] = None,
+    seeds: Sequence[int] = (0,),
+    max_instructions: int = 50_000_000,
+    energy_model: Optional[EnergyModel] = None,
+    trap_ok: bool = False,
+) -> List[KernelRun]:
+    """Run one configuration for many seeds at once, in lockstep.
+
+    The program is compiled once and every seed becomes one lane of a
+    :func:`repro.sim.lockstep.run_lockstep` batch, so the aggregate
+    guest MIPS scales with the number of lanes.  Each returned
+    :class:`KernelRun` is bit-identical (trace, counters, outputs,
+    fcsr, exit reason) to the matching per-seed :func:`run_kernel`
+    call; ``sim_seconds`` is the batch wall time divided by the lane
+    count, so summed host-time accounting stays meaningful.
+
+    Features that hook individual instructions (``injector``,
+    ``profile``) are deliberately not offered here -- use
+    :func:`run_kernel` for those points.
+    """
+    if mode not in MODES:
+        raise HarnessError(f"unknown mode {mode!r} (pick from {MODES})")
+    if not seeds:
+        return []
+    from ..sim.lockstep import Lane, run_lockstep
+
+    if mode == "manual":
+        if spec.manual_source_fn is None:
+            raise HarnessError(f"{spec.name} has no manual-vectorized form")
+        kernel = compile_source(spec.manual_source_fn(ftype))
+    else:
+        kernel = compile_source(spec.source_fn(ftype),
+                                vectorize_loops=(mode == "auto"))
+
+    staged = []
+    lanes = []
+    for seed in seeds:
+        run_params = dict(spec.params)
+        run_params.update(params or {})
+        rng = np.random.default_rng(seed)
+        data = spec.make_data(run_params, rng)
+        regs, stores, array_at = _stage_args(spec, ftype, run_params, data)
+        staged.append((data, run_params, array_at))
+        lanes.append(Lane(regs, stores))
+
+    sim_start = time.perf_counter()
+    results = run_lockstep(kernel.program, lanes, entry=spec.entry,
+                           max_instructions=max_instructions,
+                           mem_latency=mem_latency)
+    per_lane_seconds = (time.perf_counter() - sim_start) / len(lanes)
+
+    model = energy_model or EnergyModel()
+    runs: List[KernelRun] = []
+    for (data, run_params, array_at), result in zip(staged, results):
+        if not result.ok and not trap_ok:
+            raise KernelExecutionError(
+                f"{spec.name} [{ftype}, {mode}] ended with "
+                f"{result.exit_reason}: {result.detail}",
+                exit_reason=result.exit_reason, trap=result.trap,
+            )
+        outputs = _read_outputs(spec, result.machine.memory, array_at)
+        runs.append(KernelRun(
+            spec_name=spec.name,
+            ftype=ftype,
+            mode=mode,
+            mem_latency=mem_latency,
+            trace=result.trace,
+            energy=model.estimate(result.trace, mem_latency),
+            outputs=outputs,
+            golden=spec.golden(data, run_params),
+            asm=kernel.asm,
+            exit_reason=result.exit_reason,
+            trap=result.trap,
+            arrays={
+                name: (addr, count * (4 if fmt is None else fmt.width // 8))
+                for name, (addr, count, fmt) in array_at.items()
+            },
+            text_range=(kernel.program.text_base,
+                        4 * len(kernel.program.words)),
+            lint=kernel.lint_result,
+            profile=None,
+            sim_seconds=per_lane_seconds,
+        ))
+    return runs
 
 
 # ----------------------------------------------------------------------
@@ -327,6 +439,12 @@ def run_kernel_safe(spec: KernelSpec, *args, **kwargs) -> SafeRunOutcome:
     except Exception as exc:  # host bug: contain it, but say so loudly
         return SafeRunOutcome(
             status="error", detail=f"{type(exc).__name__}: {exc}")
+    return classify_run(run)
+
+
+def classify_run(run: KernelRun) -> SafeRunOutcome:
+    """Fold a completed :class:`KernelRun` into a  :class:`SafeRunOutcome`
+    (the ok/trap/budget_exceeded triage of :func:`run_kernel_safe`)."""
     if run.exit_reason in ("halt", "ecall", "ebreak"):
         return SafeRunOutcome(status="ok", run=run)
     if run.exit_reason == "trap":

@@ -23,7 +23,8 @@ import threading
 import time
 from typing import Callable, List, Optional
 
-from ..harness.parallel import DiskResultCache, SweepPoint, run_point
+from ..harness.parallel import (DiskResultCache, SweepPoint,
+                                run_group_lockstep, run_point)
 from ..harness.runner import SafeRunOutcome
 from .jobs import Job, JobQueue
 from .metrics import ServeMetrics
@@ -88,11 +89,16 @@ class KernelExecutor:
         cache: Optional[DiskResultCache] = None,
         metrics: Optional[ServeMetrics] = None,
         runner: Callable[..., SafeRunOutcome] = run_point,
+        lockstep: int = 0,
     ):
         self.queue = queue
         self.cache = cache
         self.metrics = metrics
         self._runner = runner
+        # Batched execution goes through the lockstep engine directly,
+        # not through ``runner``; a caller that injects its own runner
+        # gets purely scalar semantics.
+        self._lockstep = lockstep if runner is run_point else 0
         self._estimator = MipsEstimator()
         self._stop = threading.Event()
         self._busy = 0
@@ -136,14 +142,57 @@ class KernelExecutor:
             job = self.queue.pop(timeout=_POLL_SECONDS)
             if job is None:
                 continue
+            peers: List[Job] = []
+            if self._lockstep >= 2:
+                peers = self.queue.pop_compatible(job, self._lockstep - 1)
             with self._busy_lock:
                 self._busy += 1
             try:
-                self._execute(job)
+                if peers:
+                    self._execute_lockstep([job] + peers)
+                else:
+                    self._execute(job)
             finally:
                 self.queue.finish(job)
+                for peer in peers:
+                    self.queue.finish(peer)
                 with self._busy_lock:
                     self._busy -= 1
+
+    def _execute_lockstep(self, jobs: List[Job]) -> None:
+        """Run a batch of compatible jobs as one lockstep stream.
+
+        Each job resolves with the exact outcome its scalar execution
+        would have produced (the engine is bit-identical per lane).
+        None of the jobs carries a deadline or a profile request
+        (:meth:`JobQueue.pop_compatible` guarantees it), so the budget
+        is each point's own and results are cacheable.  A host-side
+        batch failure falls back to per-job scalar execution, so
+        batching can never lose work.
+        """
+        width = len(jobs)
+        outcomes = run_group_lockstep([job.point for job in jobs])
+        fallbacks = 0
+        for job in jobs:
+            outcome = outcomes[job.point]
+            if outcome.status == "error":
+                fallbacks += 1
+                self._execute(job)
+                continue
+            if outcome.run is not None:
+                # A lane's guest_mips is the batch's *aggregate* rate
+                # (its sim_seconds is a 1/width share of the wall
+                # clock); feed the estimator the per-lane rate so
+                # deadline caps for scalar runs stay conservative.
+                self._observe_mips(outcome.run.guest_mips / width)
+            if self.cache is not None:
+                try:
+                    self.cache.put(job.point, outcome)
+                except Exception:
+                    pass  # cache is an optimisation, never a failure
+            job.resolve(outcome)
+        if self.metrics is not None:
+            self.metrics.count_lockstep_batch(width, fallbacks)
 
     def _execute(self, job: Job) -> None:
         now = time.monotonic()

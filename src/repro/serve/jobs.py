@@ -223,6 +223,41 @@ class JobQueue:
             self._queued -= 1
             return job
 
+    def pop_compatible(self, head: Job, limit: int) -> List[Job]:
+        """Pop up to ``limit`` extra ready jobs batchable with ``head``.
+
+        Lockstep-compatible jobs share ``head``'s instruction stream --
+        same kernel, FP type, vectorization mode, memory latency and
+        instruction budget, differing only in seed -- and carry neither
+        a profile request (profiling is per-run) nor a deadline (a
+        deadline-derived budget cap is per-job, which a shared batch
+        cannot honour).  Popped jobs stay in the coalescing index until
+        :meth:`finish`, exactly like :meth:`pop`.  Admission is
+        untouched: batching is a pop-time decision by the executor.
+        """
+        if limit <= 0 or head.profile or head.deadline_at is not None:
+            return []
+        h = head.point
+        stream = (h.name, h.ftype, h.mode, h.mem_latency,
+                  h.instruction_budget)
+        taken: List[Job] = []
+        kept: List[Tuple[int, int, Job]] = []
+        with self._lock:
+            while self._heap and len(taken) < limit:
+                entry = heapq.heappop(self._heap)
+                job = entry[2]
+                p = job.point
+                if (not job.profile and job.deadline_at is None
+                        and (p.name, p.ftype, p.mode, p.mem_latency,
+                             p.instruction_budget) == stream):
+                    taken.append(job)
+                else:
+                    kept.append(entry)
+            for entry in kept:
+                heapq.heappush(self._heap, entry)
+            self._queued -= len(taken)
+        return taken
+
     def requeue(self, job: Job) -> None:
         """Put a popped-but-unfinished job back on the ready heap.
 

@@ -74,6 +74,9 @@ class ServeMetrics:
         self.verifications = 0           # ?verify=1 admission checks
         self.verification_rejects = 0    # 422s from the static gate
         self.verification_cache_hits = 0  # verdicts served from cache
+        self.lockstep_batches = 0    # lockstep batches formed (width >= 2)
+        self.lockstep_lanes = 0      # total lanes across those batches
+        self.lockstep_fallbacks = 0  # lanes retried on the scalar path
         self.latency = LatencyReservoir()
         self.guest_instructions = 0
         self.guest_sim_seconds = 0.0
@@ -102,6 +105,14 @@ class ServeMetrics:
     def count_timeout(self) -> None:
         with self._lock:
             self.timeouts += 1
+
+    def count_lockstep_batch(self, width: int, fallbacks: int = 0) -> None:
+        """One executor-formed lockstep batch of ``width`` lanes, of
+        which ``fallbacks`` errored host-side and re-ran scalar."""
+        with self._lock:
+            self.lockstep_batches += 1
+            self.lockstep_lanes += width
+            self.lockstep_fallbacks += fallbacks
 
     def count_verification(self, rejected: bool, cached: bool) -> None:
         with self._lock:
@@ -178,6 +189,14 @@ class ServeMetrics:
                                  if lookups else None),
                     "hits": cache_hits,
                     "misses": executed,
+                },
+                "lockstep": {
+                    "batches": self.lockstep_batches,
+                    "lanes": self.lockstep_lanes,
+                    "mean_width": (
+                        round(self.lockstep_lanes / self.lockstep_batches, 3)
+                        if self.lockstep_batches else None),
+                    "fallbacks": self.lockstep_fallbacks,
                 },
                 "guest": {
                     "instructions": self.guest_instructions,

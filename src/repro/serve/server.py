@@ -43,8 +43,7 @@ from .. import __version__
 from ..harness.parallel import SweepPoint, resolve_cache
 from .executor import KernelExecutor
 from .fleet import FleetConfig, FleetSupervisor
-from .jobs import (ADMIT_CLOSED, ADMIT_COALESCED, ADMIT_FULL, ADMIT_NEW,
-                   Job, JobQueue)
+from .jobs import ADMIT_CLOSED, ADMIT_COALESCED, ADMIT_FULL, Job, JobQueue
 from .journal import SweepJournal, SweepJournalWriter, job_status_label
 from .metrics import ServeMetrics
 from .schema import (SERVE_SCHEMA_VERSION, KernelRequest,
@@ -118,6 +117,7 @@ class ReproServeApp:
         journal_path: Optional[str] = None,
         fleet_config: Optional[FleetConfig] = None,
         verify_config=None,
+        lockstep: int = 8,
     ):
         # A service without a cache cannot amortize anything, so when
         # no directory is given (and no env default), use a private
@@ -145,10 +145,15 @@ class ReproServeApp:
                 metrics=self.metrics,
                 config=fleet_config or FleetConfig.from_env())
         else:
+            # Pop-time lockstep coalescing: compatible queued sweep
+            # points (same program/config, seed-only variation) share
+            # one batched instruction stream, bit-identical per point.
+            # The fleet path stays per-point (its failover protocol
+            # redelivers single jobs).
             kwargs = {} if runner is None else {"runner": runner}
             self.executor = KernelExecutor(
                 self.queue, workers=workers, cache=self.cache,
-                metrics=self.metrics, **kwargs)
+                metrics=self.metrics, lockstep=lockstep, **kwargs)
         # Static admission gate for ?verify=1 requests.  ``verify_config``
         # (a repro.analysis LintConfig) tightens or relaxes the checks;
         # the default arms every absint-backed lint with its defaults.

@@ -213,14 +213,17 @@ class BlockEngine:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def run(self, stats, max_instructions: int):
+    def run(self, stats, max_instructions: int, executed: int = 0):
         """Execute blocks until exit, fault, or fallback.
 
         Returns ``(outcome, executed)`` where ``outcome`` is an
         ``(exit_reason, detail, trap_info)`` triple, or ``None`` when
         the caller should continue in the reference loop from the
         current machine state with ``executed`` instructions already
-        retired.
+        retired.  A non-zero starting ``executed`` resumes a run whose
+        earlier instructions already retired elsewhere (the lockstep
+        engine drains lanes this way), keeping budget accounting and
+        the budget-exceeded message anchored to the original total.
         """
         sim = self.sim
         machine = sim.machine
@@ -228,7 +231,6 @@ class BlockEngine:
         cache = self._cache
         counts: Dict[int, List[int]] = {}  # start -> [execs, takens]
         order: List[int] = []
-        executed = 0
 
         while machine.pc != _SENTINEL:
             pc = machine.pc

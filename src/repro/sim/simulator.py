@@ -294,6 +294,41 @@ class Simulator:
                          machine=machine, trap=trap_info, detail=detail)
 
     # ------------------------------------------------------------------
+    def resume(
+        self,
+        trace: Trace,
+        executed: int = 0,
+        max_instructions: int = 50_000_000,
+    ) -> RunResult:
+        """Continue a run from the *current* machine state.
+
+        The lockstep engine (:mod:`repro.sim.lockstep`) drains diverged
+        lanes by materializing their machine state and partial
+        :class:`Trace` into a fresh simulator and handing the remainder
+        of the run to this method.  Unlike :meth:`run` it performs no
+        entry/``ra``/``sp``/argument setup: ``machine.pc`` and the
+        register file are taken as-is, ``trace`` keeps accumulating, and
+        ``executed`` instructions already count against the budget (so a
+        later budget-exceeded detail reports the original total).
+        """
+        stats = trace
+        machine = self.machine
+        machine.csr.cycle_source = lambda: stats.cycles
+        machine.csr.instret_source = lambda: stats.instret
+        outcome = None
+        if self.fast_path:
+            outcome, executed = self._engine().run(
+                stats, max_instructions, executed=executed)
+        if outcome is None:
+            outcome = self._run_reference(
+                stats, executed, max_instructions, None, None)
+        exit_reason, detail, trap_info = outcome
+        if trap_info is not None:
+            detail = str(trap_info)
+        return RunResult(trace=stats, exit_reason=exit_reason,
+                        machine=machine, trap=trap_info, detail=detail)
+
+    # ------------------------------------------------------------------
     def _engine(self):
         """The lazily constructed block engine for this simulator."""
         if self._block_engine is None:

@@ -41,6 +41,22 @@ class TestQuantize:
         q = quantize(x, fmt)
         assert np.array_equal(quantize(q, fmt), q, equal_nan=True)
 
+    def test_non_contiguous_input(self, fmt):
+        """Strided views (e.g. a column slice) must quantize like their
+        contiguous copies -- the fast path reinterprets bits in place
+        and can only do so on a contiguous last axis."""
+        rng = np.random.default_rng(23)
+        base = rng.standard_normal((64, 8)) * 10
+        snapshot = base.copy()
+        col = base[:, 3]          # stride 8 doubles, not contiguous
+        rev = base[0, ::-1]       # negative stride
+        assert not col.flags.c_contiguous
+        for view in (col, rev):
+            got = quantize(view, fmt)
+            want = quantize(np.ascontiguousarray(view), fmt)
+            assert np.array_equal(got, want, equal_nan=True)
+        assert np.array_equal(base, snapshot)  # input stays untouched
+
     def test_bits_roundtrip(self, fmt):
         rng = np.random.default_rng(5)
         x = quantize(rng.standard_normal(2000) * 100, fmt)

@@ -7,15 +7,12 @@ timing windows deterministically instead of racing the scheduler.
 """
 
 import contextlib
-import json
 import os
 import signal
 import subprocess
 import sys
 import threading
 import time
-
-import pytest
 
 from repro.serve.fleet import CHAOS_LATENCY_ENV, FleetConfig
 from repro.serve.schema import parse_kernel_request

@@ -299,3 +299,239 @@ def test_static_rounding_mode_operand():
     csrr a0, fflags
     ret
     """, label="static-rm")
+
+
+# ----------------------------------------------------------------------
+# Lockstep batched engine vs per-point execution
+# ----------------------------------------------------------------------
+# The batched engine (:mod:`repro.sim.lockstep`) extends the fast-path
+# promise across lanes: every lane of a lockstep run must be
+# bit-identical -- registers, memory contents, fcsr, traps, and every
+# trace counter -- to the same point executed alone.
+
+
+def assert_memory_contents_identical(ref_mem, got_mem, label=""):
+    """Content equality with absent pages reading as zeros.
+
+    Page *materialization* differs legitimately between the engines
+    (the scalar ``Memory`` creates pages on read, the batched one
+    promotes pages on scatter), but an absent page and an all-zero
+    page are indistinguishable to the guest.
+    """
+    zero = bytes(4096)
+    ref_pages, got_pages = ref_mem._pages, got_mem._pages
+    for pno in set(ref_pages) | set(got_pages):
+        assert bytes(ref_pages.get(pno, zero)) == \
+            bytes(got_pages.get(pno, zero)), f"{label}: page {pno:#x}"
+
+
+def assert_lane_identical(ref_sim, ref_res, got_res, label=""):
+    assert ref_res.exit_reason == got_res.exit_reason, f"{label}: exit"
+    assert ref_res.detail == got_res.detail, f"{label}: detail"
+    if ref_res.trap is None:
+        assert got_res.trap is None, label
+    else:
+        assert got_res.trap is not None, label
+        for field in ("cause", "mepc", "mtval"):
+            assert getattr(ref_res.trap, field) == \
+                getattr(got_res.trap, field), f"{label}: trap.{field}"
+    assert_traces_identical(ref_res.trace, got_res.trace, label)
+    ref_m, got_m = ref_sim.machine, got_res.machine
+    assert ref_m.pc == got_m.pc, f"{label}: pc"
+    assert ref_m.xregs == got_m.xregs, f"{label}: xregs"
+    assert ref_m.fregs == got_m.fregs, f"{label}: fregs"
+    assert ref_m.csr.fcsr == got_m.csr.fcsr, f"{label}: fcsr"
+    assert_memory_contents_identical(ref_m.memory, got_m.memory, label)
+
+
+def run_lockstep_both(source_or_program, lane_args, entry=0,
+                      max_instructions=50_000, label=""):
+    """Run lanes batched and each lane alone; compare everything."""
+    from repro.sim.lockstep import Lane, run_lockstep
+
+    program = (assemble(source_or_program)
+               if isinstance(source_or_program, str) else source_or_program)
+    lanes = [Lane(dict(args)) for args in lane_args]
+    results = run_lockstep(program, lanes, entry=entry,
+                           max_instructions=max_instructions)
+    for index, args in enumerate(lane_args):
+        ref_sim = Simulator(program)
+        ref_res = ref_sim.run(entry, args=dict(args),
+                              max_instructions=max_instructions)
+        assert_lane_identical(ref_sim, ref_res, results[index],
+                              f"{label}/lane{index}")
+    return results
+
+
+LOCKSTEP_MATRIX = [
+    (name, ftype, mode)
+    for name in KERNELS
+    for ftype in ("float8", "float16", "float16alt")
+    for mode in ("scalar", "auto")
+] + [
+    (name, ftype, "manual")
+    for name, spec in KERNELS.items()
+    if spec.manual_source_fn is not None
+    for ftype in ("float8", "float16", "float16alt")
+]
+
+
+@pytest.mark.parametrize("name,ftype,mode", LOCKSTEP_MATRIX,
+                         ids=[f"{n}-{t}-{m}" for n, t, m in LOCKSTEP_MATRIX])
+def test_lockstep_kernel_matrix_bit_identical(name, ftype, mode):
+    import numpy as np
+
+    from repro.compiler import compile_source
+    from repro.harness.runner import _stage_args
+    from repro.sim.lockstep import Lane, run_lockstep
+
+    spec = KERNELS[name]
+    if mode == "manual":
+        kernel = compile_source(spec.manual_source_fn(ftype))
+    else:
+        kernel = compile_source(spec.source_fn(ftype),
+                                vectorize_loops=(mode == "auto"))
+    lanes, staged = [], []
+    for seed in range(3):
+        run_params = dict(spec.params)
+        data = spec.make_data(run_params, np.random.default_rng(seed))
+        regs, stores, _ = _stage_args(spec, ftype, run_params, data)
+        staged.append((regs, stores))
+        lanes.append(Lane(regs, stores))
+    results = run_lockstep(kernel.program, lanes, entry=spec.entry,
+                           max_instructions=50_000_000)
+    for index, (regs, stores) in enumerate(staged):
+        ref_sim = Simulator(kernel.program)
+        for addr, chunk in stores:
+            ref_sim.machine.memory.write_block(addr, chunk)
+        ref_res = ref_sim.run(spec.entry, args=dict(regs),
+                              max_instructions=50_000_000)
+        assert_lane_identical(ref_sim, ref_res, results[index],
+                              f"{name}/{ftype}/{mode}/lane{index}")
+
+
+def test_lockstep_loop_divergence():
+    # Data-dependent trip counts: lanes split at the branch and
+    # re-converge; each must retire exactly its scalar schedule.
+    run_lockstep_both("""
+    addi a1, zero, 0
+    loop:
+    addi a1, a1, 1
+    bne a1, a0, loop
+    mv a0, a1
+    ret
+    """, [{10: n} for n in (3, 9, 9, 17, 1)], label="loop-div")
+
+
+def test_lockstep_trap_in_one_lane():
+    # Lane 1 faults on the load; the others halt cleanly.
+    run_lockstep_both("""
+    lw a1, 0(a0)
+    mv a0, a1
+    ret
+    """, [{10: 0x2000}, {10: 0xFFFFF000}, {10: 0x2000}],
+        label="trap-one-lane")
+
+
+def test_lockstep_budget_exhausted_in_one_lane():
+    # Lane 1 spins past the budget; lanes 0/2 halt under it.
+    run_lockstep_both("""
+    addi a1, zero, 0
+    loop:
+    addi a1, a1, 1
+    bne a1, a0, loop
+    ret
+    """, [{10: 4}, {10: 100000}, {10: 6}], max_instructions=50,
+        label="budget-one-lane")
+
+
+def test_lockstep_budget_exhausted_all_lanes():
+    run_lockstep_both("""
+    loop:
+    addi a1, a1, 1
+    j loop
+    """, [{10: 1}, {10: 2}], max_instructions=37, label="budget-all")
+
+
+def test_lockstep_frm_divergence_forces_fallback():
+    # Lanes write different dynamic rounding modes; the vectorized RNE
+    # fast path only covers some of them, so divergent frm must fall
+    # back without disturbing per-lane flags.
+    run_lockstep_both("""
+    csrw frm, a0
+    li a2, 0x3c00
+    li a3, 0x0001
+    fadd.h fa4, fa2, fa3
+    csrr a0, fflags
+    ret
+    """, [{10: 0}, {10: 1}, {10: 0}, {10: 4}], label="frm-div")
+
+
+def test_lockstep_uniform_non_rne_frm():
+    # Uniform RTZ: the whole batch must round to zero, not nearest.
+    run_lockstep_both("""
+    addi t0, zero, 1
+    csrw frm, t0
+    fadd.h fa4, fa2, fa3
+    fmul.h fa5, fa2, fa3
+    csrr a0, fflags
+    ret
+    """, [{12: 0x3c00, 13: 0x0001}, {12: 0x4000, 13: 0x3c01},
+          {12: 0x7bff, 13: 0x7bff}], label="frm-rtz-uniform")
+
+
+def test_lockstep_fflags_accrue_per_lane():
+    # Overflow, invalid, underflow and exact lanes side by side: each
+    # lane's fcsr must accrue only its own exceptions.
+    run_lockstep_both("""
+    fadd.h fa4, fa2, fa3
+    fmul.h fa5, fa2, fa3
+    csrr a0, fflags
+    ret
+    """, [{12: 0x7bff, 13: 0x7bff}, {12: 0x7c00, 13: 0xfc00},
+          {12: 0x0001, 13: 0x0001}, {12: 0x3c00, 13: 0x3c00}],
+        label="fflags-mix")
+
+
+def test_lockstep_live_counters_in_loop():
+    # cycle/instret reads inside a divergent loop stay exact per lane.
+    run_lockstep_both("""
+    addi a0, zero, 0
+    addi a3, zero, 0
+    loop:
+    csrr a1, cycle
+    csrr a2, instret
+    add a3, a3, a1
+    add a3, a3, a2
+    addi a0, a0, 1
+    bne a0, a4, loop
+    mv a0, a3
+    ret
+    """, [{14: 3}, {14: 5}, {14: 3}], label="csr-cycle")
+
+
+def test_lockstep_ecall_exit():
+    run_lockstep_both("""
+    addi a0, zero, 42
+    ecall
+    """, [{11: 1}, {11: 2}], label="ecall")
+
+
+def test_lockstep_store_vector_value():
+    # Uniform address, lane-divergent value: the store must scatter
+    # per-lane values and the reload must gather them back.
+    run_lockstep_both("""
+    sw a1, 0(a0)
+    lw a2, 0(a0)
+    mv a0, a2
+    ret
+    """, [{10: 0x3000, 11: 5}, {10: 0x3000, 11: 9}],
+        label="store-vec-value")
+
+
+def test_lockstep_store_divergent_address():
+    run_lockstep_both("""
+    sw a1, 0(a0)
+    ret
+    """, [{10: 0x3000, 11: 5}, {10: 0x4000, 11: 9}],
+        label="store-div-addr")
