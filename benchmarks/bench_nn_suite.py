@@ -1,0 +1,49 @@
+"""NN workload suite QoR: regenerates ``results/nn_suite.json``.
+
+The committed snapshot is the reviewable record of the suite's claims:
+expanding accumulation beats narrow accumulation on MLP-forward SQNR
+for every 8-bit format, stochastic rounding tracks the binary32 loss
+trajectory more closely than RNE for sub-16-bit training, the MX8
+fused-block route holds QoR, and every NN kernel is bit-identical
+between solo scalar runs and the batched lockstep engine.
+"""
+
+from conftest import save_result
+
+from repro.nn.suite import compute_nn_suite
+
+
+def test_nn_suite(benchmark):
+    payload = benchmark(compute_nn_suite)
+    save_result("nn_suite", payload)
+
+    evn = payload["expanding_vs_narrow"]
+    print("\nNN suite -- expanding vs narrow accumulation (MLP forward)")
+    for ftype, row in evn.items():
+        print(f"  {ftype:<11s} expanding {row['expanding_db']:>8.2f} dB  "
+              f"narrow {row['narrow_db']:>8.2f} dB  "
+              f"delta {row['delta_db']:>+7.2f} dB")
+    # The core claim: binary32 expanding accumulation strictly beats
+    # narrow accumulation for every 8-bit format.
+    for ftype in ("float8", "posit8"):
+        assert evn[ftype]["delta_db"] > 0.0, ftype
+
+    sr = payload["sr_vs_rne"]
+    print("NN suite -- SR vs RNE loss-trajectory divergence (training)")
+    for ftype, row in sr.items():
+        print(f"  {ftype:<11s} RNE {row['rne_divergence']:.4f}  "
+              f"SR {row['sr_divergence_mean']:.4f}  "
+              f"improves={row['improves']}")
+    # SR must beat RNE for at least one sub-16-bit training config (it
+    # does for both 8-bit formats).
+    assert sr["float8"]["improves"]
+    assert sr["posit8"]["improves"]
+
+    # Lockstep lanes retire bit-identical results to solo scalar runs.
+    for name, row in payload["differential"].items():
+        assert row["bit_identical"], name
+
+    # The fused-block route exercises vfdotpmx and holds QoR.
+    for name, row in payload["fused_block"].items():
+        assert row["dotp_count"] > 0, name
+        assert row["sqnr_db"] > 15.0, name

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Low-precision NN training: expanding dot products and stochastic
+rounding on the MLP workload.
+
+Three experiments from the repro.nn suite:
+
+1. MLP forward in binary8, narrow vs expanding accumulation -- the
+   ``vfdotpex.s.b`` motivation in one number.
+2. MLP training (forward + backward + SGD) in binary8: the loss
+   trajectory under round-to-nearest drifts from the binary32 run;
+   stochastic rounding keeps it close by making rounding unbiased.
+3. The same forward pass on MX8 blocks through the fused
+   ``vfdotpmx.s.mx`` route.
+
+Run:  python examples/nn_training.py
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.fp import RoundingMode
+from repro.harness.runner import run_kernel
+from repro.kernels import KERNELS
+from repro.metrics import loss_divergence
+from repro.nn import run_fused_block, sources
+
+
+def expanding_vs_narrow() -> None:
+    print("== MLP forward: narrow vs expanding accumulation (binary8) ==")
+    spec = KERNELS["nn_mlp_fwd"]
+    narrow_spec = dataclasses.replace(
+        spec,
+        source_fn=lambda t: sources.narrow_source("nn_mlp_fwd", t),
+        manual_source_fn=None, compile_opts={})
+    narrow = run_kernel(narrow_spec, "float8", "scalar")
+    wide = run_kernel(spec, "float8", "scalar")
+    simd = run_kernel(spec, "float8", "auto")
+    print(f"  narrow .b accumulator:        {narrow.sqnr_db():6.2f} dB")
+    print(f"  binary32 accumulator:         {wide.sqnr_db():6.2f} dB")
+    print(f"  auto-SIMD (vfdotpex.s.b):     {simd.sqnr_db():6.2f} dB "
+          f"in {simd.trace.instret} instructions "
+          f"(scalar: {wide.trace.instret})")
+    assert "vfdotpex.s.b" in simd.asm
+
+
+def sr_training() -> None:
+    print("\n== MLP training: RNE vs stochastic rounding (binary8) ==")
+    spec = KERNELS["nn_mlp_train"]
+    params = dict(spec.params, steps=8)
+    ref = run_kernel(spec, "float", "scalar", params=params)
+    rne = run_kernel(spec, "float8", "scalar", params=params)
+    sr = run_kernel(spec, "float8", "scalar", params=params,
+                    frm=int(RoundingMode.SR), sr_key=1)
+    print("  step   binary32     RNE .b      SR .b")
+    rows = zip(ref.outputs["losses"], rne.outputs["losses"],
+               sr.outputs["losses"])
+    for t, (a, b, c) in enumerate(rows):
+        print(f"  {t:>4d}   {a:.6f}   {b:.6f}   {c:.6f}")
+    rne_div = loss_divergence(ref.outputs["losses"], rne.outputs["losses"])
+    sr_div = loss_divergence(ref.outputs["losses"], sr.outputs["losses"])
+    print(f"  loss-trajectory divergence: RNE {rne_div:.4f}  "
+          f"SR {sr_div:.4f}")
+
+
+def fused_block() -> None:
+    print("\n== MLP forward on MX8 blocks (vfdotpmx.s.mx) ==")
+    run = run_fused_block("nn_mlp_fwd", "mx8")
+    print(f"  {run.dotp_count} fused block dot products, "
+          f"{run.instret} instructions")
+    for name in sorted(run.outputs):
+        err = float(np.max(np.abs(run.golden[name] - run.outputs[name])))
+        print(f"  {name}: SQNR {run.sqnr_db(name):6.2f} dB, "
+              f"max |err| {err:.4f}")
+
+
+if __name__ == "__main__":
+    expanding_vs_narrow()
+    sr_training()
+    fused_block()

@@ -441,14 +441,20 @@ class SoundnessReport:
 
 def validate_kernel(name: str, ftype: str, mode: str,
                     config: Optional[AbsintConfig] = None,
-                    seed: int = 0) -> ConfigValidation:
-    """Replay one configuration under the observer."""
+                    seed: int = 0, frm: Optional[int] = None,
+                    sr_key: int = 0) -> ConfigValidation:
+    """Replay one configuration under the observer.
+
+    ``frm``/``sr_key`` select the dynamic rounding mode of the replay
+    run (e.g. stochastic rounding); the static verdict's 1-ulp error
+    model covers every mode, so soundness must hold for all of them.
+    """
     from ..harness.runner import run_kernel  # deferred: heavy import
 
     config = config or AbsintConfig()
     observer = AbsintObserver(config)
     run = run_kernel(KERNELS[name], ftype, mode, seed=seed,
-                     injector=observer)
+                     injector=observer, frm=frm, sr_key=sr_key)
     observer.finish()
     violations = list(observer.violations)
     count = observer.violation_count

@@ -16,7 +16,10 @@ format-per-operation design space makes easy to hit:
     A reduction loop accumulates in a sub-32-bit format.  MiniFloat-NN
     / ExSdotp-style expanding operations (``fmacex.s.*``,
     ``vfdotpex.s.*``) exist precisely so products are summed in
-    binary32; the check names the exact replacement.
+    binary32; the check names the exact replacement.  Also recognizes
+    (as a ``note``) the NN multiply-widen-accumulate idiom -- a
+    binary32 ``fadd.s`` fed by ``fcvt.s.*``-widened narrow products --
+    where the expanding op fuses the chain with a single rounding.
 ``dead-write``
     A computed value is never read.
 ``redundant-convert``
@@ -29,6 +32,9 @@ format-per-operation design space makes easy to hit:
     Loops doing scalar smallFloat arithmetic that packed-SIMD ``Xfvec``
     could process 2-4 elements at a time, cross-checked against the
     auto-vectorizer's :class:`VectorizeReport` when one is available.
+    Scalar multiply-widen-accumulate reductions (the NN dot-product
+    idiom) get the sharper ``vfdotpex.s.*`` suggestion, plus
+    ``vfdotpmx.s.mx`` when a block-scaled format is registered.
 ``unreachable-code``
     Basic blocks no entry point reaches.
 ``overflow-to-inf-risk``
@@ -422,6 +428,79 @@ def _check_narrow_accumulation(ctx: _Context) -> List[LintFinding]:
                 f"precision -- the expanding {suggestion} accumulates in "
                 f"binary32 instead",
                 site, suggestion=suggestion))
+        # NN idiom: a binary32 accumulation fed by widened narrow
+        # products (fmul.<narrow> -> fcvt.s.<narrow> -> fadd.s, or the
+        # unpack-a-lane variant vfmul -> srli -> fcvt -> fadd).  The
+        # accumulator itself is wide, so precision is mostly fine -- but
+        # each narrow fmul still rounds its product before widening, and
+        # the expanding ops fuse the whole step with one rounding.
+        for site in ctx.cfg.blocks[start].sites:
+            instr = site.instr
+            if instr is None or site.addr in seen:
+                continue
+            spec = instr.spec
+            if (spec.kind != "fadd" or spec.vec or spec.fp_fmt != "s"
+                    or instr.rd not in (instr.rs1, instr.rs2)):
+                continue
+            other = instr.rs2 if instr.rd == instr.rs1 else instr.rs1
+            src_fmt = None
+            vector_product = False
+            scalar_product = False
+            for def_addr in ctx.defs_at.get(site.addr, {}).get(
+                    other, frozenset()):
+                cvt = ctx.site_at.get(def_addr)
+                ci = cvt.instr if cvt is not None else None
+                if (ci is None or ci.spec.kind != "fcvt_f2f"
+                        or ci.spec.fp_fmt != "s"
+                        or not _narrow(ci.spec.src_fmt)):
+                    continue
+                src_fmt = ci.spec.src_fmt
+                # What feeds the widening convert: a scalar narrow
+                # product, or an unpacked lane of a packed one?
+                for paddr in ctx.defs_at.get(cvt.addr, {}).get(
+                        ci.rs1, frozenset()):
+                    psite = ctx.site_at.get(paddr)
+                    pi = psite.instr if psite is not None else None
+                    if pi is None:
+                        continue
+                    if pi.spec.kind == "fmul" and not pi.spec.vec \
+                            and pi.spec.fp_fmt == src_fmt:
+                        scalar_product = True
+                    elif pi.spec.vec:
+                        vector_product = True
+                    elif pi.spec.kind in ("srli", "srl"):
+                        for saddr in ctx.defs_at.get(psite.addr, {}).get(
+                                pi.rs1, frozenset()):
+                            ssite = ctx.site_at.get(saddr)
+                            si = ssite.instr if ssite is not None else None
+                            if si is not None and si.spec.vec:
+                                vector_product = True
+                                break
+            if src_fmt is None or not (scalar_product or vector_product):
+                continue
+            seen.add(site.addr)
+            if vector_product:
+                suggestion = f"vfdotpex.s.{src_fmt}"
+                detail = (f"a packed vfmul.{src_fmt} product is unpacked "
+                          f"and widened lane by lane before the add")
+            else:
+                suggestion = f"fmacex.s.{src_fmt}"
+                detail = (f"fmul.{src_fmt} rounds each product to "
+                          f"{_width(src_fmt)} bits before fcvt.s.{src_fmt} "
+                          f"widens it")
+            extra = ""
+            if vector_product and any(f.has_block_dotp
+                                      for f in registry.all_formats()):
+                extra = ("; block-scaled formats can fuse whole "
+                         "shared-exponent blocks with vfdotpmx.s.mx")
+            findings.append(ctx.finding(
+                "narrow-accumulation", "note",
+                f"loop accumulates widened {_fmt_name(src_fmt)} "
+                f"(.{src_fmt}) products in binary32: {detail} -- the "
+                f"expanding {suggestion} fuses multiply, widen and "
+                f"accumulate with a single rounding{extra}",
+                site, suggestion=suggestion))
+            break  # one finding per block (lane unpacks repeat the idiom)
     return findings
 
 
@@ -598,6 +677,8 @@ def _check_missed_vectorization(ctx: _Context) -> List[LintFinding]:
         scalar_site: Optional[Site] = None
         scalar_fmt: Optional[str] = None
         has_vector = False
+        has_widen = False
+        has_wide_acc = False
         for start in sorted(loop.body):
             block = ctx.cfg.blocks.get(start)
             if block is None:
@@ -612,10 +693,35 @@ def _check_missed_vectorization(ctx: _Context) -> List[LintFinding]:
                         _narrow_vec(spec.fp_fmt) and scalar_site is None:
                     scalar_site = site
                     scalar_fmt = spec.fp_fmt
+                elif spec.kind == "fcvt_f2f" and spec.fp_fmt == "s" \
+                        and _narrow(spec.src_fmt):
+                    has_widen = True
+                elif spec.kind == "fadd" and spec.fp_fmt == "s" and \
+                        site.instr.rd in (site.instr.rs1, site.instr.rs2):
+                    has_wide_acc = True
         if scalar_site is not None and not has_vector \
                 and scalar_site.addr not in flagged:
             flagged.add(scalar_site.addr)
             lanes = 32 // _width(scalar_fmt)
+            if has_widen and has_wide_acc:
+                # The NN reduction idiom (multiply, widen, accumulate in
+                # binary32): the expanding SIMD dot product does the
+                # whole chain over `lanes` elements in one instruction.
+                extra = ""
+                if any(f.has_block_dotp for f in registry.all_formats()):
+                    extra = (", and block-scaled formats fuse whole "
+                             "shared-exponent blocks with vfdotpmx.s.mx")
+                findings.append(ctx.finding(
+                    "missed-vectorization", "note",
+                    f"loop is a scalar {_fmt_name(scalar_fmt)} "
+                    f"multiply-widen-accumulate reduction; "
+                    f"vfdotpex.s.{scalar_fmt} does the same over {lanes} "
+                    f"packed elements with one rounding{extra}",
+                    scalar_site,
+                    suggestion=f"vfdotpex.s.{scalar_fmt} (or compile with "
+                               f"vectorize_loops=True, "
+                               f"expanding_reductions=True)"))
+                continue
             findings.append(ctx.finding(
                 "missed-vectorization", "note",
                 f"loop performs scalar {_fmt_name(scalar_fmt)} arithmetic; "

@@ -6,6 +6,9 @@ Installed as ``python -m repro``.  Subcommands:
 * ``dis WORD [WORD...]``  -- disassemble instruction words
 * ``run FILE``            -- assemble and simulate a program
 * ``kernel NAME``         -- run one benchmark configuration
+* ``nn NAME``             -- run one NN workload kernel (scalar /
+                             auto / manual / fused-block modes,
+                             optional stochastic rounding)
 * ``formats``             -- list registered number formats (the
                              pluggable codec registry: IEEE smallFloat,
                              posit, MX block formats)
@@ -47,6 +50,7 @@ def _kernel_ftypes() -> List[str]:
 
 def _cmd_formats(args: argparse.Namespace) -> int:
     from .fp import registry
+    from .nn import fused_block_kernels
 
     rows = []
     for fmt in registry.all_formats():
@@ -60,6 +64,8 @@ def _cmd_formats(args: argparse.Namespace) -> int:
                                           else "Xsmallfloat"),
             "vector": bool(fmt.has_vector and fmt.width <= 16),
             "block_dotp": bool(fmt.has_block_dotp),
+            "fused_block_kernels": list(
+                fused_block_kernels(fmt.c_keyword)),
             "has_inf": bool(fmt.has_inf),
             "max_value": fmt.max_value,
             "machine_epsilon": fmt.machine_epsilon,
@@ -72,17 +78,20 @@ def _cmd_formats(args: argparse.Namespace) -> int:
         return 0
     header = (f"{'name':<12s} {'suffix':<6s} {'keyword':<11s} "
               f"{'bits':>4s} {'family':<6s} {'extension':<12s} "
-              f"{'simd':<5s} {'max':>10s} {'eps':>10s}")
+              f"{'simd':<5s} {'max':>10s} {'eps':>10s} "
+              f"{'fused-block NN':<22s}")
     print(header)
     print("-" * len(header))
     for row in rows:
         simd = ("block" if row["block_dotp"]
                 else "vec" if row["vector"] else "-")
+        fused = ",".join(k[len("nn_"):]
+                         for k in row["fused_block_kernels"]) or "-"
         print(f"{row['name']:<12s} .{row['suffix']:<5s} "
               f"{row['keyword']:<11s} {row['width']:>4d} "
               f"{row['family']:<6s} {row['extension']:<12s} "
               f"{simd:<5s} {row['max_value']:>10.4g} "
-              f"{row['machine_epsilon']:>10.4g}")
+              f"{row['machine_epsilon']:>10.4g} {fused:<22s}")
     print(f"{len(rows)} formats registered")
     return 0
 
@@ -172,6 +181,59 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
 
         print()
         print(render_text(run.profile))
+    return 0
+
+
+def _cmd_nn(args: argparse.Namespace) -> int:
+    from .fp.rounding import RoundingMode
+    from .kernels import KERNELS
+    from .metrics import max_abs_err
+    from .nn import NN_KERNEL_NAMES, BlockFormatError, run_fused_block
+
+    if args.name == "list":
+        for name in NN_KERNEL_NAMES:
+            spec = KERNELS[name]
+            dims = ", ".join(f"{k}={v}" for k, v in spec.params.items())
+            print(f"{name:<14s} {dims}")
+        return 0
+    if args.name not in NN_KERNEL_NAMES:
+        print(f"unknown NN kernel {args.name!r}; choose from "
+              f"{NN_KERNEL_NAMES} (or 'list')", file=sys.stderr)
+        return 1
+
+    frm = int(RoundingMode.SR) if args.sr is not None else None
+    sr_key = args.sr or 0
+    rounding = f"SR(key={sr_key})" if args.sr is not None else "RNE"
+
+    if args.mode == "block":
+        try:
+            run = run_fused_block(args.name, args.ftype, seed=args.seed,
+                                  frm=frm or 0, sr_key=sr_key)
+        except BlockFormatError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.name} [{args.ftype}, fused-block, {rounding}]")
+        print(f"  instret: {run.instret}")
+        print(f"  vfdotpmx calls: {run.dotp_count}")
+        for name in sorted(run.outputs):
+            print(f"  {name}: SQNR {run.sqnr_db(name):.1f} dB, "
+                  f"max |err| "
+                  f"{max_abs_err(run.golden[name], run.outputs[name]):.3g}")
+        return 0
+
+    from .harness import run_kernel
+
+    run = run_kernel(KERNELS[args.name], args.ftype, args.mode,
+                     seed=args.seed, frm=frm, sr_key=sr_key)
+    print(f"{args.name} [{args.ftype}, {args.mode}, {rounding}]")
+    print(f"  cycles:  {run.cycles}")
+    print(f"  instret: {run.instret}")
+    for name in sorted(run.outputs):
+        print(f"  {name}: SQNR {run.sqnr_db(name):.1f} dB, max |err| "
+              f"{max_abs_err(run.golden[name], run.outputs[name]):.3g}")
+    if args.name == "nn_mlp_train":
+        losses = ", ".join(f"{v:.5f}" for v in run.outputs["losses"])
+        print(f"  losses:  [{losses}]")
     return 0
 
 
@@ -650,6 +712,22 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also collect and print a cycle-"
                                "attribution profile")
     p_kernel.set_defaults(func=_cmd_kernel)
+
+    p_nn = sub.add_parser(
+        "nn", help="run one NN workload kernel (or 'list')")
+    p_nn.add_argument("name",
+                      help="nn_mlp_fwd, nn_mlp_train, nn_conv2d, "
+                           "nn_softmax, nn_layernorm, nn_attention, "
+                           "or 'list'")
+    p_nn.add_argument("--ftype", default="float8",
+                      help="number format keyword (block formats like "
+                           "mx8 require --mode block)")
+    p_nn.add_argument("--mode", default="scalar",
+                      choices=["scalar", "auto", "manual", "block"])
+    p_nn.add_argument("--seed", type=int, default=0)
+    p_nn.add_argument("--sr", type=int, default=None, metavar="KEY",
+                      help="use stochastic rounding with this lane key")
+    p_nn.set_defaults(func=_cmd_nn)
 
     p_profile = sub.add_parser(
         "profile", help="cycle-attribution profile of one kernel run")

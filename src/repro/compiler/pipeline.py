@@ -55,6 +55,7 @@ def compile_source(
     text_base: int = TEXT_BASE,
     data_base: int = DATA_BASE,
     lint: bool = True,
+    expanding_reductions: bool = False,
 ) -> CompiledKernel:
     """Compile kernel source down to an assembled program.
 
@@ -62,13 +63,18 @@ def compile_source(
     assembled output and its findings ride along on
     :attr:`CompiledKernel.lint_result`; compiled code should be clean,
     so anything it reports points at a codegen regression.
+
+    ``expanding_reductions`` upgrades the auto-vectorizer's reduction
+    strategy from multiply-then-unpack to the Xfaux expanding dot
+    product for binary32 accumulators (only meaningful together with
+    ``vectorize_loops``; the default keeps the paper's GCC behaviour).
     """
     module = parse(source)
     analyze(module)
     fold_constants(module)
     report = None
     if vectorize_loops:
-        report = vectorize(module)
+        report = vectorize(module, expanding=expanding_reductions)
     asm = "\n".join(generate(fn) for fn in module.functions)
     program = assemble(asm, text_base=text_base, data_base=data_base)
     lint_result = None

@@ -56,6 +56,7 @@ from .astnodes import (
     While,
 )
 from .typesys import (
+    FLOAT,
     INT,
     FloatType,
     IntType,
@@ -73,6 +74,19 @@ def _vectorizable(name: str) -> bool:
 
     ty = TYPE_KEYWORDS.get(name)
     return isinstance(ty, FloatType) and ty in VEC_OF
+
+
+def _dotp_intrinsic(vec_ty: VecType):
+    """The expanding dot-product intrinsic taking two ``vec_ty`` vectors
+    into a binary32 accumulator, or None if the format has no such op."""
+    from .intrinsics import INTRINSICS
+
+    for intr in INTRINSICS.values():
+        if (intr.style == "dotp" and len(intr.params) == 3
+                and intr.params[0] == FLOAT
+                and intr.params[1] == vec_ty and intr.params[2] == vec_ty):
+            return intr
+    return None
 
 
 @dataclass
@@ -161,8 +175,9 @@ class _Rejected(Exception):
 
 
 class Vectorizer:
-    def __init__(self):
+    def __init__(self, expanding: bool = False):
         self.report = VectorizeReport()
+        self.expanding = expanding
         self._tmp_counter = 0
 
     # ------------------------------------------------------------------
@@ -367,6 +382,10 @@ class Vectorizer:
         # (float16 product assigned to a float accumulator).
         if isinstance(contribution, Cast) and contribution.implicit:
             contribution = contribution.operand
+        expanded = self._try_expanding_dotp(acc, contribution, loop_var,
+                                            mutated, elem_ty, vec_ty)
+        if expanded is not None:
+            return expanded
         kind, vec_value = self._vec_expr(contribution, loop_var, mutated,
                                          elem_ty, vec_ty)
         if kind != "vec":
@@ -385,6 +404,37 @@ class Vectorizer:
             add.ty = acc_ty
             stmts.append(Assign(_var(acc.name, acc_ty), add))
         return stmts
+
+    def _try_expanding_dotp(self, acc, contribution, loop_var: str,
+                            mutated: Set[str], elem_ty: FloatType,
+                            vec_ty: VecType) -> Optional[List[Stmt]]:
+        """``acc += a[i] * b[i]`` with a binary32 accumulator -> one
+        ``vfdotpex.s.*`` per vector step (the Xfaux form a human would
+        write), when the pass runs with ``expanding_reductions``.
+
+        Only engaged opt-in: the default pass keeps the paper's
+        documented multiply-then-unpack inefficiency, which Fig. 5 and
+        the committed baselines measure.
+        """
+        if not self.expanding or acc.ty != FLOAT:
+            return None
+        if not (isinstance(contribution, BinOp) and contribution.op == "*"):
+            return None
+        intr = _dotp_intrinsic(vec_ty)
+        if intr is None:
+            return None
+        try:
+            lkind, left = self._vec_expr(contribution.left, loop_var,
+                                         mutated, elem_ty, vec_ty)
+            rkind, right = self._vec_expr(contribution.right, loop_var,
+                                          mutated, elem_ty, vec_ty)
+        except _Rejected:
+            return None
+        if lkind != "vec" or rkind != "vec":
+            return None  # broadcast operands have no dotp form
+        call = Call(intr.name, [_var(acc.name, FLOAT), left, right])
+        call.ty = FLOAT
+        return [Assign(_var(acc.name, FLOAT), call)]
 
     # ------------------------------------------------------------------
     def _vec_index(self, expr: Index, loop_var: str, mutated: Set[str],
@@ -475,6 +525,11 @@ def _increment(name: str, amount: int) -> Assign:
     return Assign(_var(name, INT), add)
 
 
-def vectorize(module: Module) -> VectorizeReport:
-    """Run the auto-vectorizer over a type-checked module."""
-    return Vectorizer().run(module)
+def vectorize(module: Module, expanding: bool = False) -> VectorizeReport:
+    """Run the auto-vectorizer over a type-checked module.
+
+    ``expanding`` additionally rewrites binary32-accumulator reductions
+    over smallFloat products into the Xfaux expanding dot product
+    (``vfdotpex.s.*``) instead of the multiply-then-unpack pattern.
+    """
+    return Vectorizer(expanding=expanding).run(module)

@@ -65,7 +65,10 @@ def _round_to_int(u: Unpacked, rm: RoundingMode) -> Tuple[int, bool]:
     round_bit = (u.sig >> (discard - 1)) & 1
     sticky = 1 if (dropped & ((1 << (discard - 1)) - 1)) else 0
     increment = False
-    if rm == RoundingMode.RNE:
+    if rm == RoundingMode.RNE or rm == RoundingMode.SR:
+        # SR is defined over FP destinations only; integer conversions
+        # under frm=SR round to nearest even so their results stay
+        # within the [floor, ceil] envelope static analysis assumes.
         increment = bool(round_bit and (sticky or (kept & 1)))
     elif rm == RoundingMode.RTZ:
         increment = False

@@ -155,8 +155,8 @@ class MX8Format(NumberFormat):
     def _overflow(self, rm, sign: int) -> int:
         # E4M3FN overflow: nearest modes produce NaN (no inf to round
         # to); directed modes saturate at +-448 like IEEE saturating
-        # modes do at max finite.
-        if rm in (RoundingMode.RNE, RoundingMode.RMM):
+        # modes do at max finite.  SR follows the nearest modes.
+        if rm in (RoundingMode.RNE, RoundingMode.RMM, RoundingMode.SR):
             return self.inf(sign)
         if rm == RoundingMode.RTZ:
             return self.max_finite_signed(sign)

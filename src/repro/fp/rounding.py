@@ -35,6 +35,12 @@ class RoundingMode(enum.IntEnum):
     RUP = 0b011
     #: Round to nearest, ties to max magnitude (away from zero).
     RMM = 0b100
+    #: Stochastic rounding (the Xfsr extension): round up with
+    #: probability equal to the discarded fraction, decided by a
+    #: deterministic counter-based PRF keyed per execution lane (see
+    #: :func:`set_sr_key`).  Claims the previously reserved ``frm``
+    #: encoding 5; encoding 6 stays reserved and still traps.
+    SR = 0b101
     #: Dynamic: take the rounding mode from ``fcsr.frm``.
     #: (Repurposed by Xf16alt to select the alternate 16-bit format;
     #: when it appears as an *operating* mode it is resolved before any
@@ -42,14 +48,94 @@ class RoundingMode(enum.IntEnum):
     DYN = 0b111
 
 
-#: The five operational rounding modes (DYN must be resolved first).
+#: The six operational rounding modes (DYN must be resolved first).
 OPERATIONAL_MODES = (
     RoundingMode.RNE,
     RoundingMode.RTZ,
     RoundingMode.RDN,
     RoundingMode.RUP,
     RoundingMode.RMM,
+    RoundingMode.SR,
 )
+
+
+# ----------------------------------------------------------------------
+# Stochastic rounding PRF
+# ----------------------------------------------------------------------
+# SR must be reproducible (same program, same data, same key -> same
+# bits) and engine-independent (the scalar, fast-path and lockstep
+# engines retire the same instruction schedule per lane but may batch
+# work differently).  A stateful stream generator would make results
+# depend on global evaluation order, so the draw is a stateless keyed
+# PRF instead: its "counter" is the exact value being rounded -- the
+# full significand, the discard width and the sign -- mixed with a
+# per-lane key.  Identical rounding events therefore reuse one draw,
+# while any two distinct exact values draw independently.  Across keys
+# the draw is uniform, so E[SR(x)] over keys equals x exactly:
+# P(round up) == dropped / 2**discard.
+
+_M64 = (1 << 64) - 1
+
+#: The ambient SR key.  The harness and the lockstep engine set this
+#: per lane around execution (see :func:`set_sr_key`); the default key
+#: 0 is a valid lane key, so bare :class:`Simulator` runs are still
+#: deterministic.
+_SR_KEY = 0
+
+
+def set_sr_key(key: int) -> int:
+    """Install the ambient SR lane key; returns the previous key.
+
+    The key seeds the stochastic-rounding PRF for every SR-rounded
+    operation until the next call.  Callers must restore the previous
+    key (try/finally) so nested scopes -- the lockstep engine draining
+    lanes into scalar simulators, for example -- stay correct.
+    """
+    global _SR_KEY
+    previous = _SR_KEY
+    _SR_KEY = key & _M64
+    return previous
+
+
+def get_sr_key() -> int:
+    """The ambient SR lane key (see :func:`set_sr_key`)."""
+    return _SR_KEY
+
+
+def _mix64(x: int) -> int:
+    """The splitmix64 finalizer: a strong 64-bit mixing bijection."""
+    x &= _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
+
+
+def _sr_draw(sign: int, sig: int, discard: int) -> int:
+    """A uniform 64-bit draw for the rounding event ``(sign, sig, discard)``.
+
+    The significand is folded into the state 64 bits at a time, so
+    arbitrary-precision exact values (wide accumulations, division
+    stickies) contribute every bit to the draw.
+    """
+    x = (_SR_KEY
+         ^ (discard * 0x9E3779B97F4A7C15)
+         ^ (-0x61C8864680B583EB if sign else 0)) & _M64
+    while sig:
+        x = _mix64(x ^ (sig & _M64))
+        sig >>= 64
+    return _mix64(x)
+
+
+def _sr_round_up(sign: int, sig: int, discard: int, dropped: int) -> bool:
+    """Stochastic decision: increment with probability dropped/2**discard."""
+    draw = _sr_draw(sign, sig, discard)
+    if discard <= 64:
+        # Scale the draw down to ``discard`` uniform bits: exact
+        # probability dropped / 2**discard.
+        return dropped > (draw >> (64 - discard))
+    # Beyond 64 discarded bits compare the top 64: the probability is
+    # correct to within 2**-64, far below any representable epsilon.
+    return (dropped >> (discard - 64)) > draw
 
 
 def _round_up(rm: RoundingMode, sign: int, lsb: int, round_bit: int, sticky: int) -> bool:
@@ -89,6 +175,10 @@ def _shift_right_round(
     dropped = sig & ((1 << discard) - 1)
     if dropped == 0:
         return kept, False
+    if rm == RoundingMode.SR:
+        if _sr_round_up(sign, sig, discard, dropped):
+            kept += 1
+        return kept, True
     round_bit = (sig >> (discard - 1)) & 1
     sticky = 1 if (dropped & ((1 << (discard - 1)) - 1)) else 0
     if _round_up(rm, sign, kept & 1, round_bit, sticky):
@@ -99,10 +189,12 @@ def _shift_right_round(
 def _overflow_result(fmt: FloatFormat, rm: RoundingMode, sign: int) -> int:
     """Pick the overflow result mandated by IEEE 754 for each mode.
 
-    RNE/RMM round to infinity; RTZ saturates at the largest finite
-    value; RDN/RUP saturate in the direction that cannot be crossed.
+    RNE/RMM round to infinity (as does SR: a value past the overflow
+    threshold is nearer infinity than any finite value in expectation);
+    RTZ saturates at the largest finite value; RDN/RUP saturate in the
+    direction that cannot be crossed.
     """
-    if rm in (RoundingMode.RNE, RoundingMode.RMM):
+    if rm in (RoundingMode.RNE, RoundingMode.RMM, RoundingMode.SR):
         return fmt.inf(sign)
     if rm == RoundingMode.RTZ:
         return fmt.max_finite_signed(sign)

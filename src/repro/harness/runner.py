@@ -20,6 +20,7 @@ from ..compiler.typesys import TYPE_KEYWORDS, FloatType
 from ..energy import EnergyModel, EnergyReport
 from ..fp.convert import from_double
 from ..fp.formats import FloatFormat
+from ..fp.rounding import set_sr_key
 from ..fp.numpy_backend import from_bits, to_bits
 from ..kernels import KernelSpec
 from ..metrics import classification_error, sqnr_db
@@ -208,6 +209,8 @@ def run_kernel(
     trap_ok: bool = False,
     profile: Union[bool, "ProfileConfig", None] = None,
     fast_path: Optional[bool] = None,
+    frm: Optional[int] = None,
+    sr_key: int = 0,
 ) -> KernelRun:
     """Run one (benchmark, type, vectorization, latency) configuration.
 
@@ -227,6 +230,11 @@ def run_kernel(
     timeline capture.  The aggregated :class:`repro.profile.Profile`
     lands on ``KernelRun.profile``.  When off (the default) the
     simulator takes its pre-existing fast path, bit-for-bit.
+
+    ``frm`` (if given) is written to ``fcsr.frm`` before the run, so
+    compiled kernels -- whose FP ops carry ``rm=dyn`` -- round in that
+    mode; pass ``int(RoundingMode.SR)`` to enable stochastic rounding,
+    seeded by ``sr_key`` (see :func:`repro.fp.rounding.set_sr_key`).
     """
     if mode not in MODES:
         raise HarnessError(f"unknown mode {mode!r} (pick from {MODES})")
@@ -239,10 +247,11 @@ def run_kernel(
         if spec.manual_source_fn is None:
             raise HarnessError(f"{spec.name} has no manual-vectorized form")
         source = spec.manual_source_fn(ftype)
-        kernel = compile_source(source)
+        kernel = compile_source(source, **spec.compile_opts)
     else:
         source = spec.source_fn(ftype)
-        kernel = compile_source(source, vectorize_loops=(mode == "auto"))
+        kernel = compile_source(source, vectorize_loops=(mode == "auto"),
+                                **spec.compile_opts)
 
     sim = Simulator(kernel.program, mem_latency=mem_latency,
                     fast_path=fast_path)
@@ -264,9 +273,16 @@ def run_kernel(
     for addr, payload in stores:
         sim.machine.memory.write_block(addr, payload)
 
+    if frm is not None:
+        sim.machine.csr.frm = frm
     sim_start = time.perf_counter()
-    result = sim.run(spec.entry, args=regs, max_instructions=max_instructions,
-                     step_hook=injector, profile=collector)
+    prev_key = set_sr_key(sr_key)
+    try:
+        result = sim.run(spec.entry, args=regs,
+                         max_instructions=max_instructions,
+                         step_hook=injector, profile=collector)
+    finally:
+        set_sr_key(prev_key)
     sim_seconds = time.perf_counter() - sim_start
     if not result.ok and not trap_ok:
         raise KernelExecutionError(
@@ -318,6 +334,8 @@ def run_kernel_batch(
     max_instructions: int = 50_000_000,
     energy_model: Optional[EnergyModel] = None,
     trap_ok: bool = False,
+    frm: Optional[int] = None,
+    sr_keys: Optional[Sequence[int]] = None,
 ) -> List[KernelRun]:
     """Run one configuration for many seeds at once, in lockstep.
 
@@ -332,6 +350,11 @@ def run_kernel_batch(
     Features that hook individual instructions (``injector``,
     ``profile``) are deliberately not offered here -- use
     :func:`run_kernel` for those points.
+
+    ``frm`` matches the :func:`run_kernel` parameter; ``sr_keys`` (one
+    per seed, default all-zero) seed each lane's stochastic-rounding
+    PRF.  Divergent keys make the lockstep engine drain SR-rounded work
+    to scalar execution, preserving bit-identity at reduced throughput.
     """
     if mode not in MODES:
         raise HarnessError(f"unknown mode {mode!r} (pick from {MODES})")
@@ -342,26 +365,33 @@ def run_kernel_batch(
     if mode == "manual":
         if spec.manual_source_fn is None:
             raise HarnessError(f"{spec.name} has no manual-vectorized form")
-        kernel = compile_source(spec.manual_source_fn(ftype))
+        kernel = compile_source(spec.manual_source_fn(ftype),
+                                **spec.compile_opts)
     else:
         kernel = compile_source(spec.source_fn(ftype),
-                                vectorize_loops=(mode == "auto"))
+                                vectorize_loops=(mode == "auto"),
+                                **spec.compile_opts)
 
+    if sr_keys is not None and len(sr_keys) != len(seeds):
+        raise HarnessError(
+            f"sr_keys has {len(sr_keys)} entries for {len(seeds)} seeds")
     staged = []
     lanes = []
-    for seed in seeds:
+    for idx, seed in enumerate(seeds):
         run_params = dict(spec.params)
         run_params.update(params or {})
         rng = np.random.default_rng(seed)
         data = spec.make_data(run_params, rng)
         regs, stores, array_at = _stage_args(spec, ftype, run_params, data)
         staged.append((data, run_params, array_at))
-        lanes.append(Lane(regs, stores))
+        lanes.append(Lane(regs, stores,
+                          sr_key=0 if sr_keys is None else sr_keys[idx]))
 
     sim_start = time.perf_counter()
     results = run_lockstep(kernel.program, lanes, entry=spec.entry,
                            max_instructions=max_instructions,
-                           mem_latency=mem_latency)
+                           mem_latency=mem_latency,
+                           frm=0 if frm is None else frm)
     per_lane_seconds = (time.perf_counter() - sim_start) / len(lanes)
 
     model = energy_model or EnergyModel()

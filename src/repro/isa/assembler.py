@@ -25,7 +25,8 @@ from .registers import parse_freg, parse_xreg
 TEXT_BASE = 0x0000_0000
 DATA_BASE = 0x0010_0000
 
-_RM_NAMES = {"rne": 0, "rtz": 1, "rdn": 2, "rup": 3, "rmm": 4, "dyn": 7}
+_RM_NAMES = {"rne": 0, "rtz": 1, "rdn": 2, "rup": 3, "rmm": 4, "sr": 5,
+             "dyn": 7}
 
 _CSR_NAMES = {
     "fflags": 0x001,

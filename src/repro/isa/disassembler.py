@@ -7,7 +7,8 @@ from typing import Optional
 from .instructions import Instr, UnknownInstruction, decode
 from .registers import freg_name, xreg_name
 
-_RM_NAMES = {0: "rne", 1: "rtz", 2: "rdn", 3: "rup", 4: "rmm", 7: "dyn"}
+_RM_NAMES = {0: "rne", 1: "rtz", 2: "rdn", 3: "rup", 4: "rmm", 5: "sr",
+             7: "dyn"}
 
 _CSR_NAMES = {
     0x001: "fflags",

@@ -56,6 +56,10 @@ class KernelSpec:
     manual_source_fn: Optional[Callable[[str], str]] = None
     #: Output name holding class labels (classification benchmarks).
     label_output: Optional[str] = None
+    #: Extra keyword arguments the harness forwards to
+    #: :func:`repro.compiler.compile_source` (e.g. the NN kernels set
+    #: ``expanding_reductions`` so ``mode='auto'`` emits ``vfdotpex``).
+    compile_opts: Dict[str, object] = field(default_factory=dict)
 
 
 KERNELS: Dict[str, KernelSpec] = {}
@@ -225,3 +229,9 @@ __all__ = [
     "SVM",
     "SVM_MIXED",
 ]
+
+# Tail import: registering the NN workload suite (repro.nn.specs) here
+# means every KERNELS consumer sees the NN kernels without importing
+# repro.nn itself.  The needed names (KernelSpec, _register, KERNELS)
+# are all bound above, so the partial-module import is safe.
+from .. import nn as _nn  # noqa: E402,F401

@@ -1,5 +1,7 @@
 """Quality-of-result metrics."""
 
+from .nnqor import loss_divergence, max_abs_err
 from .sqnr import classification_error, sqnr_db
 
-__all__ = ["classification_error", "sqnr_db"]
+__all__ = ["classification_error", "loss_divergence", "max_abs_err",
+           "sqnr_db"]

@@ -1,0 +1,35 @@
+"""NN-workload QoR metrics: worst-case error and loss-trajectory drift."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def max_abs_err(reference, approximation) -> float:
+    """Largest absolute element-wise deviation from the reference."""
+    ref = np.asarray(reference, dtype=np.float64).ravel()
+    approx = np.asarray(approximation, dtype=np.float64).ravel()
+    if ref.shape != approx.shape:
+        raise ValueError(f"shape mismatch: {ref.shape} vs {approx.shape}")
+    if ref.size == 0:
+        raise ValueError("empty arrays")
+    return float(np.max(np.abs(ref - approx)))
+
+
+def loss_divergence(reference_losses, losses) -> float:
+    """Mean relative divergence of a training-loss trajectory.
+
+    ``mean(|l_t - ref_t| / (|ref_t| + eps))`` over the training steps:
+    0 means the low-precision run tracks the reference optimization
+    exactly; values around 1 mean the trajectories have decoupled.
+    This is the suite's SR-vs-RNE training metric -- stochastic
+    rounding keeps tiny weight updates from being swallowed, so its
+    trajectory stays closer to the binary32 one.
+    """
+    ref = np.asarray(reference_losses, dtype=np.float64).ravel()
+    got = np.asarray(losses, dtype=np.float64).ravel()
+    if ref.shape != got.shape:
+        raise ValueError(f"shape mismatch: {ref.shape} vs {got.shape}")
+    if ref.size == 0:
+        raise ValueError("empty loss trajectories")
+    return float(np.mean(np.abs(got - ref) / (np.abs(ref) + 1e-12)))

@@ -1,0 +1,230 @@
+"""Fused-block execution of NN kernels (``vfdotpmx.s.mx``).
+
+Block formats (``has_block_dotp``, e.g. MX8) pack a shared-exponent
+block into one register word, so their dot products cannot be expressed
+through the scalar smallFloat load/compute path the portable kernel
+sources use.  This module provides the fused-block route instead: the
+dot-product stages of a supported NN kernel run *in the simulator*
+through a dense microkernel built on the ``__dotpmx`` intrinsic (one
+``vfdotpmx.s.mx`` per block pair, binary32 expanding accumulation),
+with operands quantized host-side via :func:`repro.fp.mx.quantize_block`
+and the remaining element-wise stages (bias, relu, softmax) computed on
+the host reference path.
+
+Requesting a fused-block run for a format without block support raises
+the structured :class:`BlockFormatError` -- the same error the CLI and
+serve layer surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .. import ReproError
+from ..compiler import compile_source
+from ..fp import registry
+from ..fp.mx import BLOCK_LANES, quantize_block
+from ..fp.rounding import RoundingMode, set_sr_key
+from ..kernels import KERNELS
+from ..metrics import sqnr_db
+from ..sim import Simulator
+from .golden import _exp_poly
+
+#: NN kernels with a fused-block execution path (their heavy stage is a
+#: dense dot product; softmax/layernorm are element-wise and gain
+#: nothing from a block dot product).
+BLOCK_KERNELS = ("nn_mlp_fwd", "nn_conv2d", "nn_attention")
+
+#: The block-dense microkernel: Y[i, j] = row_i(Wq) . row_j(Xq), where
+#: Wq/Xq hold packed block words (opaque 32-bit patterns staged as
+#: binary32) and each ``__dotpmx`` call fuses one block pair into the
+#: binary32 accumulator with a single rounding.
+_DENSE_SRC = """
+void nn_dense_blk(int rows, int cols, int nblk, float *Wq, float *Xq,
+                  float *Y) {
+    for (int i = 0; i < rows; i = i + 1) {
+        for (int j = 0; j < cols; j = j + 1) {
+            float acc = 0.0;
+            for (int k = 0; k < nblk; k = k + 1) {
+                acc = __dotpmx(acc, Wq[i * nblk + k], Xq[j * nblk + k]);
+            }
+            Y[i * cols + j] = acc;
+        }
+    }
+}
+"""
+
+_ARRAY_BASE = 0x0020_0000
+
+
+class BlockFormatError(ReproError):
+    """A fused-block run was requested for an unsupported combination."""
+
+    def __init__(self, kernel: str, ftype: str, reason: str):
+        super().__init__(
+            f"cannot run {kernel!r} fused-block on {ftype!r}: {reason}")
+        self.kernel = kernel
+        self.ftype = ftype
+        self.reason = reason
+
+
+def fused_block_kernels(keyword: str) -> tuple:
+    """NN kernels the given format keyword can run fused-block."""
+    try:
+        fmt = registry.by_keyword(keyword)
+    except registry.FormatLookupError:
+        return ()
+    return BLOCK_KERNELS if fmt.has_block_dotp else ()
+
+
+def _quantize_rows(mat: np.ndarray, rm: RoundingMode) -> np.ndarray:
+    """Quantize each row into packed block words (zero-padded tail)."""
+    rows, n = mat.shape
+    nblk = -(-n // BLOCK_LANES)
+    words = np.zeros((rows, nblk), dtype="<u4")
+    for i in range(rows):
+        for b in range(nblk):
+            chunk = mat[i, b * BLOCK_LANES:(b + 1) * BLOCK_LANES]
+            words[i, b] = quantize_block([float(v) for v in chunk], rm)
+    return words
+
+
+@dataclass
+class BlockRun:
+    """Result of one fused-block NN kernel execution."""
+
+    kernel: str
+    ftype: str
+    outputs: Dict[str, np.ndarray]
+    golden: Dict[str, np.ndarray]
+    instret: int = 0
+    #: ``vfdotpmx`` count across all dense stages.
+    dotp_count: int = 0
+    sqnr: Dict[str, float] = field(default_factory=dict)
+
+    def sqnr_db(self, output: Optional[str] = None) -> float:
+        names = [output] if output else sorted(self.outputs)
+        ref = np.concatenate([np.ravel(self.golden[n]) for n in names])
+        got = np.concatenate([np.ravel(self.outputs[n]) for n in names])
+        return sqnr_db(ref, got)
+
+
+class _DenseEngine:
+    """Compiles the microkernel once and runs dense products on demand."""
+
+    def __init__(self, frm: int = 0, sr_key: int = 0):
+        self.kernel = compile_source(_DENSE_SRC)
+        self.frm = frm
+        self.sr_key = sr_key
+        self.instret = 0
+        self.dotp_count = 0
+
+    def matmul(self, a: np.ndarray, b: np.ndarray,
+               rm: RoundingMode) -> np.ndarray:
+        """Y[i, j] = row_i(a) . row_j(b) via in-sim ``vfdotpmx``."""
+        aw = _quantize_rows(np.asarray(a, dtype=np.float64), rm)
+        bw = _quantize_rows(np.asarray(b, dtype=np.float64), rm)
+        rows, nblk = aw.shape
+        cols = bw.shape[0]
+        base_a = _ARRAY_BASE
+        base_b = base_a + ((aw.size * 4 + 15) // 16) * 16 + 16
+        base_y = base_b + ((bw.size * 4 + 15) // 16) * 16 + 16
+        sim = Simulator(self.kernel.program)
+        sim.machine.memory.write_block(base_a, aw.tobytes())
+        sim.machine.memory.write_block(base_b, bw.tobytes())
+        sim.machine.csr.frm = self.frm
+        regs = {10: rows, 11: cols, 12: nblk,
+                13: base_a, 14: base_b, 15: base_y}
+        prev = set_sr_key(self.sr_key)
+        try:
+            result = sim.run("nn_dense_blk", args=regs,
+                             max_instructions=50_000_000)
+        finally:
+            set_sr_key(prev)
+        if not result.ok:
+            raise BlockFormatError("nn_dense_blk", "mx8",
+                                   f"guest {result.exit_reason}")
+        self.instret += result.trace.instret
+        self.dotp_count += rows * cols * nblk
+        raw = sim.machine.memory.read_block(base_y, rows * cols * 4)
+        return np.frombuffer(raw, dtype="<u4").copy().view(
+            np.float32).astype(np.float64).reshape(rows, cols)
+
+
+def run_fused_block(
+    kernel: str,
+    ftype: str = "mx8",
+    seed: int = 0,
+    params: Optional[Dict[str, int]] = None,
+    rm: RoundingMode = RoundingMode.RNE,
+    frm: int = 0,
+    sr_key: int = 0,
+) -> BlockRun:
+    """Run one NN kernel in fused-block mode on a block format.
+
+    ``rm`` rounds the host-side block quantization; ``frm``/``sr_key``
+    control the in-simulator ``vfdotpmx`` accumulation rounding (pass
+    ``int(RoundingMode.SR)`` for stochastic accumulate).
+    """
+    try:
+        fmt = registry.by_keyword(ftype)
+    except registry.FormatLookupError:
+        raise BlockFormatError(kernel, ftype, "unknown format keyword")
+    if not fmt.has_block_dotp:
+        raise BlockFormatError(
+            kernel, ftype,
+            "format has no block dot product (has_block_dotp=False); "
+            "use the scalar/auto/manual modes instead")
+    if kernel not in BLOCK_KERNELS:
+        raise BlockFormatError(
+            kernel, ftype,
+            f"no fused-block path (supported: {', '.join(BLOCK_KERNELS)})")
+
+    spec = KERNELS[kernel]
+    run_params = dict(spec.params)
+    run_params.update(params or {})
+    rng = np.random.default_rng(seed)
+    data = spec.make_data(run_params, rng)
+    golden = spec.golden(data, run_params)
+    engine = _DenseEngine(frm=frm, sr_key=sr_key)
+
+    if kernel == "nn_mlp_fwd":
+        ni, nh, no = run_params["ni"], run_params["nh"], run_params["no"]
+        from .golden import _unpack_mlp
+
+        w1, b1, w2, b2 = _unpack_mlp(data["Wb"], ni, nh, no)
+        x = np.asarray(data["X"], dtype=np.float64)
+        h = np.maximum(engine.matmul(x, w1, rm) + b1, 0.0)
+        y = engine.matmul(h, w2, rm) + b2
+        outputs = {"H": h.ravel(), "Y": y.ravel()}
+    elif kernel == "nn_conv2d":
+        c, h_, w_ = run_params["c"], run_params["h"], run_params["w"]
+        k, f = run_params["k"], run_params["f"]
+        oh, ow = h_ - k + 1, w_ - k + 1
+        img = data["img"].reshape(c, h_, w_)
+        ker = data["ker"].reshape(f, c * k * k)
+        col = np.zeros((oh * ow, c * k * k))
+        for oy in range(oh):
+            for ox in range(ow):
+                col[oy * ow + ox] = img[:, oy:oy + k, ox:ox + k].ravel()
+        outputs = {"out": engine.matmul(ker, col, rm).ravel()}
+    else:  # nn_attention
+        t, d = run_params["t"], run_params["d"]
+        q = data["Q"].reshape(t, d)
+        kk = data["K"].reshape(t, d)
+        v = data["V"].reshape(t, d)
+        s = engine.matmul(q, kk, rm) * data["scale"]
+        e = _exp_poly(s - s.max(axis=1, keepdims=True))
+        p = e / e.sum(axis=1, keepdims=True)
+        y = engine.matmul(p, v.T, rm)
+        outputs = {"S": p.ravel(), "Y": y.ravel()}
+
+    run = BlockRun(kernel=kernel, ftype=ftype, outputs=outputs,
+                   golden=golden, instret=engine.instret,
+                   dotp_count=engine.dotp_count)
+    run.sqnr = {name: sqnr_db(np.ravel(golden[name]), np.ravel(arr))
+                for name, arr in outputs.items()}
+    return run

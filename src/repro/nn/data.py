@@ -1,0 +1,97 @@
+"""Deterministic workload generators for the NN kernel suite.
+
+Same conventions as :mod:`repro.kernels.data`: binary64 arrays, scaled
+so even binary8 (1-5-2) stays in range -- activations in [-1, 1] and
+weights divided by sqrt(fan-in), the usual init scale, which also keeps
+partial dot products representable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..kernels.data import _uniform
+
+
+def _pack_mlp(rng: np.random.Generator, ni: int, nh: int, no: int):
+    """Pack (W1 | b1 | W2 | b2) into one buffer, output-major weights."""
+    w1 = _uniform(rng, (nh, ni)) / np.sqrt(ni)
+    b1 = _uniform(rng, nh, -0.1, 0.1)
+    w2 = _uniform(rng, (no, nh)) / np.sqrt(nh)
+    b2 = _uniform(rng, no, -0.1, 0.1)
+    return np.concatenate([w1.ravel(), b1, w2.ravel(), b2])
+
+
+def make_mlp_fwd_data(params: Dict[str, int], rng: np.random.Generator):
+    b, ni = params["b"], params["ni"]
+    nh, no = params["nh"], params["no"]
+    return {
+        "X": _uniform(rng, (b, ni)),
+        "Wb": _pack_mlp(rng, ni, nh, no),
+        "H": np.zeros(b * nh),
+        "Y": np.zeros(b * no),
+    }
+
+
+def make_mlp_train_data(params: Dict[str, int], rng: np.random.Generator):
+    b, ni = params["b"], params["ni"]
+    nh, no = params["nh"], params["no"]
+    steps = params["steps"]
+    # The training net is bias-free: Wb packs W1 | W2 only.
+    w1 = _uniform(rng, (nh, ni)) / np.sqrt(ni)
+    w2 = _uniform(rng, (no, nh)) / np.sqrt(nh)
+    return {
+        "dims": np.array([b, ni, nh, no, steps], dtype=np.int64),
+        "lr": 0.05,
+        "X": _uniform(rng, (b, ni)),
+        "Tgt": _uniform(rng, (b, no)),
+        "Wb": np.concatenate([w1.ravel(), w2.ravel()]),
+        "losses": np.zeros(steps),
+        "S": np.zeros(2 * b * (nh + no)),  # H | Y | dY | dH scratch
+    }
+
+
+def make_conv2d_data(params: Dict[str, int], rng: np.random.Generator):
+    c, h, w = params["c"], params["h"], params["w"]
+    k, f = params["k"], params["f"]
+    oh, ow = h - k + 1, w - k + 1
+    r = c * k * k
+    return {
+        "dims": np.array([c, h, w, k, f], dtype=np.int64),
+        "img": _uniform(rng, (c, h, w)),
+        "ker": _uniform(rng, (f, r)) / np.sqrt(r),
+        "col": np.zeros(oh * ow * r),
+        "out": np.zeros(f * oh * ow),
+    }
+
+
+def make_softmax_data(params: Dict[str, int], rng: np.random.Generator):
+    rows, cols = params["rows"], params["cols"]
+    return {
+        "X": _uniform(rng, (rows, cols), -4.0, 4.0),  # logit range
+        "Y": np.zeros(rows * cols),
+    }
+
+
+def make_layernorm_data(params: Dict[str, int], rng: np.random.Generator):
+    rows, cols = params["rows"], params["cols"]
+    return {
+        "X": _uniform(rng, (rows, cols), -2.0, 2.0),
+        "G": _uniform(rng, cols, 0.5, 1.5),
+        "B": _uniform(rng, cols, -0.5, 0.5),
+        "Y": np.zeros(rows * cols),
+    }
+
+
+def make_attention_data(params: Dict[str, int], rng: np.random.Generator):
+    t, d = params["t"], params["d"]
+    return {
+        "scale": 1.0 / np.sqrt(d),
+        "Q": _uniform(rng, (t, d)),
+        "K": _uniform(rng, (t, d)),
+        "V": _uniform(rng, (t, d)),
+        "S": np.zeros(t * t),
+        "Y": np.zeros(t * d),
+    }

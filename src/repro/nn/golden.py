@@ -1,0 +1,112 @@
+"""Binary64 numpy references for the NN kernels.
+
+Each reference replicates its kernel's *algorithm* exactly -- including
+the polynomial exp and the backward-pass update order -- on unquantized
+binary64 data, so QoR deltas measure number-format rounding alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def _exp_poly(z: np.ndarray) -> np.ndarray:
+    """The kernels' ``exp``: degree-4 Taylor core on z/8, then cubed
+    squarings back up (``(poly(z/8))**8``).  Matches the kernel source
+    coefficient-for-coefficient."""
+    u = z * 0.125
+    p = 1.0 + u * (1.0 + u * (0.5 + u * (0.16666667 + u * 0.041666667)))
+    return p ** 8
+
+
+def _unpack_mlp(wb: np.ndarray, ni: int, nh: int, no: int):
+    """Views into the packed (W1 | b1 | W2 | b2) buffer."""
+    o = 0
+    w1 = wb[o:o + ni * nh].reshape(nh, ni)
+    o += ni * nh
+    b1 = wb[o:o + nh]
+    o += nh
+    w2 = wb[o:o + nh * no].reshape(no, nh)
+    o += nh * no
+    b2 = wb[o:o + no]
+    return w1, b1, w2, b2
+
+
+def mlp_fwd_ref(data: Dict, params: Dict) -> Dict[str, np.ndarray]:
+    """H = relu(X W1^T + b1); Y = H W2^T + b2."""
+    ni, nh, no = params["ni"], params["nh"], params["no"]
+    w1, b1, w2, b2 = _unpack_mlp(data["Wb"], ni, nh, no)
+    x = data["X"]
+    h = np.maximum(x @ w1.T + b1, 0.0)
+    y = h @ w2.T + b2
+    return {"H": h.ravel(), "Y": y.ravel()}
+
+
+def mlp_train_ref(data: Dict, params: Dict) -> Dict[str, np.ndarray]:
+    """``steps`` epochs of forward / MSE / backward / SGD on one batch
+    of the bias-free two-layer net (Wb packs W1 | W2)."""
+    b, ni = params["b"], params["ni"]
+    nh, no = params["nh"], params["no"]
+    steps = params["steps"]
+    lr = data["lr"]
+    x, tgt = data["X"], data["Tgt"]
+    wb = data["Wb"].copy()
+    w1 = wb[:ni * nh].reshape(nh, ni)
+    w2 = wb[ni * nh:].reshape(no, nh)
+    losses = np.zeros(steps)
+    gscale = 2.0 / (b * no)
+    for t in range(steps):
+        h = np.maximum(x @ w1.T, 0.0)
+        y = h @ w2.T
+        e = y - tgt
+        losses[t] = np.sum(e * e) / (b * no)
+        d_y = e * gscale
+        d_h = (d_y @ w2) * (h > 0.0)  # pre-update W2, as in the kernel
+        w2 -= lr * (d_y.T @ h)
+        w1 -= lr * (d_h.T @ x)
+    return {"Wb": wb, "losses": losses}
+
+
+def conv2d_ref(data: Dict, params: Dict) -> Dict[str, np.ndarray]:
+    """im2col (patch-major) then out = ker @ col^T."""
+    c, h, w = params["c"], params["h"], params["w"]
+    k, f = params["k"], params["f"]
+    oh, ow = h - k + 1, w - k + 1
+    img = data["img"].reshape(c, h, w)
+    ker = data["ker"].reshape(f, c * k * k)
+    col = np.zeros((oh * ow, c * k * k))
+    for oy in range(oh):
+        for ox in range(ow):
+            col[oy * ow + ox] = img[:, oy:oy + k, ox:ox + k].ravel()
+    out = ker @ col.T
+    return {"out": out.ravel()}
+
+
+def softmax_ref(data: Dict, params: Dict) -> Dict[str, np.ndarray]:
+    """Row-wise max-subtracted polynomial-exp softmax."""
+    x = data["X"]
+    e = _exp_poly(x - x.max(axis=1, keepdims=True))
+    return {"Y": (e / e.sum(axis=1, keepdims=True)).ravel()}
+
+
+def layernorm_ref(data: Dict, params: Dict) -> Dict[str, np.ndarray]:
+    """Row-wise normalization with learned scale/shift (biased var)."""
+    x = data["X"]
+    mean = x.mean(axis=1, keepdims=True)
+    var = np.mean((x - mean) ** 2, axis=1, keepdims=True)
+    y = (x - mean) / np.sqrt(var + 1e-5) * data["G"] + data["B"]
+    return {"Y": y.ravel()}
+
+
+def attention_ref(data: Dict, params: Dict) -> Dict[str, np.ndarray]:
+    """S = softmax(Q K^T * scale); Y = S V."""
+    t, d = params["t"], params["d"]
+    q = data["Q"].reshape(t, d)
+    k = data["K"].reshape(t, d)
+    v = data["V"].reshape(t, d)
+    s = q @ k.T * data["scale"]
+    e = _exp_poly(s - s.max(axis=1, keepdims=True))
+    p = e / e.sum(axis=1, keepdims=True)
+    return {"S": p.ravel(), "Y": (p @ v).ravel()}

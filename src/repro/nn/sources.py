@@ -1,0 +1,398 @@
+"""NN kernel sources in the repro kernel language, parametric in {T}.
+
+Every kernel keeps its *data* (activations, weights, gradients) in the
+substituted smallFloat type ``{T}`` and carries every accumulation in
+binary32 -- the expanding-accumulation scheme the Xfaux ISA extension
+exists for (``fmacex.s.*`` / ``vfdotpex.s.*``; MiniFloat-NN and ExSdotp
+are the direct successors of this design).  Compiled with
+``expanding_reductions`` the auto-vectorizer turns each reduction into
+``vfdotpex.s.*``; without it the loops fall back to the paper's
+multiply-then-unpack pattern, which is exactly the narrow-vs-expanding
+comparison the benchmark suite measures.
+
+Transcendentals stay inside the subset: ``exp`` is the cube-of-cubes
+polynomial ``exp(z) = (poly(z/8))**8`` with a degree-4 Taylor core --
+accurate to ~2% over the post-max-subtraction range ``z in [-8, 0]``
+and exactly replicated by the float64 goldens, so QoR numbers measure
+rounding, not algorithmic, error.
+"""
+
+from __future__ import annotations
+
+from ..kernels.polybench import _VECTOR_INFO, _instantiate
+
+#: The polynomial body shared by softmax and attention: reads ``z``,
+#: leaves ``exp(z)`` (approximately) in ``p``.  The Horner recurrence
+#: is unrolled into sequential statements (a nested expression would
+#: hold one scratch register per level and overflow the pool).
+_EXP_POLY = """
+            float u = z * 0.125;
+            float p = 0.16666667 + u * 0.041666667;
+            p = 0.5 + u * p;
+            p = 1.0 + u * p;
+            p = 1.0 + u * p;
+            p = p * p;
+            p = p * p;
+            p = p * p;
+"""
+
+#: Two-layer MLP forward: H = relu(X W1^T + b1), Y = H W2^T + b2.
+#: Weights travel packed in one buffer (W1 | b1 | W2 | b2) so the
+#: kernel fits the 8-register argument convention.  Locals are declared
+#: once and reused across loops -- the codegen pins each declaration to
+#: a callee-saved register for the whole function, so a flat variable
+#: budget keeps every expression within the 5-register scratch pool.
+MLP_FWD = """
+void nn_mlp_fwd(int b, int ni, int nh, int no, {T} *X, {T} *Wb,
+                {T} *H, {T} *Y) {
+    {T} *b1 = Wb + ni * nh;
+    {T} *W2 = b1 + nh;
+    {T} *b2 = W2 + nh * no;
+    int s = 0;
+    int j = 0;
+    int k = 0;
+    float acc = 0.0;
+    for (s = 0; s < b; s = s + 1) {
+        for (j = 0; j < nh; j = j + 1) {
+            acc = 0.0;
+            for (k = 0; k < ni; k = k + 1) {
+                acc = acc + X[s * ni + k] * Wb[j * ni + k];
+            }
+            acc = acc + (float)b1[j];
+            acc = __fmax_f32(acc, 0.0);
+            H[s * nh + j] = ({T})acc;
+        }
+        for (j = 0; j < no; j = j + 1) {
+            acc = 0.0;
+            for (k = 0; k < nh; k = k + 1) {
+                acc = acc + H[s * nh + k] * W2[j * nh + k];
+            }
+            acc = acc + (float)b2[j];
+            Y[s * no + j] = ({T})acc;
+        }
+    }
+}
+"""
+
+#: Hand-vectorized MLP forward (the shape a human writes with Xfaux):
+#: one ``vfdotpex`` per packed vector, bias seeding the accumulator.
+MLP_FWD_MANUAL = """
+void nn_mlp_fwd(int b, int ni, int nh, int no, {T} *X, {T} *Wb,
+                {T} *H, {T} *Y) {
+    int niv = ni / {VF};
+    int nhv = nh / {VF};
+    {T} *b1 = Wb + ni * nh;
+    {T} *W2 = b1 + nh;
+    {T} *b2 = W2 + nh * no;
+    {TV} *Xv = ({TV}*)X;
+    {TV} *W1v = ({TV}*)Wb;
+    {TV} *W2v = ({TV}*)W2;
+    {TV} *Hv = ({TV}*)H;
+    int s = 0;
+    int j = 0;
+    int k = 0;
+    float acc = 0.0;
+    for (s = 0; s < b; s = s + 1) {
+        for (j = 0; j < nh; j = j + 1) {
+            acc = (float)b1[j];
+            for (k = 0; k < niv; k = k + 1) {
+                acc = {DOTPEX}(acc, Xv[s * niv + k], W1v[j * niv + k]);
+            }
+            acc = __fmax_f32(acc, 0.0);
+            H[s * nh + j] = ({T})acc;
+        }
+        for (j = 0; j < no; j = j + 1) {
+            acc = (float)b2[j];
+            for (k = 0; k < nhv; k = k + 1) {
+                acc = {DOTPEX}(acc, Hv[s * nhv + k], W2v[j * nhv + k]);
+            }
+            Y[s * no + j] = ({T})acc;
+        }
+    }
+}
+"""
+
+#: MLP training: ``steps`` epochs of forward, MSE loss, backward and a
+#: plain SGD update, all over one batch of a *bias-free* two-layer net
+#: (Wb packs W1 | W2).  Activations and gradients are stored quantized
+#: to {T} (the low-precision-training regime); accumulations and the
+#: weight-update arithmetic run in binary32, so the final narrowing of
+#: ``W - lr*g`` back to {T} is where RNE stalls and stochastic rounding
+#: keeps making unbiased progress.  The first 14 declarations fill the
+#: codegen's pinned-register pool; ``steps``/``t``/``loss``/``e`` spill
+#: to the stack and are only touched by shallow statements.
+MLP_TRAIN = """
+void nn_mlp_train(int *dims, float lr, {T} *X, {T} *Tgt, {T} *Wb,
+                  float *losses, {T} *S) {
+    int b = dims[0];
+    int ni = dims[1];
+    int nh = dims[2];
+    int no = dims[3];
+    {T} *W2 = Wb + ni * nh;
+    {T} *H = S;
+    {T} *Y = S + b * nh;
+    {T} *dY = Y + b * no;
+    {T} *dH = dY + b * no;
+    int s = 0;
+    int j = 0;
+    int k = 0;
+    float acc = 0.0;
+    float gscale = 2.0 / (float)(b * no);
+    int steps = dims[4];
+    int t = 0;
+    float loss = 0.0;
+    float e = 0.0;
+    for (t = 0; t < steps; t = t + 1) {
+        for (s = 0; s < b; s = s + 1) {
+            for (j = 0; j < nh; j = j + 1) {
+                acc = 0.0;
+                for (k = 0; k < ni; k = k + 1) {
+                    acc = acc + X[s * ni + k] * Wb[j * ni + k];
+                }
+                acc = __fmax_f32(acc, 0.0);
+                H[s * nh + j] = ({T})acc;
+            }
+            for (j = 0; j < no; j = j + 1) {
+                acc = 0.0;
+                for (k = 0; k < nh; k = k + 1) {
+                    acc = acc + H[s * nh + k] * W2[j * nh + k];
+                }
+                Y[s * no + j] = ({T})acc;
+            }
+        }
+        loss = 0.0;
+        for (s = 0; s < b; s = s + 1) {
+            for (j = 0; j < no; j = j + 1) {
+                e = (float)Y[s * no + j];
+                e = e - (float)Tgt[s * no + j];
+                loss = loss + e * e;
+                acc = e * gscale;
+                dY[s * no + j] = ({T})acc;
+            }
+        }
+        losses[t] = loss * gscale * 0.5;
+        for (s = 0; s < b; s = s + 1) {
+            for (k = 0; k < nh; k = k + 1) {
+                acc = 0.0;
+                for (j = 0; j < no; j = j + 1) {
+                    acc = acc + dY[s * no + j] * W2[j * nh + k];
+                }
+                if ((float)H[s * nh + k] > 0.0) {
+                    dH[s * nh + k] = ({T})acc;
+                } else {
+                    dH[s * nh + k] = ({T})0.0;
+                }
+            }
+        }
+        for (j = 0; j < no; j = j + 1) {
+            for (k = 0; k < nh; k = k + 1) {
+                acc = 0.0;
+                for (s = 0; s < b; s = s + 1) {
+                    acc = acc + dY[s * no + j] * H[s * nh + k];
+                }
+                e = (float)W2[j * nh + k];
+                e = e - lr * acc;
+                W2[j * nh + k] = ({T})e;
+            }
+        }
+        for (j = 0; j < nh; j = j + 1) {
+            for (k = 0; k < ni; k = k + 1) {
+                acc = 0.0;
+                for (s = 0; s < b; s = s + 1) {
+                    acc = acc + dH[s * nh + j] * X[s * ni + k];
+                }
+                e = (float)Wb[j * ni + k];
+                e = e - lr * acc;
+                Wb[j * ni + k] = ({T})e;
+            }
+        }
+    }
+}
+"""
+
+#: im2col + conv2d as a matmul.  The patch matrix is laid out
+#: patch-major (``col[p * r + q]``) so both the im2col copy and the
+#: reduction are stride-1 and auto-vectorize.
+CONV2D = """
+void nn_conv2d(int *dims, {T} *img, {T} *ker, {T} *col, {T} *out) {
+    int c = dims[0];
+    int h = dims[1];
+    int w = dims[2];
+    int k = dims[3];
+    int f = dims[4];
+    int oh = h - k + 1;
+    int ow = w - k + 1;
+    int npix = oh * ow;
+    int r = c * k * k;
+    for (int oy = 0; oy < oh; oy = oy + 1) {
+        for (int ox = 0; ox < ow; ox = ox + 1) {
+            int p = oy * ow + ox;
+            for (int ci = 0; ci < c; ci = ci + 1) {
+                for (int ky = 0; ky < k; ky = ky + 1) {
+                    for (int kx = 0; kx < k; kx = kx + 1) {
+                        col[p * r + ci * k * k + ky * k + kx] =
+                            img[ci * h * w + (oy + ky) * w + ox + kx];
+                    }
+                }
+            }
+        }
+    }
+    for (int fi = 0; fi < f; fi = fi + 1) {
+        for (int p = 0; p < npix; p = p + 1) {
+            float acc = 0.0;
+            for (int q = 0; q < r; q = q + 1) {
+                acc = acc + ker[fi * r + q] * col[p * r + q];
+            }
+            out[fi * npix + p] = ({T})acc;
+        }
+    }
+}
+"""
+
+#: Row-wise numerically-stable softmax (max-subtracted polynomial exp).
+SOFTMAX = """
+void nn_softmax(int rows, int cols, {T} *X, {T} *Y) {
+    for (int i = 0; i < rows; i = i + 1) {
+        float m = -30000.0;
+        for (int j = 0; j < cols; j = j + 1) {
+            m = __fmax_f32(m, (float)X[i * cols + j]);
+        }
+        float ssum = 0.0;
+        for (int j = 0; j < cols; j = j + 1) {
+            float z = (float)X[i * cols + j] - m;
+{EXP_POLY}
+            Y[i * cols + j] = ({T})p;
+            ssum = ssum + p;
+        }
+        float inv = 1.0 / ssum;
+        for (int j = 0; j < cols; j = j + 1) {
+            Y[i * cols + j] = ({T})((float)Y[i * cols + j] * inv);
+        }
+    }
+}
+"""
+
+#: Row-wise layer normalization with learned scale/shift.
+LAYERNORM = """
+void nn_layernorm(int rows, int cols, {T} *X, {T} *G, {T} *B, {T} *Y) {
+    float invc = 1.0 / (float)cols;
+    for (int i = 0; i < rows; i = i + 1) {
+        float mean = 0.0;
+        for (int j = 0; j < cols; j = j + 1) {
+            mean = mean + X[i * cols + j];
+        }
+        mean = mean * invc;
+        float var = 0.0;
+        for (int j = 0; j < cols; j = j + 1) {
+            float d = (float)X[i * cols + j] - mean;
+            var = var + d * d;
+        }
+        var = var * invc;
+        float rstd = 1.0 / __sqrt_f32(var + 0.00001);
+        for (int j = 0; j < cols; j = j + 1) {
+            float d = (float)X[i * cols + j] - mean;
+            Y[i * cols + j] = ({T})(d * rstd * (float)G[j] + (float)B[j]);
+        }
+    }
+}
+"""
+
+#: Single-head scaled dot-product attention: S = softmax(Q K^T * scale),
+#: Y = S V.  The probability matrix is stored quantized in S (an output,
+#: so attention-map QoR is scored too).
+ATTENTION = """
+void nn_attention(int t, int d, float scale, {T} *Q, {T} *K, {T} *V,
+                  {T} *S, {T} *Y) {
+    int i = 0;
+    int j = 0;
+    int k = 0;
+    float acc = 0.0;
+    float m = 0.0;
+    float ssum = 0.0;
+    for (i = 0; i < t; i = i + 1) {
+        m = -30000.0;
+        for (j = 0; j < t; j = j + 1) {
+            acc = 0.0;
+            for (k = 0; k < d; k = k + 1) {
+                acc = acc + Q[i * d + k] * K[j * d + k];
+            }
+            acc = acc * scale;
+            S[i * t + j] = ({T})acc;
+            m = __fmax_f32(m, acc);
+        }
+        ssum = 0.0;
+        for (j = 0; j < t; j = j + 1) {
+            float z = (float)S[i * t + j] - m;
+{EXP_POLY}
+            S[i * t + j] = ({T})p;
+            ssum = ssum + p;
+        }
+        for (j = 0; j < t; j = j + 1) {
+            S[i * t + j] = ({T})((float)S[i * t + j] / ssum);
+        }
+        for (k = 0; k < d; k = k + 1) {
+            acc = 0.0;
+            for (j = 0; j < t; j = j + 1) {
+                acc = acc + S[i * t + j] * V[j * d + k];
+            }
+            Y[i * d + k] = ({T})acc;
+        }
+    }
+}
+"""
+
+_TEMPLATES = {
+    "nn_mlp_fwd": MLP_FWD,
+    "nn_mlp_train": MLP_TRAIN,
+    "nn_conv2d": CONV2D,
+    "nn_softmax": SOFTMAX,
+    "nn_layernorm": LAYERNORM,
+    "nn_attention": ATTENTION,
+}
+
+_MANUAL_TEMPLATES = {
+    "nn_mlp_fwd": MLP_FWD_MANUAL,
+}
+
+
+def _expand(template: str) -> str:
+    return template.replace("{EXP_POLY}", _EXP_POLY.rstrip("\n"))
+
+
+def source(kernel: str, ftype: str) -> str:
+    """Portable (scalar / auto-vectorizable) source for an NN kernel."""
+    return _instantiate(_expand(_TEMPLATES[kernel]), ftype)
+
+
+def manual_source(kernel: str, ftype: str) -> str:
+    """Hand-vectorized source (smallFloat vector types only)."""
+    if ftype not in _VECTOR_INFO:
+        raise ValueError(f"no manual vectorization for {ftype!r}")
+    return _instantiate(_expand(_MANUAL_TEMPLATES[kernel]), ftype,
+                        manual=True)
+
+
+#: Narrow-accumulation variant generator: the same MLP forward with the
+#: accumulator held in {T} instead of binary32.  Not registered as a
+#: KernelSpec -- the benchmark suite compiles it directly for the
+#: expanding-vs-narrow QoR comparison.  (The decl is rewritten first so
+#: its text no longer contains the plain reset pattern.)
+MLP_FWD_NARROW = MLP_FWD.replace("float acc = 0.0;", "{T} acc = ({T})0.0;") \
+                        .replace("acc = 0.0;", "acc = ({T})0.0;") \
+                        .replace("acc = acc + (float)b1[j];",
+                                 "acc = acc + b1[j];") \
+                        .replace("acc = acc + (float)b2[j];",
+                                 "acc = acc + b2[j];") \
+                        .replace("acc = __fmax_f32(acc, 0.0);",
+                                 "acc = ({T})__fmax_f32((float)acc, 0.0);") \
+                        .replace("H[s * nh + j] = ({T})acc;",
+                                 "H[s * nh + j] = acc;") \
+                        .replace("Y[s * no + j] = ({T})acc;",
+                                 "Y[s * no + j] = acc;")
+
+
+def narrow_source(kernel: str, ftype: str) -> str:
+    """Narrow-accumulation counterpart (accumulator quantized to {T})."""
+    if kernel != "nn_mlp_fwd":
+        raise ValueError(f"no narrow-accumulation variant for {kernel!r}")
+    return _instantiate(_expand(MLP_FWD_NARROW), ftype)

@@ -1,0 +1,148 @@
+"""KernelSpec registrations for the NN workload suite.
+
+Importing this module (``repro.kernels`` does it at the end of its own
+import) adds the six NN kernels to :data:`repro.kernels.KERNELS`, so
+they flow through every existing consumer -- the harness, the tuner,
+fault campaigns, profiling, lockstep sweeps and the serve fleet --
+with no further wiring.
+
+All NN specs carry ``compile_opts={'expanding_reductions': True}``:
+in ``mode='auto'`` their binary32-accumulator reduction loops compile
+to ``vfdotpex.s.*`` instead of the multiply-then-unpack fallback.
+"""
+
+from __future__ import annotations
+
+from ..kernels import ArgSpec, KernelSpec, _register
+from . import data as _data
+from . import golden as _golden
+from . import sources as _sources
+
+_EXPANDING = {"expanding_reductions": True}
+
+NN_MLP_FWD = _register(KernelSpec(
+    name="nn_mlp_fwd",
+    entry="nn_mlp_fwd",
+    params={"b": 4, "ni": 8, "nh": 8, "no": 4},
+    args=[
+        ArgSpec("b", "param"),
+        ArgSpec("ni", "param"),
+        ArgSpec("nh", "param"),
+        ArgSpec("no", "param"),
+        ArgSpec("X", "array"),
+        ArgSpec("Wb", "array"),
+        ArgSpec("H", "array"),
+        ArgSpec("Y", "array"),
+    ],
+    outputs=["H", "Y"],
+    make_data=_data.make_mlp_fwd_data,
+    golden=_golden.mlp_fwd_ref,
+    source_fn=lambda t: _sources.source("nn_mlp_fwd", t),
+    manual_source_fn=lambda t: _sources.manual_source("nn_mlp_fwd", t),
+    compile_opts=_EXPANDING,
+))
+
+NN_MLP_TRAIN = _register(KernelSpec(
+    name="nn_mlp_train",
+    entry="nn_mlp_train",
+    params={"b": 4, "ni": 8, "nh": 8, "no": 4, "steps": 3},
+    args=[
+        ArgSpec("dims", "iarray"),
+        ArgSpec("lr", "scalar", elem="float"),
+        ArgSpec("X", "array"),
+        ArgSpec("Tgt", "array"),
+        ArgSpec("Wb", "array"),
+        ArgSpec("losses", "array", elem="float"),
+        ArgSpec("S", "array"),
+    ],
+    outputs=["Wb", "losses"],
+    make_data=_data.make_mlp_train_data,
+    golden=_golden.mlp_train_ref,
+    source_fn=lambda t: _sources.source("nn_mlp_train", t),
+    compile_opts=_EXPANDING,
+))
+
+NN_CONV2D = _register(KernelSpec(
+    name="nn_conv2d",
+    entry="nn_conv2d",
+    params={"c": 2, "h": 6, "w": 6, "k": 3, "f": 2},
+    args=[
+        ArgSpec("dims", "iarray"),
+        ArgSpec("img", "array"),
+        ArgSpec("ker", "array"),
+        ArgSpec("col", "array"),
+        ArgSpec("out", "array"),
+    ],
+    outputs=["out"],
+    make_data=_data.make_conv2d_data,
+    golden=_golden.conv2d_ref,
+    source_fn=lambda t: _sources.source("nn_conv2d", t),
+    compile_opts=_EXPANDING,
+))
+
+NN_SOFTMAX = _register(KernelSpec(
+    name="nn_softmax",
+    entry="nn_softmax",
+    params={"rows": 6, "cols": 8},
+    args=[
+        ArgSpec("rows", "param"),
+        ArgSpec("cols", "param"),
+        ArgSpec("X", "array"),
+        ArgSpec("Y", "array"),
+    ],
+    outputs=["Y"],
+    make_data=_data.make_softmax_data,
+    golden=_golden.softmax_ref,
+    source_fn=lambda t: _sources.source("nn_softmax", t),
+    compile_opts=_EXPANDING,
+))
+
+NN_LAYERNORM = _register(KernelSpec(
+    name="nn_layernorm",
+    entry="nn_layernorm",
+    params={"rows": 6, "cols": 8},
+    args=[
+        ArgSpec("rows", "param"),
+        ArgSpec("cols", "param"),
+        ArgSpec("X", "array"),
+        ArgSpec("G", "array"),
+        ArgSpec("B", "array"),
+        ArgSpec("Y", "array"),
+    ],
+    outputs=["Y"],
+    make_data=_data.make_layernorm_data,
+    golden=_golden.layernorm_ref,
+    source_fn=lambda t: _sources.source("nn_layernorm", t),
+    compile_opts=_EXPANDING,
+))
+
+NN_ATTENTION = _register(KernelSpec(
+    name="nn_attention",
+    entry="nn_attention",
+    params={"t": 4, "d": 8},
+    args=[
+        ArgSpec("t", "param"),
+        ArgSpec("d", "param"),
+        ArgSpec("scale", "scalar", elem="float"),
+        ArgSpec("Q", "array"),
+        ArgSpec("K", "array"),
+        ArgSpec("V", "array"),
+        ArgSpec("S", "array"),
+        ArgSpec("Y", "array"),
+    ],
+    outputs=["S", "Y"],
+    make_data=_data.make_attention_data,
+    golden=_golden.attention_ref,
+    source_fn=lambda t: _sources.source("nn_attention", t),
+    compile_opts=_EXPANDING,
+))
+
+#: The NN workload suite, in presentation order.
+NN_KERNEL_NAMES = [
+    "nn_mlp_fwd",
+    "nn_mlp_train",
+    "nn_conv2d",
+    "nn_softmax",
+    "nn_layernorm",
+    "nn_attention",
+]

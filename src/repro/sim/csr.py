@@ -24,7 +24,7 @@ CSR_MHARTID = 0xF14
 
 MASK32 = 0xFFFFFFFF
 
-#: frm value -> RoundingMode member; reserved encodings (5, 6) absent.
+#: frm value -> RoundingMode member; the reserved encoding (6) absent.
 #: Enum construction per read showed up in simulation profiles.
 _RM_BY_VALUE = {int(mode): mode for mode in RoundingMode}
 

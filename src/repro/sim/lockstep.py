@@ -40,7 +40,7 @@ import numpy as np
 from ..fp import arith, batch as fpbatch, compare, registry, simd
 from ..fp.convert import fcvt_f2f as _fcvt_scalar
 from ..fp.formats import FORMATS_BY_SUFFIX
-from ..fp.rounding import RoundingMode
+from ..fp.rounding import RoundingMode, set_sr_key
 from .blocks import GUEST_FAULTS, _CSR_KINDS as _CSR_TERM_KINDS, \
     _resolve_static_rm
 from .csr import (CSR_CYCLE, CSR_CYCLEH, CSR_FCSR, CSR_FFLAGS, CSR_FRM,
@@ -508,6 +508,17 @@ _I32 = np.int32
 _I64 = np.int64
 _U64 = np.uint64
 _RNE = RoundingMode.RNE
+_SR = RoundingMode.SR
+_SR_FRM = int(RoundingMode.SR)
+_SR_KEY_MASK = (1 << 64) - 1
+
+#: True while the engine runs lanes with *divergent* SR keys.  The
+#: batched binders compute one result per distinct operand vector, which
+#: is only correct under stochastic rounding when every lane draws from
+#: the same key; with per-lane keys any SR-rounded op drains the batch
+#: into scalar simulators (see ``_drain_all``, which installs each
+#: lane's key around its resume).
+_SR_NONUNIFORM = False
 
 
 def _s32(v: np.ndarray) -> np.ndarray:
@@ -626,6 +637,14 @@ _SCRATCH_KINDS = frozenset({
     "vfdotpmx", "vfeq", "vflt", "vfle",
 })
 
+#: Scratch kinds whose handlers perform an FP rounding step (and so
+#: read the ambient stochastic-rounding key when ``frm`` selects SR).
+_ROUNDING_SCRATCH = frozenset({
+    "fdiv", "fsqrt", "fcvt_f_w", "fcvt_f_wu", "fcvt_w_f", "fcvt_wu_f",
+    "vfdiv", "vfsqrt", "vfcvt_f_x", "vfcvt_x_f", "vfcvt_f2f",
+    "vfcpka", "vfcpkb", "vfdotpmx",
+})
+
 
 def _rm_resolver(i):
     """Per-execution rounding-mode getter, or None on a reserved static
@@ -634,12 +653,20 @@ def _rm_resolver(i):
     if not usable:
         return None
     if rm is not None:
+        if rm is _SR:
+            def static_sr(bt, rm=rm):
+                if _SR_NONUNIFORM:
+                    raise _Drain()  # per-lane keys: scalar core rounds
+                return rm
+            return static_sr
         return lambda bt, rm=rm: rm
 
     def dynamic(bt):
         mode = _RM_BY_VALUE.get(bt.frm)
         if mode is None:
             raise _Drain()  # reserved frm: scalar core raises ValueError
+        if mode is _SR and _SR_NONUNIFORM:
+            raise _Drain()  # per-lane keys: scalar core rounds
         return mode
     return dynamic
 
@@ -669,17 +696,23 @@ class LockstepEngine:
         self._scratch = Machine(Memory(), merged_regfile=True, flen=m.flen)
         self._blocks: Dict[int, object] = {}
         self._budget = 0
+        self._sr_keys: List[int] = []
 
     # ------------------------------------------------------------------
     # Public entry point
     # ------------------------------------------------------------------
-    def run(self, lanes, entry=0, max_instructions: int = 50_000_000):
+    def run(self, lanes, entry=0, max_instructions: int = 50_000_000,
+            frm: int = 0):
         """Run every lane to completion; returns per-lane RunResults.
 
         ``lanes`` is a sequence of :class:`Lane` staging records.  The
         result list is ordered like ``lanes`` and each element is
         bit-identical to a dedicated :meth:`Simulator.run` of that
-        point.
+        point.  ``frm`` seeds every lane's dynamic rounding mode (the
+        value a harness would ``csrw frm`` before calling the kernel);
+        per-lane ``Lane.sr_key`` values seed stochastic rounding --
+        uniform keys run fully batched, divergent keys drain SR-rounded
+        work to scalar simulators.
         """
         tpl = self.tpl
         n = len(lanes)
@@ -687,8 +720,13 @@ class LockstepEngine:
         self._tpl_engine._check_timing_epoch()
         entry_pc = tpl.address_of(entry)
 
+        keys = [getattr(lane, "sr_key", 0) & _SR_KEY_MASK
+                for lane in lanes]
+        self._sr_keys = keys
+
         bt = _Batch(n, np.arange(n), entry_pc,
                     BatchMemory(n, tpl.machine.memory._pages))
+        bt.frm = frm & 0b111
         bt.xregs[1] = HALT_ADDRESS
         bt.xregs[2] = STACK_TOP
         regs = set()
@@ -717,22 +755,30 @@ class LockstepEngine:
         heap = self._heap = []
         self._seq = 0
         self._push(bt)
-        with fpbatch.quiet_errors():
-            while heap:
-                cur = heapq.heappop(heap)[2]
-                # Re-convergence: merge every compatible batch waiting
-                # at the same PC before running.
-                while heap and heap[0][0] == cur.pc:
-                    peer = heap[0][2]
-                    if (peer.frm != cur.frm
-                            or peer.trap_csrs != cur.trap_csrs):
-                        break
-                    heapq.heappop(heap)
-                    cur = _merge_batches(cur, peer)
-                # With other batches pending, step one block at a time
-                # so diverged batches can catch up and re-merge;
-                # otherwise run the tight loop.
-                self._run_batch(cur, out, single=bool(heap))
+        global _SR_NONUNIFORM
+        prev_flag = _SR_NONUNIFORM
+        prev_key = set_sr_key(keys[0] if keys else 0)
+        _SR_NONUNIFORM = len(set(keys)) > 1
+        try:
+            with fpbatch.quiet_errors():
+                while heap:
+                    cur = heapq.heappop(heap)[2]
+                    # Re-convergence: merge every compatible batch
+                    # waiting at the same PC before running.
+                    while heap and heap[0][0] == cur.pc:
+                        peer = heap[0][2]
+                        if (peer.frm != cur.frm
+                                or peer.trap_csrs != cur.trap_csrs):
+                            break
+                        heapq.heappop(heap)
+                        cur = _merge_batches(cur, peer)
+                    # With other batches pending, step one block at a
+                    # time so diverged batches can catch up and
+                    # re-merge; otherwise run the tight loop.
+                    self._run_batch(cur, out, single=bool(heap))
+        finally:
+            _SR_NONUNIFORM = prev_flag
+            set_sr_key(prev_key)
         return out
 
     def _push(self, bt: _Batch) -> None:
@@ -948,8 +994,17 @@ class LockstepEngine:
         srcs = tuple({r for r in (i.rs1, i.rs2, rs3, rd)
                       if isinstance(r, int) and r})
         scratch = self._scratch
+        # Rounding scratch ops consult the ambient SR key through the
+        # generic handlers; with divergent per-lane keys they must drain.
+        spec = i.spec
+        rounds = i.kind in _ROUNDING_SCRATCH
+        static_sr = (rounds and spec.rm_fixed is None and not spec.vec
+                     and i.rm == _SR_FRM)
 
         def run(bt, fn=fn, i=i, rd=rd, srcs=srcs, m=scratch):
+            if rounds and _SR_NONUNIFORM and (
+                    static_sr or bt.frm == _SR_FRM):
+                raise _Drain()
             vals = [bt.xregs[r] for r in srcs]
             csr = m.csr
             if all(type(v) is int for v in vals):
@@ -1633,8 +1688,18 @@ class LockstepEngine:
             csr.frm = bt.frm
             for name, val in bt.trap_csrs.items():
                 setattr(csr, name, val)
-            out[int(bt.lane_ids[ln])] = sim.resume(
-                t, executed=executed, max_instructions=self._budget)
+            lane_id = int(bt.lane_ids[ln])
+            if self._sr_keys:
+                prev = set_sr_key(self._sr_keys[lane_id])
+                try:
+                    out[lane_id] = sim.resume(
+                        t, executed=executed,
+                        max_instructions=self._budget)
+                finally:
+                    set_sr_key(prev)
+            else:
+                out[lane_id] = sim.resume(
+                    t, executed=executed, max_instructions=self._budget)
 
 
 # ----------------------------------------------------------------------
@@ -1756,26 +1821,31 @@ class Lane:
     ``args`` maps integer register numbers to initial values (like the
     ``args`` parameter of :meth:`Simulator.run`); ``stores`` is a list
     of ``(addr, bytes)`` bulk writes applied before execution (the
-    harness stages input arrays this way).
+    harness stages input arrays this way).  ``sr_key`` seeds the
+    stochastic-rounding PRF for this lane (only consulted when the run
+    rounds with ``RoundingMode.SR``).
     """
 
-    __slots__ = ("args", "stores")
+    __slots__ = ("args", "stores", "sr_key")
 
-    def __init__(self, args=None, stores=None):
+    def __init__(self, args=None, stores=None, sr_key=0):
         self.args = dict(args or {})
         self.stores = list(stores or [])
+        self.sr_key = sr_key
 
 
 def run_lockstep(program, lanes, entry=0, max_instructions: int = 50_000_000,
-                 mem_latency=None, timing=None, fast_path=None):
+                 mem_latency=None, timing=None, fast_path=None, frm: int = 0):
     """Run ``lanes`` of ``program`` in lockstep; per-lane RunResults.
 
     Each element of ``lanes`` is a :class:`Lane`.  Every result is
     bit-identical (trace counters and their insertion order, registers,
     memory, fcsr, exit reason, detail) to a dedicated
-    :meth:`Simulator.run` of the same point.
+    :meth:`Simulator.run` of the same point with the same ``frm`` and
+    SR key installed.
     """
     template = Simulator(program=program, mem_latency=mem_latency,
                          timing=timing, fast_path=fast_path)
     engine = LockstepEngine(template)
-    return engine.run(lanes, entry=entry, max_instructions=max_instructions)
+    return engine.run(lanes, entry=entry, max_instructions=max_instructions,
+                      frm=frm)

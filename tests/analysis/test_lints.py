@@ -436,3 +436,54 @@ def test_all_kernels_lint_fast(name):
     kernel = compile_source(source, lint=False)
     result = lint_program(kernel.program, source=kernel.asm)
     assert result.elapsed < 1.0  # whole-suite budget is 10 s
+
+
+# ----------------------------------------------------------------------
+# NN idiom recognition (multiply-widen-accumulate reductions)
+# ----------------------------------------------------------------------
+class TestNNIdiomRecognition:
+    """The NN kernels accumulate widened narrow products in binary32;
+    the lints must point at the expanding ops that fuse the chain."""
+
+    def _findings(self, check, **compile_kwargs):
+        source = KERNELS["nn_mlp_fwd"].source_fn("float8")
+        kernel = compile_source(source, **compile_kwargs)
+        return [f for f in kernel.lint_findings if f.check == check]
+
+    def test_scalar_idiom_suggests_fmacex(self):
+        notes = self._findings("narrow-accumulation")
+        assert notes, "scalar multiply-widen-add must be recognized"
+        assert all(f.severity == "note" for f in notes)
+        assert {f.suggestion for f in notes} == {"fmacex.s.b"}
+        assert "fcvt.s.b" in notes[0].message
+
+    def test_scalar_reduction_suggests_vfdotpex(self):
+        notes = self._findings("missed-vectorization")
+        dotp = [f for f in notes if "vfdotpex.s.b" in (f.suggestion or "")]
+        assert dotp, "reduction loops must get the vfdotpex suggestion"
+        assert "expanding_reductions=True" in dotp[0].suggestion
+        # A block format is registered, so the fused-block op is named.
+        assert any("vfdotpmx.s.mx" in f.message for f in dotp)
+
+    def test_unpacked_vector_idiom_suggests_vfdotpex(self):
+        notes = self._findings("narrow-accumulation",
+                               vectorize_loops=True)
+        vec = [f for f in notes if f.suggestion == "vfdotpex.s.b"]
+        assert vec, "lane-unpack accumulation must be recognized"
+        assert "unpacked" in vec[0].message
+        assert any("vfdotpmx.s.mx" in f.message for f in vec)
+
+    def test_expanding_compile_quiets_vector_notes(self):
+        spec = KERNELS["nn_mlp_fwd"]
+        kernel = compile_source(spec.source_fn("float8"),
+                                vectorize_loops=True, **spec.compile_opts)
+        vec = [f for f in kernel.lint_findings
+               if f.check == "narrow-accumulation"
+               and f.suggestion == "vfdotpex.s.b"]
+        assert vec == [], "vfdotpex loops must not re-trigger the note"
+
+    def test_wide_elements_not_flagged(self):
+        source = KERNELS["nn_mlp_fwd"].source_fn("float")
+        kernel = compile_source(source)
+        assert [f for f in kernel.lint_findings
+                if f.check == "narrow-accumulation"] == []

@@ -1,0 +1,71 @@
+"""Fused-block (``vfdotpmx``) execution of the NN kernels on block
+formats, and the structured error for formats without block support."""
+
+import numpy as np
+import pytest
+
+from repro.fp import RoundingMode
+from repro.nn import (BLOCK_KERNELS, BlockFormatError, fused_block_kernels,
+                      run_fused_block)
+
+
+class TestRunFusedBlock:
+    @pytest.mark.parametrize("kernel", BLOCK_KERNELS)
+    def test_mx8_qor(self, kernel):
+        run = run_fused_block(kernel, "mx8")
+        assert run.ftype == "mx8"
+        assert run.dotp_count > 0
+        assert run.instret > 0
+        assert run.sqnr_db() > 15.0, kernel
+
+    def test_outputs_match_golden_shapes(self):
+        run = run_fused_block("nn_mlp_fwd", "mx8")
+        for name, ref in run.golden.items():
+            assert run.outputs[name].shape == np.asarray(ref).shape
+
+    def test_deterministic(self):
+        a = run_fused_block("nn_conv2d", "mx8", seed=1)
+        b = run_fused_block("nn_conv2d", "mx8", seed=1)
+        for name in a.outputs:
+            np.testing.assert_array_equal(a.outputs[name], b.outputs[name])
+
+    def test_seed_changes_data(self):
+        a = run_fused_block("nn_conv2d", "mx8", seed=1)
+        b = run_fused_block("nn_conv2d", "mx8", seed=2)
+        assert any(not np.array_equal(a.outputs[n], b.outputs[n])
+                   for n in a.outputs)
+
+    def test_sr_mode_accepted(self):
+        run = run_fused_block("nn_mlp_fwd", "mx8",
+                              rm=RoundingMode.SR, sr_key=9)
+        assert run.sqnr_db() > 10.0
+
+
+class TestBlockFormatError:
+    def test_non_block_format_rejected(self):
+        with pytest.raises(BlockFormatError) as exc:
+            run_fused_block("nn_mlp_fwd", "float8")
+        err = exc.value
+        assert err.kernel == "nn_mlp_fwd"
+        assert err.ftype == "float8"
+        assert "block" in str(err)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(BlockFormatError):
+            run_fused_block("nn_mlp_fwd", "no_such_format")
+
+    def test_kernel_without_block_path_rejected(self):
+        with pytest.raises(BlockFormatError) as exc:
+            run_fused_block("nn_softmax", "mx8")
+        assert exc.value.kernel == "nn_softmax"
+
+
+class TestFusedBlockKernels:
+    def test_block_format_lists_kernels(self):
+        assert tuple(fused_block_kernels("mx8")) == tuple(BLOCK_KERNELS)
+
+    def test_scalar_format_lists_none(self):
+        assert fused_block_kernels("float8") == ()
+
+    def test_unknown_keyword_lists_none(self):
+        assert fused_block_kernels("no_such_format") == ()

@@ -50,10 +50,11 @@ class TestIllegalInstruction:
         assert "CSR" in result.trap.detail
 
     def test_reserved_rounding_mode_traps(self):
-        # frm=5 is reserved; a dynamic-rm FP op must trap.
+        # frm=6 is reserved (5 is stochastic rounding since the Xfsr
+        # extension); a dynamic-rm FP op must trap.
         src = """
         main:
-            li t0, 5
+            li t0, 6
             csrw frm, t0
             fadd.h a0, a0, a1
             ret

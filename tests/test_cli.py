@@ -232,3 +232,39 @@ class TestTune:
         out = capsys.readouterr().out
         assert "strict" in out and "relaxed" in out
         assert "'accumulator': 'float'" in out
+
+
+class TestNN:
+    def test_list(self, capsys):
+        assert main(["nn", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("nn_mlp_fwd", "nn_attention"):
+            assert name in out
+
+    def test_run_scalar(self, capsys):
+        assert main(["nn", "nn_softmax", "--ftype", "float8"]) == 0
+        out = capsys.readouterr().out
+        assert "SQNR" in out and "max |err|" in out
+
+    def test_run_fused_block(self, capsys):
+        assert main(["nn", "nn_mlp_fwd", "--ftype", "mx8",
+                     "--mode", "block"]) == 0
+        out = capsys.readouterr().out
+        assert "fused-block" in out
+        assert "vfdotpmx calls:" in out
+
+    def test_block_mode_rejects_scalar_format(self, capsys):
+        assert main(["nn", "nn_mlp_fwd", "--ftype", "float8",
+                     "--mode", "block"]) == 1
+        err = capsys.readouterr().err
+        assert "no block dot product" in err
+
+    def test_unknown_kernel(self, capsys):
+        assert main(["nn", "gemm"]) == 1
+        assert "unknown NN kernel" in capsys.readouterr().err
+
+    def test_formats_table_names_fused_block_kernels(self, capsys):
+        assert main(["formats"]) == 0
+        out = capsys.readouterr().out
+        assert "fused-block NN" in out
+        assert "mlp_fwd,conv2d,attention" in out

@@ -11,7 +11,7 @@ EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 FAST = ["quickstart.py", "inspect_isa.py", "lint_kernel.py",
         "profile_kernel.py", "parallel_sweep.py", "serve_client.py",
-        "lockstep_sweep.py"]
+        "lockstep_sweep.py", "nn_training.py"]
 SLOW = ["polybench_speedup.py", "svm_gesture.py", "precision_tuning.py",
         "memory_latency.py"]
 
